@@ -1,0 +1,76 @@
+"""Ablation: why stock-symbol batching beats coarse batching (section 5.2).
+
+The paper attributes Figure 12's surprise — the coarsest unit of batching
+is *not* the best for options — to two implementation effects:
+
+1. grouping bound rows in user code is slightly slower than letting the
+   rule system partition them (``user_group_row`` > ``partition_row``);
+2. long coarse-batched transactions get preempted more often
+   (context-switch charges per quantum).
+
+This ablation removes both effects from the cost model and shows the gap
+between coarse ``unique`` and ``unique on symbol`` close or invert — i.e.
+the reproduction derives the paper's observation from its stated causes
+rather than hard-coding the outcome.
+"""
+
+import pytest
+
+from repro.bench.experiments import bench_scale
+from repro.bench.reporting import emit, format_table
+from repro.sim.costmodel import CostModel
+from repro.pta.workload import run_experiment
+
+DELAY = 2.0
+
+
+def _gap(cost_model):
+    scale = bench_scale().scaled(0.5)
+    coarse = run_experiment(
+        scale, "options", "unique", DELAY, cost_model=cost_model
+    )
+    symbol = run_experiment(
+        scale, "options", "on_symbol", DELAY, cost_model=cost_model
+    )
+    return coarse, symbol
+
+
+def test_grouping_asymmetry_explains_figure12(benchmark):
+    def run():
+        default = CostModel()
+        neutral = CostModel(preempt_quantum=float("inf")).with_overrides(
+            user_group_row=CostModel().partition_row,
+            context_switch=0.0,
+        )
+        return _gap(default), _gap(neutral)
+
+    (d_coarse, d_symbol), (n_coarse, n_symbol) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    rows = [
+        {
+            "model": "paper-calibrated",
+            "coarse_cpu": round(d_coarse.cpu_fraction, 4),
+            "on_symbol_cpu": round(d_symbol.cpu_fraction, 4),
+            "gap": round(d_coarse.cpu_fraction - d_symbol.cpu_fraction, 4),
+            "coarse_ctx_switches": d_coarse.context_switches,
+        },
+        {
+            "model": "asymmetry removed",
+            "coarse_cpu": round(n_coarse.cpu_fraction, 4),
+            "on_symbol_cpu": round(n_symbol.cpu_fraction, 4),
+            "gap": round(n_coarse.cpu_fraction - n_symbol.cpu_fraction, 4),
+            "coarse_ctx_switches": n_coarse.context_switches,
+        },
+    ]
+    emit(format_table(rows, "Ablation: section 5.2's implementation asymmetry"), "ablation_grouping")
+    benchmark.extra_info["default_gap"] = rows[0]["gap"]
+    benchmark.extra_info["neutral_gap"] = rows[1]["gap"]
+
+    # With the calibrated model, on_symbol wins (Figure 12).
+    assert d_symbol.cpu_fraction < d_coarse.cpu_fraction
+    # Removing the stated causes shrinks the gap substantially — the paper
+    # predicts the two would then have "very similar CPU usage".
+    assert rows[1]["gap"] < rows[0]["gap"]
+    # And the preemption effect existed: coarse tasks were switched out.
+    assert d_coarse.context_switches > d_symbol.context_switches

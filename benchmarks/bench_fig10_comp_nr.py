@@ -1,0 +1,45 @@
+"""Figure 10: number of recomputations N_r vs delay (comp_prices).
+
+Paper shape: ``unique on comp`` runs an order of magnitude more
+recomputations than non-batching at small delays (every change fans out to
+~12 composites) and falls steeply as the window grows; coarse ``unique``
+runs the fewest (at most one queued transaction at a time).
+"""
+
+import pytest
+
+from repro.bench.experiments import bench_scale, comp_sweep, is_strict_scale, series_of
+from repro.bench.reporting import emit, format_series
+
+
+def test_fig10_comp_recompute_count(benchmark):
+    results = benchmark.pedantic(comp_sweep, rounds=1, iterations=1)
+    series = series_of(results, "n_recomputes")
+    emit(
+        format_series(
+            series,
+            x_label="delay_s",
+            y_label="N_r (recompute transactions)",
+            title=f"Figure 10 (scale: {bench_scale()})",
+            y_format="{:.0f}",
+        ),
+        "fig10_comp_nr",
+    )
+    for variant, points in series.items():
+        benchmark.extra_info[variant] = points
+
+    nonunique = series["nonunique"][0][1]
+    if is_strict_scale():
+        # on_comp exceeds non-unique at the smallest delay (fan-out effect:
+        # needs a realistic composites-per-stock multiplier).
+        assert series["on_comp"][0][1] > nonunique
+    # Coarse unique is the minimum everywhere.
+    for delay_idx in range(len(series["unique"])):
+        coarse = series["unique"][delay_idx][1]
+        assert coarse <= series["on_comp"][delay_idx][1]
+        assert coarse <= series["on_symbol"][delay_idx][1]
+        assert coarse <= nonunique
+    # N_r decreases with the window for every unique rule.
+    for variant in ("unique", "on_comp", "on_symbol"):
+        values = [y for _x, y in series[variant]]
+        assert values[-1] < values[0]

@@ -1,0 +1,46 @@
+"""Figure 11: mean recompute-transaction length vs delay (comp_prices).
+
+Paper shape: coarse ``unique`` produces by far the longest transactions
+(an order of magnitude above stock-symbol batching / non-batching, two
+orders above composite batching), growing with the window; ``unique on
+comp`` produces the shortest.  This is the schedulability counterweight to
+Figure 9 — the reason the paper crowns ``unique on comp`` the best overall
+rule despite coarse batching's lower CPU.
+"""
+
+import pytest
+
+from repro.bench.experiments import bench_scale, comp_sweep, is_strict_scale, series_of
+from repro.bench.reporting import emit, format_series
+
+
+def test_fig11_comp_recompute_length(benchmark):
+    results = benchmark.pedantic(comp_sweep, rounds=1, iterations=1)
+    series = series_of(results, "mean_recompute_length")
+    in_ms = {
+        variant: [(x, y * 1e3) for x, y in points] for variant, points in series.items()
+    }
+    emit(
+        format_series(
+            in_ms,
+            x_label="delay_s",
+            y_label="mean recompute length (ms, system time minus queueing)",
+            title=f"Figure 11 (scale: {bench_scale()})",
+        ),
+        "fig11_comp_len",
+    )
+    for variant, points in in_ms.items():
+        benchmark.extra_info[variant] = points
+
+    last = {variant: points[-1][1] for variant, points in series.items()}
+    # Coarse batching yields the longest transactions, on_comp the shortest.
+    assert last["unique"] > last["on_symbol"]
+    assert last["unique"] > last["nonunique"]
+    assert last["on_comp"] < last["nonunique"]
+    assert last["on_comp"] < last["on_symbol"]
+    if is_strict_scale():
+        # Coarse batching at 3s is an order of magnitude above on_comp.
+        assert last["unique"] / last["on_comp"] > 10.0
+    # Coarse-unique length grows with the window (more absorbed work).
+    coarse = [y for _x, y in series["unique"]]
+    assert coarse[-1] > coarse[0]

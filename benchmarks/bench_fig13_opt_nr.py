@@ -1,0 +1,40 @@
+"""Figure 13: number of recomputations N_r vs delay (option_prices).
+
+Paper shape: batching on stock symbol runs ~two orders of magnitude more
+recomputations than coarse batching — and *still* wins on CPU (Figure 12),
+because its task count stays below the critical region where transaction
+management dominates.
+"""
+
+import pytest
+
+from repro.bench.experiments import bench_scale, is_strict_scale, option_sweep, series_of
+from repro.bench.reporting import emit, format_series
+
+
+def test_fig13_option_recompute_count(benchmark):
+    results = benchmark.pedantic(option_sweep, rounds=1, iterations=1)
+    series = series_of(results, "n_recomputes")
+    emit(
+        format_series(
+            series,
+            x_label="delay_s",
+            y_label="N_r (recompute transactions)",
+            title=f"Figure 13 (scale: {bench_scale()})",
+            y_format="{:.0f}",
+        ),
+        "fig13_opt_nr",
+    )
+    for variant, points in series.items():
+        benchmark.extra_info[variant] = points
+
+    # on_symbol runs far more recomputations than coarse unique.
+    ratio = 5.0 if is_strict_scale() else 1.5
+    for (d1, coarse), (d2, symbol) in zip(series["unique"], series["on_symbol"]):
+        assert d1 == d2
+        assert symbol > coarse * ratio
+    # Both decrease with the window; non-unique stays one-per-update.
+    assert series["unique"][-1][1] < series["unique"][0][1]
+    assert series["on_symbol"][-1][1] < series["on_symbol"][0][1]
+    nonunique = series["nonunique"][0][1]
+    assert series["on_symbol"][0][1] < nonunique  # batching already at 0.5s

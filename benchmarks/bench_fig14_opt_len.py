@@ -1,0 +1,42 @@
+"""Figure 14: mean recompute-transaction length vs delay (option_prices).
+
+Paper shape: stock-symbol batching's recompute transactions are ~two
+orders of magnitude shorter than coarse batching's, which combined with
+its lower CPU makes it "the clear winner in this set of experiments".
+"""
+
+import pytest
+
+from repro.bench.experiments import bench_scale, is_strict_scale, option_sweep, series_of
+from repro.bench.reporting import emit, format_series
+
+
+def test_fig14_option_recompute_length(benchmark):
+    results = benchmark.pedantic(option_sweep, rounds=1, iterations=1)
+    series = series_of(results, "mean_recompute_length")
+    in_ms = {
+        variant: [(x, y * 1e3) for x, y in points] for variant, points in series.items()
+    }
+    emit(
+        format_series(
+            in_ms,
+            x_label="delay_s",
+            y_label="mean recompute length (ms, system time minus queueing)",
+            title=f"Figure 14 (scale: {bench_scale()})",
+        ),
+        "fig14_opt_len",
+    )
+    for variant, points in in_ms.items():
+        benchmark.extra_info[variant] = points
+
+    # At every delay: coarse unique is far longer than symbol batching.
+    ratio = 5.0 if is_strict_scale() else 1.5
+    for (d1, coarse), (d2, symbol) in zip(series["unique"], series["on_symbol"]):
+        assert d1 == d2
+        assert coarse > symbol * ratio
+    # Coarse transactions grow with the window (absorbing more quotes).
+    coarse_lengths = [y for _x, y in series["unique"]]
+    assert coarse_lengths[-1] > coarse_lengths[0]
+    # Symbol batching stays in the same ballpark as non-batching.
+    nonunique = series["nonunique"][0][1]
+    assert series["on_symbol"][-1][1] < nonunique * 3

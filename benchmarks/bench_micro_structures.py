@@ -1,0 +1,135 @@
+"""Micro-benchmarks of the storage structures and the unique-manager hot
+path (real wall-clock time via pytest-benchmark)."""
+
+import random
+
+import pytest
+
+from repro.database import Database
+from repro.storage.index import HashIndex, RBTreeIndex
+from repro.storage.rbtree import RedBlackTree
+from repro.storage.schema import ColumnType, Schema
+from repro.storage.table import Table
+from repro.storage.temptable import TempTable
+from repro.core.transition import transition_schema, transition_static_map
+
+N = 10_000
+
+
+@pytest.fixture(scope="module")
+def filled_table():
+    table = Table("t", Schema.of(("k", ColumnType.INT), ("v", ColumnType.REAL)))
+    for i in range(N):
+        table.insert([i, float(i)])
+    return table
+
+
+def test_rbtree_insert(benchmark):
+    keys = list(range(N))
+    random.Random(1).shuffle(keys)
+
+    def build():
+        tree = RedBlackTree()
+        for key in keys:
+            tree.insert(key, key)
+        return tree
+
+    tree = benchmark(build)
+    assert len(tree) == N
+
+
+def test_rbtree_lookup(benchmark):
+    tree = RedBlackTree()
+    for key in range(N):
+        tree.insert(key, key)
+
+    def probe():
+        total = 0
+        for key in range(0, N, 7):
+            total += tree.get(key)
+        return total
+
+    benchmark(probe)
+
+
+def test_rbtree_range_scan(benchmark):
+    tree = RedBlackTree()
+    for key in range(N):
+        tree.insert(key, key)
+
+    def scan():
+        return sum(1 for _ in tree.range(N // 4, 3 * N // 4))
+
+    count = benchmark(scan)
+    assert count == N // 2 + 1
+
+
+def test_hash_index_probe(benchmark, filled_table):
+    index = HashIndex("h", filled_table.schema, ["k"])
+    for record in filled_table.scan():
+        index.add(record)
+
+    def probe():
+        hits = 0
+        for key in range(0, N, 7):
+            hits += sum(1 for _ in index.lookup(key))
+        return hits
+
+    benchmark(probe)
+
+
+def test_rbtree_index_probe(benchmark, filled_table):
+    index = RBTreeIndex("r", filled_table.schema, ["k"])
+    for record in filled_table.scan():
+        index.add(record)
+
+    def probe():
+        hits = 0
+        for key in range(0, N, 7):
+            hits += sum(1 for _ in index.lookup(key))
+        return hits
+
+    benchmark(probe)
+
+
+def test_temptable_absorb(benchmark, filled_table):
+    """The unique-transaction batching primitive."""
+    schema = transition_schema(filled_table.schema)
+    static_map = transition_static_map(filled_table.schema, "t")
+    records = list(filled_table.scan())[:500]
+
+    def absorb():
+        target = TempTable("m", schema, static_map)
+        for round_index in range(4):
+            fresh = TempTable("m", schema, static_map)
+            for order, record in enumerate(records):
+                fresh.append_row((record,), (order,))
+            target.absorb(fresh)
+            fresh.retire()
+        rows = len(target)
+        target.retire()
+        return rows
+
+    rows = benchmark(absorb)
+    assert rows == 2000
+
+
+def test_unique_dispatch_hot_path(benchmark):
+    """Cost of one rule firing with unique-on partitioning (section 6.3's
+    hash-table machinery), end to end through the engine."""
+    db = Database()
+    db.execute("create table t (k text, grp text, v real)")
+    db.execute("create index t_k on t (k)")
+    db.register_function("f", lambda ctx: None)
+    db.execute(
+        "create rule r on t when inserted "
+        "if select k, grp, v from inserted bind as m "
+        "then execute f unique on grp after 1000.0 seconds"
+    )
+    counter = iter(range(10_000_000))
+
+    def fire():
+        i = next(counter)
+        db.execute(f"insert into t values ('k{i}', 'g{i % 50}', 1.0)")
+
+    benchmark(fire)

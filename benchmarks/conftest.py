@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Figure benchmarks run
+their experiment grid exactly once (rounds=1) — they are *experiments*
+measured in virtual time, not wall-clock micro-benchmarks — while the
+Table 1 and data-structure benchmarks use normal pytest-benchmark timing.
+
+Scale comes from ``REPRO_BENCH_SCALE`` (paper / small / tiny / float
+factor; default small).  Results print as text tables shaped like the
+paper's figures.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    # Deterministic ordering: table 1 first, then figures, then ablations.
+    items.sort(key=lambda item: item.nodeid)

@@ -1,0 +1,11 @@
+"""Shim so editable installs work with the pinned offline toolchain.
+
+The environment ships setuptools without the ``wheel`` package, so PEP 660
+editable builds (``pip install -e .`` via pyproject only) cannot produce an
+editable wheel.  This setup.py lets setuptools' legacy ``develop`` path
+handle editable installs; all metadata stays in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

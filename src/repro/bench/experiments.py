@@ -1,0 +1,127 @@
+"""Cached experiment grids backing the figure benchmarks.
+
+Scale selection: set ``REPRO_BENCH_SCALE`` to ``paper``, ``small``,
+``tiny``, or a float factor applied to the paper scale.  The default is
+``small`` (~1/8 of the paper's dimensions), which keeps the full suite in
+the minutes range; EXPERIMENTS.md records the scale behind every reported
+number.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+from repro.pta.tables import Scale
+from repro.pta.workload import ExperimentResult, run_experiment
+
+#: The paper sweeps the delay window from 0.5 to 3 seconds (section 5.1).
+DELAYS = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0)
+
+_SWEEP_CACHE: dict[tuple, list[ExperimentResult]] = {}
+
+
+def delays_default() -> tuple[float, ...]:
+    """The delay-window sweep of the paper (0.5 to 3 seconds)."""
+    return DELAYS
+
+
+def is_strict_scale(scale: Optional[Scale] = None) -> bool:
+    """True when the scale is large enough for the paper's magnitude claims
+    (order-of-magnitude ratios) to hold; tiny smoke scales only preserve the
+    orderings."""
+    scale = scale or bench_scale()
+    return scale.n_comps >= 40 and scale.n_options >= 3000
+
+
+def bench_scale() -> Scale:
+    """The Scale used by the benchmark suite (env-configurable)."""
+    choice = os.environ.get("REPRO_BENCH_SCALE", "small").strip().lower()
+    if choice == "paper":
+        return Scale.paper()
+    if choice == "small":
+        return Scale.small()
+    if choice == "tiny":
+        return Scale.tiny()
+    try:
+        factor = float(choice)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE={choice!r}: use paper/small/tiny or a float factor"
+        ) from None
+    return Scale.paper().scaled(factor)
+
+
+def _sweep(
+    view: str,
+    variants: Sequence[str],
+    scale: Optional[Scale],
+    delays: Sequence[float],
+    seed: int,
+) -> list[ExperimentResult]:
+    scale = scale or bench_scale()
+    key = (view, tuple(variants), scale, tuple(delays), seed)
+    cached = _SWEEP_CACHE.get(key)
+    if cached is not None:
+        return cached
+    results: list[ExperimentResult] = []
+    for variant in variants:
+        if variant == "nonunique":
+            results.append(run_experiment(scale, view, variant, 0.0, seed))
+            continue
+        for delay in delays:
+            results.append(run_experiment(scale, view, variant, delay, seed))
+    _SWEEP_CACHE[key] = results
+    return results
+
+
+def comp_sweep(
+    scale: Optional[Scale] = None,
+    delays: Sequence[float] = DELAYS,
+    seed: int = 0,
+) -> list[ExperimentResult]:
+    """The Figure 9/10/11 grid: composite maintenance, all four rules."""
+    return _sweep("comps", ("nonunique", "unique", "on_symbol", "on_comp"), scale, delays, seed)
+
+
+def option_sweep(
+    scale: Optional[Scale] = None,
+    delays: Sequence[float] = DELAYS,
+    seed: int = 0,
+) -> list[ExperimentResult]:
+    """The Figure 12/13/14 grid: option maintenance.
+
+    ``unique on option_symbol`` is excluded from the grid exactly as the
+    paper excluded it ("the fan-out from stocks to options was so high that
+    batching on option symbols led to an unmanageable number of
+    transactions"); :func:`option_symbol_probe` demonstrates the blow-up.
+    """
+    return _sweep("options", ("nonunique", "unique", "on_symbol"), scale, delays, seed)
+
+
+def option_symbol_probe(
+    scale: Optional[Scale] = None, delay: float = 1.0, seed: int = 0
+) -> ExperimentResult:
+    """One ``unique on option_symbol`` run (the excluded configuration)."""
+    scale = scale or bench_scale()
+    return run_experiment(scale, "options", "on_option", delay, seed)
+
+
+def series_of(
+    results: Sequence[ExperimentResult], metric: str
+) -> dict[str, list[tuple[float, float]]]:
+    """Extract {variant: [(delay, value)]} curves for one metric."""
+    curves: dict[str, list[tuple[float, float]]] = {}
+    for result in results:
+        value = getattr(result, metric)
+        if callable(value):  # pragma: no cover - properties only
+            value = value()
+        curves.setdefault(result.variant, []).append((result.delay, float(value)))
+    for points in curves.values():
+        points.sort()
+    return curves
+
+
+def clear_sweep_cache() -> None:
+    """Drop cached sweep results (tests / rerunning with changed code)."""
+    _SWEEP_CACHE.clear()

@@ -1,0 +1,76 @@
+"""Plain-text tables for benchmark output (no plotting dependencies)."""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Any, Sequence
+
+#: Where emit() persists benchmark tables (one file per artifact).
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))), "benchmarks", "results")
+
+
+def emit(text: str, artifact: str) -> None:
+    """Show ``text`` on the real terminal (pytest captures normal stdout)
+    and persist it under ``benchmarks/results/<artifact>.txt``."""
+    stream = getattr(sys, "__stdout__", None) or sys.stdout
+    stream.write("\n" + text + "\n")
+    stream.flush()
+    try:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{artifact}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    except OSError:
+        pass  # results files are a convenience, never a failure
+
+
+def format_table(rows: Sequence[dict[str, Any]], title: str = "") -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    widths = {
+        column: max(len(str(column)), *(len(_fmt(row.get(column))) for row in rows))
+        for column in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("  ".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append(
+            "  ".join(_fmt(row.get(column)).rjust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    series: dict[str, list[tuple[float, float]]],
+    x_label: str,
+    y_label: str,
+    title: str = "",
+    y_format: str = "{:.4f}",
+) -> str:
+    """Render {name: [(x, y), ...]} curves as one table with x as rows —
+    the shape of the paper's figures."""
+    xs = sorted({x for points in series.values() for x, _y in points})
+    names = list(series)
+    rows = []
+    for x in xs:
+        row: dict[str, Any] = {x_label: x}
+        for name in names:
+            match = next((y for px, y in series[name] if px == x), None)
+            row[name] = y_format.format(match) if match is not None else "-"
+        rows.append(row)
+    heading = f"{title}  ({y_label})" if title else f"({y_label})"
+    return format_table(rows, heading)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

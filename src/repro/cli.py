@@ -1,0 +1,171 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    python -m repro table1
+    python -m repro experiment --view options --variant on_symbol --delay 1.5
+    python -m repro figure 9 --scale tiny
+    python -m repro trace --stats
+    python -m repro sql "select 40 + 2 as answer from t"   # against a demo db
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.bench.reporting import format_series, format_table
+from repro.pta.tables import Scale
+from repro.pta.workload import run_experiment
+from repro.sim.costmodel import SIMPLE_UPDATE_PATH, TABLE1_US, CostModel
+
+_FIGURES = {
+    "9": ("comps", "cpu_fraction", "CPU fraction"),
+    "10": ("comps", "n_recomputes", "N_r"),
+    "11": ("comps", "mean_recompute_length", "mean recompute length (s)"),
+    "12": ("options", "cpu_fraction", "CPU fraction"),
+    "13": ("options", "n_recomputes", "N_r"),
+    "14": ("options", "mean_recompute_length", "mean recompute length (s)"),
+}
+
+
+def _scale_of(name: str) -> Scale:
+    presets = {"paper": Scale.paper, "small": Scale.small, "tiny": Scale.tiny}
+    if name in presets:
+        return presets[name]()
+    try:
+        return Scale.paper().scaled(float(name))
+    except ValueError:
+        raise SystemExit(f"unknown scale {name!r}: use paper/small/tiny or a float")
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    model = CostModel()
+    rows = [{"operation": op, "virtual_us": TABLE1_US[op]} for op in SIMPLE_UPDATE_PATH]
+    rows.append({"operation": "TOTAL (simple update)", "virtual_us": model.simple_update_us()})
+    print(format_table(rows, "Table 1 - basic operation timings"))
+    print(f"computed throughput: {model.simple_update_tps():.0f} TPS")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    scale = _scale_of(args.scale)
+    result = run_experiment(
+        scale,
+        view=args.view,
+        variant=args.variant,
+        delay=args.delay,
+        seed=args.seed,
+        policy=args.policy,
+    )
+    print(format_table([result.row()], "Experiment result"))
+    print(
+        f"maintenance CPU: {result.maintenance_cpu:.3f}s over {result.duration:.0f}s "
+        f"(recompute {result.cpu_recompute:.3f}s + rule overhead in updates "
+        f"{max(result.cpu_update - result.cpu_baseline_update, 0.0):.3f}s)"
+    )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    view, metric, label = _FIGURES[args.number]
+    scale = _scale_of(args.scale)
+    variants = (
+        ("nonunique", "unique", "on_symbol", "on_comp")
+        if view == "comps"
+        else ("nonunique", "unique", "on_symbol")
+    )
+    delays = args.delays or [0.5, 1.0, 1.5, 2.0, 2.5, 3.0]
+    series: dict[str, list[tuple[float, float]]] = {}
+    for variant in variants:
+        for delay in [0.0] if variant == "nonunique" else delays:
+            result = run_experiment(scale, view, variant, delay, seed=args.seed)
+            series.setdefault(variant, []).append(
+                (delay, float(getattr(result, metric)))
+            )
+    print(format_series(series, "delay_s", label, f"Figure {args.number}"))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    scale = _scale_of(args.scale)
+    generator = scale.make_trace(seed=args.seed)
+    events = generator.generate()
+    if args.stats:
+        stats = generator.describe(events)
+        print(format_table([stats], f"Trace statistics (scale {args.scale})"))
+        counts = sorted(generator.activity(events).values(), reverse=True)
+        print(f"top-5 stock quote counts: {counts[:5]}")
+        return 0
+    for event in events[: args.limit]:
+        print(f"{event.time:10.3f}  {event.symbol}  {event.price}")
+    return 0
+
+
+def _cmd_sql(args: argparse.Namespace) -> int:
+    from repro.database import Database
+
+    db = Database()
+    db.execute("create table t (x int)")
+    db.execute("insert into t values (1)")
+    result = db.execute(args.statement)
+    if hasattr(result, "dicts"):
+        print(format_table(result.dicts() or [], "result"))
+    else:
+        print(result)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI definition (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="STRIP rule system reproduction (SIGMOD 1997)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table 1").set_defaults(fn=_cmd_table1)
+
+    experiment = sub.add_parser("experiment", help="run one PTA experiment")
+    experiment.add_argument("--view", choices=["comps", "options"], default="comps")
+    experiment.add_argument(
+        "--variant",
+        choices=["nonunique", "unique", "on_symbol", "on_comp", "on_option"],
+        default="unique",
+    )
+    experiment.add_argument("--delay", type=float, default=1.0)
+    experiment.add_argument("--scale", default="tiny")
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--policy", choices=["fifo", "edf", "vdf"], default="fifo")
+    experiment.set_defaults(fn=_cmd_experiment)
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("number", choices=sorted(_FIGURES))
+    figure.add_argument("--scale", default="tiny")
+    figure.add_argument("--seed", type=int, default=0)
+    figure.add_argument("--delays", type=float, nargs="*")
+    figure.set_defaults(fn=_cmd_figure)
+
+    trace = sub.add_parser("trace", help="generate / inspect a synthetic TAQ trace")
+    trace.add_argument("--scale", default="tiny")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--stats", action="store_true")
+    trace.add_argument("--limit", type=int, default=20)
+    trace.set_defaults(fn=_cmd_trace)
+
+    sql = sub.add_parser("sql", help="run one SQL statement against a demo db")
+    sql.add_argument("statement")
+    sql.set_defaults(fn=_cmd_sql)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

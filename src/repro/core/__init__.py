@@ -1,0 +1,26 @@
+"""The STRIP rule system (the paper's contribution).
+
+Rule processing happens at the end of a transaction (section 6.3): the
+transaction's log is scanned to find triggered rules, transition tables are
+built during the pass, conditions are checked, query results are bound, and
+a new task is created per triggered action — or, for **unique
+transactions**, appended onto an already-pending task's bound tables.
+
+Key classes:
+
+* :class:`~repro.core.rules.Rule` — one rule definition (Figure 2 grammar);
+* :class:`~repro.core.engine.RuleEngine` — commit-time event detection,
+  condition evaluation and binding;
+* :class:`~repro.core.unique.UniqueManager` — the per-function hash tables
+  that implement ``unique [on columns]`` batching (sections 2, 6.3 and
+  Appendix A);
+* :class:`~repro.core.functions.FunctionRegistry` /
+  :class:`~repro.core.functions.FunctionContext` — user-provided action
+  functions and their runtime environment (bound-table access, SQL).
+"""
+
+from repro.core.functions import FunctionContext, FunctionRegistry
+from repro.core.rules import Rule
+from repro.core.unique import UniqueManager
+
+__all__ = ["FunctionContext", "FunctionRegistry", "Rule", "UniqueManager"]

@@ -1,0 +1,128 @@
+"""A direct, executable transcription of the paper's Appendix A.
+
+Appendix A formalizes unique-transaction behaviour.  Given bound tables
+``T = {T1..Tn}`` and unique columns ``U = {u1..up}``:
+
+* ``T^u`` — the bound tables containing at least one unique column;
+* ``B`` — the cross product of the ``T^u`` tables;
+* ``unique_cols = pi_{u1..up}(B)`` — the distinct combinations of unique-
+  column values;
+* for each combination, the triggered transaction receives each table in
+  ``T^u`` *selected* down to the rows matching its own unique columns'
+  values, and every table outside ``T^u`` whole.  (The published scan's
+  formula swaps the two branches — visibly an OCR artifact, since the
+  paper's own section 3 walkthrough of ``unique on comp`` filters the
+  ``matches`` table per composite.)
+
+This module computes those sets purely over row values.  It exists as a
+*reference semantics*: the property tests drive random workloads through
+both this specification and the production
+:class:`~repro.core.unique.UniqueManager` and require identical results.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Mapping, Sequence
+
+from repro.errors import RuleError
+
+Row = tuple  # a row as a tuple of values
+TableRows = Mapping[str, Sequence[Row]]  # bound-table name -> rows
+TableColumns = Mapping[str, Sequence[str]]  # bound-table name -> column names
+
+
+def locate_unique_columns(
+    columns: TableColumns, unique_on: Sequence[str]
+) -> list[tuple[str, str, int]]:
+    """(unique column, owning table, offset) per unique column, in order.
+
+    Each unique column must live in exactly one bound table (names are
+    unique across a rule's bound tables by construction)."""
+    homes = []
+    for column in unique_on:
+        owners = [
+            (name, list(cols).index(column))
+            for name, cols in columns.items()
+            if column in cols
+        ]
+        if not owners:
+            raise RuleError(f"unique column {column!r} is in no bound table")
+        if len(owners) > 1:
+            raise RuleError(f"unique column {column!r} is ambiguous")
+        homes.append((column, owners[0][0], owners[0][1]))
+    return homes
+
+
+def t_u(columns: TableColumns, unique_on: Sequence[str]) -> list[str]:
+    """The ordered list of tables containing at least one unique column."""
+    seen = []
+    for _column, table, _offset in locate_unique_columns(columns, unique_on):
+        if table not in seen:
+            seen.append(table)
+    return seen
+
+
+def unique_cols_relation(
+    tables: TableRows, columns: TableColumns, unique_on: Sequence[str]
+) -> set[tuple]:
+    """``pi_{u1..up}`` over the product of the T^u tables.
+
+    Projecting the product is equivalent to the cross product of each T^u
+    table's distinct unique-value tuples (every row of one table pairs with
+    every row of the others), which is how we compute it.
+    """
+    homes = locate_unique_columns(columns, unique_on)
+    per_table: dict[str, list[int]] = {}
+    order: dict[str, list[int]] = {}
+    for global_index, (_column, table, offset) in enumerate(homes):
+        per_table.setdefault(table, []).append(offset)
+        order.setdefault(table, []).append(global_index)
+    table_names = list(per_table)
+    distinct_per_table = []
+    for name in table_names:
+        offsets = per_table[name]
+        distinct = {tuple(row[offset] for offset in offsets) for row in tables[name]}
+        distinct_per_table.append(distinct)
+    combos = set()
+    p = len(homes)
+    for parts in itertools.product(*distinct_per_table):
+        values: list[Any] = [None] * p
+        for name, part in zip(table_names, parts):
+            for global_index, value in zip(order[name], part):
+                values[global_index] = value
+        combos.add(tuple(values))
+    return combos
+
+
+def partition(
+    tables: TableRows, columns: TableColumns, unique_on: Sequence[str]
+) -> dict[tuple, dict[str, list[Row]]]:
+    """The full Appendix A map: unique-value combination -> bound tables.
+
+    Tables in T^u are filtered to the matching rows; the rest pass whole.
+    """
+    homes = locate_unique_columns(columns, unique_on)
+    per_table: dict[str, list[tuple[int, int]]] = {}
+    for global_index, (_column, table, offset) in enumerate(homes):
+        per_table.setdefault(table, []).append((global_index, offset))
+    result: dict[tuple, dict[str, list[Row]]] = {}
+    for combo in unique_cols_relation(tables, columns, unique_on):
+        bundle: dict[str, list[Row]] = {}
+        for name, rows in tables.items():
+            spec = per_table.get(name)
+            if spec is None:
+                bundle[name] = list(rows)
+            else:
+                bundle[name] = [
+                    row
+                    for row in rows
+                    if all(row[offset] == combo[gi] for gi, offset in spec)
+                ]
+        result[combo] = bundle
+    return result
+
+
+def coarse_partition(tables: TableRows) -> dict[tuple, dict[str, list[Row]]]:
+    """``unique`` with no qualifying columns: one partition, tables whole."""
+    return {(): {name: list(rows) for name, rows in tables.items()}}

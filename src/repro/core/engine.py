@@ -1,0 +1,175 @@
+"""Commit-time rule processing (paper section 6.3).
+
+When a transaction commits, its log is scanned to find triggered rules.
+For each triggered rule:
+
+1. transition tables are built (once per table, shared across rules),
+2. the condition queries run; the condition holds iff there are no queries
+   or every query returns at least one row,
+3. query results marked ``bind as`` become bound tables (with the
+   ``commit_time`` pseudo column instantiated at bind time),
+4. if the condition holds, ``evaluate`` queries run and are bound too,
+5. the unique manager creates a new action task — or appends the bound
+   rows onto a pending unique task — and new tasks enter the delay or
+   ready queue with release time ``commit + after``.
+
+Rule actions run in their own transaction via :meth:`make_action_body`;
+because conditions are side-effect-free queries, condition evaluation can
+never trigger further rules, and rule consideration order is immaterial.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.functions import FunctionContext
+from repro.core.rules import Rule
+from repro.core.transition import TransitionTables, transition_schema, transition_static_map
+from repro.errors import FunctionError
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+from repro.storage.temptable import StaticMap, TempTable
+from repro.txn.tasks import Task
+from repro.txn.transaction import Transaction, TransactionState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.database import Database
+
+
+class RuleEngine:
+    """Event detection, condition evaluation, binding, task creation."""
+
+    def __init__(self, db: "Database") -> None:
+        self.db = db
+        # Cached per-table transition schemas / static maps so that plan
+        # caching works across firings (same Schema object every time).
+        self._transition_schemas: dict[str, Schema] = {}
+        self._transition_maps: dict[tuple[str, str], StaticMap] = {}
+        self.firing_count = 0  # conditions that evaluated to true
+        self.check_count = 0  # rules whose events matched (condition ran)
+
+    # ----------------------------------------------------- schema caching
+
+    def transition_schema_for(self, table: Table) -> Schema:
+        schema = self._transition_schemas.get(table.name)
+        if schema is None or len(schema) != len(table.schema) + 1:
+            schema = transition_schema(table.schema)
+            self._transition_schemas[table.name] = schema
+        return schema
+
+    def transition_map_for(self, table: Table, kind: str) -> StaticMap:
+        key = (table.name, kind)
+        static_map = self._transition_maps.get(key)
+        if static_map is None:
+            static_map = transition_static_map(table.schema, label=f"{table.name}.{kind}")
+            self._transition_maps[key] = static_map
+        return static_map
+
+    # ------------------------------------------------------ commit hook
+
+    def process_commit(self, txn: Transaction) -> list[Task]:
+        """Run rule processing for a committing transaction; returns the
+        newly created tasks (already enqueued)."""
+        db = self.db
+        created: list[Task] = []
+        for table_name in txn.log.tables_touched():
+            rules = [rule for rule in db.catalog.rules_on(table_name) if rule.enabled]
+            if not rules:
+                continue
+            table = db.catalog.table(table_name)
+            entries = txn.log.for_table(table_name)
+            transitions: Optional[TransitionTables] = None
+            try:
+                for rule in rules:
+                    db.charge("rule_log_scan", len(entries))
+                    if not rule.matches(entries, table.schema):
+                        continue
+                    self.check_count += 1
+                    if transitions is None:
+                        transitions = TransitionTables(db, table, entries)
+                    tasks = self._fire(rule, txn, transitions)
+                    created.extend(tasks)
+            finally:
+                # Retire even when a condition or dispatch raised, so the
+                # records pinned by this firing's temp tables are released.
+                if transitions is not None:
+                    transitions.retire()
+        for task in created:
+            db.task_manager.enqueue(task)
+        return created
+
+    def _fire(
+        self, rule: Rule, txn: Transaction, transitions: TransitionTables
+    ) -> list[Task]:
+        """Condition check + binding + dispatch for one triggered rule."""
+        db = self.db
+        namespace = transitions.namespace()
+        if txn.task is not None and txn.task.bound_tables:
+            # A rule can fire from an action transaction; its bound tables
+            # stay visible (they are ordinary read-only tables to queries).
+            merged = dict(txn.task.bound_tables)
+            merged.update(namespace)
+            namespace = merged
+        pseudo = {"commit_time": txn.commit_time}
+        bound: dict[str, TempTable] = {}
+        try:
+            return self._fire_inner(rule, txn, namespace, pseudo, bound)
+        except Exception:
+            for table in bound.values():
+                table.retire()
+            raise
+
+    def _fire_inner(
+        self,
+        rule: Rule,
+        txn: Transaction,
+        namespace: dict[str, TempTable],
+        pseudo: dict,
+        bound: dict[str, TempTable],
+    ) -> list[Task]:
+        db = self.db
+        condition_true = True
+        for query in rule.condition:
+            db.charge("condition_base")
+            result = db.run_select(query.select, txn, pseudo=pseudo, namespace=namespace)
+            if len(result) == 0:
+                condition_true = False
+            if query.bind_as is not None:
+                bound[query.bind_as] = result.bind(query.bind_as, charge=db.charge)
+            if not condition_true:
+                break
+        if not condition_true:
+            for table in bound.values():
+                table.retire()
+            return []
+        for query in rule.evaluate:
+            db.charge("condition_base")
+            result = db.run_select(query.select, txn, pseudo=pseudo, namespace=namespace)
+            if query.bind_as is not None:
+                bound[query.bind_as] = result.bind(query.bind_as, charge=db.charge)
+        self.firing_count += 1
+        return db.unique_manager.dispatch(rule, bound, txn.commit_time)
+
+    # ----------------------------------------------------- action bodies
+
+    def make_action_body(self, function_name: str) -> Callable[[Task], None]:
+        """The task body that runs one user function in a new transaction."""
+        db = self.db
+
+        def body(task: Task) -> None:
+            db.charge("user_func_base")
+            fn = db.functions.get(function_name)
+            txn = Transaction(db, task)
+            ctx = FunctionContext(db, task, txn)
+            try:
+                fn(ctx)
+            except Exception as exc:
+                if txn.state is TransactionState.ACTIVE:
+                    txn.abort()
+                raise FunctionError(
+                    f"user function {function_name!r} failed: {exc}"
+                ) from exc
+            if txn.state is TransactionState.ACTIVE:
+                txn.commit()
+
+        return body

@@ -1,0 +1,149 @@
+"""Net-effect computation over transition / bound tables.
+
+STRIP deliberately does **not** reduce transition tables or bound tables to
+net effect — every individual change is preserved as an audit trail, and
+"it is always possible for the application to calculate net effect on its
+own using the transition tables as provided" (paper section 2).  This
+module is that application-side calculation, packaged once:
+
+given the four change streams of one or more transactions (ordered by
+``execute_order`` within a transaction and by batching order across
+transactions), collapse them per key into at most one net change:
+
+* insert then delete            -> nothing
+* insert then updates           -> one insert with the final image
+* updates only                  -> one update (first old image, last new)
+* update back to the original   -> nothing
+* delete then re-insert         -> an update from the old to the new image
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import SchemaError
+from repro.storage.temptable import TempTable
+
+INSERT = "insert"
+DELETE = "delete"
+UPDATE = "update"
+
+
+@dataclass(frozen=True)
+class NetChange:
+    """The net effect on one key."""
+
+    kind: str  # insert | delete | update
+    key: tuple
+    old: Optional[dict]  # None for inserts
+    new: Optional[dict]  # None for deletes
+
+
+@dataclass(frozen=True)
+class _Event:
+    order: tuple  # sortable position: (commit order hint, execute_order)
+    kind: str
+    old: Optional[dict]
+    new: Optional[dict]
+
+
+def _events_from_tables(
+    inserted: Optional[TempTable],
+    deleted: Optional[TempTable],
+    new: Optional[TempTable],
+    old: Optional[TempTable],
+    order_column: str = "execute_order",
+) -> list[_Event]:
+    events: list[_Event] = []
+
+    def rows(table: Optional[TempTable]) -> list[dict]:
+        return table.to_dicts() if table is not None else []
+
+    def position(index: int, row: dict) -> tuple:
+        # commit_time (when bound) orders events across transactions, the
+        # execute_order column orders them within one, and the bound-table
+        # append index breaks remaining ties (paper section 2).
+        return (row.get("commit_time", 0.0), row.get(order_column, index), index)
+
+    for index, row in enumerate(rows(inserted)):
+        events.append(_Event(position(index, row), INSERT, None, row))
+    for index, row in enumerate(rows(deleted)):
+        events.append(_Event(position(index, row), DELETE, row, None))
+    new_rows = rows(new)
+    old_rows = rows(old)
+    if len(new_rows) != len(old_rows):
+        raise SchemaError(
+            f"new/old row counts differ ({len(new_rows)} vs {len(old_rows)}); "
+            "bind both images to compute net effect of updates"
+        )
+    for index, (new_row, old_row) in enumerate(zip(new_rows, old_rows)):
+        events.append(_Event(position(index, new_row), UPDATE, old_row, new_row))
+    return events
+
+
+def net_effect(
+    key_columns: Sequence[str],
+    inserted: Optional[TempTable] = None,
+    deleted: Optional[TempTable] = None,
+    new: Optional[TempTable] = None,
+    old: Optional[TempTable] = None,
+    drop_noops: bool = True,
+) -> list[NetChange]:
+    """Collapse the audit trail into net changes, one per key.
+
+    ``key_columns`` identify a logical row (e.g. ``["symbol"]``).  The
+    ``new``/``old`` tables must bind rows pairwise in the same order (as
+    the ``execute_order`` join in the paper's rules produces).  With
+    ``drop_noops`` (default) keys whose final image equals their initial
+    image produce no change at all.
+    """
+    if not key_columns:
+        raise SchemaError("net_effect needs at least one key column")
+    events = _events_from_tables(inserted, deleted, new, old)
+    events.sort(key=lambda event: event.order)
+
+    def key_of(row: dict) -> tuple:
+        try:
+            return tuple(row[column] for column in key_columns)
+        except KeyError as exc:
+            raise SchemaError(f"key column {exc.args[0]!r} missing from bound row") from None
+
+    def strip(row: Optional[dict]) -> Optional[dict]:
+        if row is None:
+            return None
+        return {
+            column: value
+            for column, value in row.items()
+            if column not in ("execute_order", "commit_time")
+        }
+
+    first_old: dict[tuple, Optional[dict]] = {}
+    last_new: dict[tuple, Optional[dict]] = {}
+    existed_before: dict[tuple, bool] = {}
+    order_seen: list[tuple] = []
+    for event in events:
+        row = event.new if event.new is not None else event.old
+        key = key_of(row)  # type: ignore[arg-type]
+        if key not in first_old:
+            order_seen.append(key)
+            existed_before[key] = event.kind != INSERT
+            first_old[key] = strip(event.old)
+        last_new[key] = strip(event.new)
+
+    changes: list[NetChange] = []
+    for key in order_seen:
+        before = first_old[key]
+        after = last_new[key]
+        if existed_before[key]:
+            if after is None:
+                changes.append(NetChange(DELETE, key, before, None))
+            elif drop_noops and after == before:
+                continue
+            else:
+                changes.append(NetChange(UPDATE, key, before, after))
+        else:
+            if after is None:
+                continue  # inserted then deleted: no net effect
+            changes.append(NetChange(INSERT, key, None, after))
+    return changes

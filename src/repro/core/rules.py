@@ -1,0 +1,127 @@
+"""Rule definitions and event matching.
+
+A rule (Figure 2) is defined on one table and triggered by insertions,
+deletions, or updates (optionally restricted to named columns).  Event
+checking happens at the end of each transaction prior to commit by scanning
+the transaction's log (sections 2 and 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.errors import RuleError
+from repro.sql import ast
+from repro.storage.schema import Schema
+from repro.txn.log import DELETE, INSERT, UPDATE, LogEntry
+
+
+@dataclass
+class Rule:
+    """One STRIP rule.
+
+    ``condition`` queries determine whether the action fires (all must
+    return at least one row; an empty condition is always true);
+    ``evaluate`` queries only pass data.  Queries with ``bind_as`` have
+    their results passed to the action transaction as bound tables.
+    """
+
+    name: str
+    table: str
+    events: tuple[ast.Event, ...]
+    condition: tuple[ast.RuleQuery, ...] = ()
+    evaluate: tuple[ast.RuleQuery, ...] = ()
+    function: str = ""
+    unique: bool = False
+    unique_on: tuple[str, ...] = ()
+    after: float = 0.0
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.function:
+            raise RuleError(f"rule {self.name!r} has no EXECUTE function")
+        if self.unique_on and not self.unique:
+            raise RuleError(f"rule {self.name!r}: UNIQUE ON requires UNIQUE")
+        if self.after < 0:
+            raise RuleError(f"rule {self.name!r}: negative AFTER delay")
+        if not self.events:
+            raise RuleError(f"rule {self.name!r} has no triggering events")
+        seen_kinds = set()
+        for event in self.events:
+            if event.kind not in (INSERT + "ed", DELETE + "d", UPDATE + "d"):
+                raise RuleError(f"rule {self.name!r}: bad event kind {event.kind!r}")
+            if event.kind in seen_kinds and event.kind != "updated":
+                raise RuleError(f"rule {self.name!r}: duplicate event {event.kind!r}")
+            seen_kinds.add(event.kind)
+        duplicates = [name for name in self.bind_names() if self.bind_names().count(name) > 1]
+        if duplicates:
+            raise RuleError(f"rule {self.name!r}: duplicate bound table {duplicates[0]!r}")
+
+    @classmethod
+    def from_ast(cls, stmt: ast.CreateRule) -> "Rule":
+        return cls(
+            name=stmt.name,
+            table=stmt.table,
+            events=stmt.events,
+            condition=stmt.condition,
+            evaluate=stmt.evaluate,
+            function=stmt.function,
+            unique=stmt.unique,
+            unique_on=tuple(column.split(".")[-1] for column in stmt.unique_on),
+            after=stmt.after,
+        )
+
+    # ------------------------------------------------------------ metadata
+
+    def bind_names(self) -> list[str]:
+        """Names of the bound tables this rule passes to its action."""
+        return [
+            query.bind_as
+            for query in (*self.condition, *self.evaluate)
+            if query.bind_as is not None
+        ]
+
+    def all_queries(self) -> tuple[ast.RuleQuery, ...]:
+        return (*self.condition, *self.evaluate)
+
+    # ------------------------------------------------------- event matching
+
+    def matches(self, entries: Iterable[LogEntry], schema: Schema) -> bool:
+        """True if any logged change to this rule's table triggers it."""
+        wanted_updates: Optional[set[int]] = None
+        wants_insert = False
+        wants_delete = False
+        wants_any_update = False
+        for event in self.events:
+            if event.kind == "inserted":
+                wants_insert = True
+            elif event.kind == "deleted":
+                wants_delete = True
+            elif event.kind == "updated":
+                if not event.columns:
+                    wants_any_update = True
+                else:
+                    offsets = {schema.offset(column) for column in event.columns}
+                    wanted_updates = (wanted_updates or set()) | offsets
+        for entry in entries:
+            if entry.kind == INSERT and wants_insert:
+                return True
+            if entry.kind == DELETE and wants_delete:
+                return True
+            if entry.kind == UPDATE:
+                if wants_any_update:
+                    return True
+                if wanted_updates is not None and entry.changed_offsets() & wanted_updates:
+                    return True
+        return False
+
+    def __repr__(self) -> str:
+        parts = [f"Rule({self.name!r} on {self.table!r} -> {self.function!r}"]
+        if self.unique:
+            parts.append(
+                f", unique on {list(self.unique_on)}" if self.unique_on else ", unique"
+            )
+        if self.after:
+            parts.append(f", after {self.after}s")
+        return "".join(parts) + ")"

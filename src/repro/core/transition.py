@@ -1,0 +1,75 @@
+"""Transition tables: ``inserted``, ``deleted``, ``new`` and ``old``.
+
+Built once per (transaction, table) during the commit-time log pass and
+shared by every rule on that table (paper section 6.3).  STRIP does not
+reduce transition tables to net effect: a tuple inserted and deleted in the
+same transaction appears in both tables, preserving the audit trail
+(section 2).  Each row carries the ``execute_order`` sequence number; the
+old and new images of one update share the same number.
+
+Rows are pointer-based: each row holds one pointer to the standard record
+(live, or retired-but-pinned for old images) plus the materialized
+``execute_order`` value.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.storage.schema import Column, ColumnType, Schema
+from repro.storage.table import Table
+from repro.storage.temptable import ColumnSource, StaticMap, TempTable
+from repro.txn.log import DELETE, INSERT, UPDATE, LogEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.database import Database
+
+TRANSITION_NAMES = ("inserted", "deleted", "new", "old")
+
+EXECUTE_ORDER = "execute_order"
+
+
+def transition_schema(table_schema: Schema) -> Schema:
+    """The table's schema extended with the ``execute_order`` column."""
+    return table_schema.extended(Column(EXECUTE_ORDER, ColumnType.INT))
+
+
+def transition_static_map(table_schema: Schema, label: str) -> StaticMap:
+    """All table columns via one record pointer; execute_order materialized."""
+    sources = [ColumnSource("ptr", 0, offset) for offset in range(len(table_schema))]
+    sources.append(ColumnSource("mat", 0))
+    return StaticMap(sources, ptr_labels=(label,))
+
+
+class TransitionTables:
+    """The four transition tables for one (transaction, table) pair."""
+
+    def __init__(self, db: "Database", table: Table, entries: list[LogEntry]) -> None:
+        schema = db.rule_engine.transition_schema_for(table)
+        self.tables: dict[str, TempTable] = {}
+        for name in TRANSITION_NAMES:
+            static_map = db.rule_engine.transition_map_for(table, name)
+            self.tables[name] = TempTable(name, schema, static_map)
+        charge = db.charge
+        for entry in entries:
+            order = (entry.execute_order,)
+            if entry.kind == INSERT:
+                charge("transition_row")
+                self.tables["inserted"].append_row((entry.new_record,), order)
+            elif entry.kind == DELETE:
+                charge("transition_row")
+                self.tables["deleted"].append_row((entry.old_record,), order)
+            elif entry.kind == UPDATE:
+                charge("transition_row", 2)
+                self.tables["new"].append_row((entry.new_record,), order)
+                self.tables["old"].append_row((entry.old_record,), order)
+
+    def namespace(self) -> dict[str, TempTable]:
+        return dict(self.tables)
+
+    def retire(self) -> None:
+        for table in self.tables.values():
+            table.retire()
+
+    def __getitem__(self, name: str) -> TempTable:
+        return self.tables[name]

@@ -1,0 +1,469 @@
+"""The Database facade: catalog + clock + rules + tasks + SQL, glued together.
+
+This is the library's main entry point::
+
+    from repro import Database
+
+    db = Database()
+    db.execute("create table stocks (symbol text, price real)")
+    db.register_function("recompute", my_function)
+    db.execute('''
+        create rule watch on stocks
+        when updated price
+        if select * from new bind as changes
+        then execute recompute unique after 1.0 seconds
+    ''')
+    db.execute("insert into stocks values ('IBM', 100.0)")
+    db.execute("update stocks set price = 101.0 where symbol = 'IBM'")
+    db.drain()          # run pending rule-action tasks in virtual time
+
+All time is virtual (seconds); every engine operation charges the running
+task's meter per the Table-1-calibrated cost model, which is what the
+benchmark harness measures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from repro.core.engine import RuleEngine
+from repro.core.functions import FunctionRegistry, UserFunction
+from repro.core.rules import Rule
+from repro.core.unique import UniqueManager
+from repro.errors import BindingError, CatalogError, ExecutionError
+from repro.sim.clock import Meter, VirtualClock
+from repro.sim.costmodel import CostModel
+from repro.sim.metrics import MetricsCollector
+from repro.sql import ast
+from repro.sql.executor import (
+    execute_delete,
+    execute_insert,
+    execute_select,
+    execute_update,
+)
+from repro.sql.parser import parse_script, parse_statement
+from repro.sql.planner import SelectResult
+from repro.storage.catalog import Catalog
+from repro.storage.schema import Column, ColumnType, Schema
+from repro.storage.table import Table
+from repro.txn.locks import LockManager
+from repro.txn.queues import DelayQueue, ReadyQueue
+from repro.txn.scheduler import SchedulingPolicy, make_policy
+from repro.txn.tasks import Task, TaskState
+from repro.txn.transaction import Transaction
+from repro.views.definition import ViewDefinition
+
+
+class TaskManager:
+    """The delay and ready queues plus scheduling-cost accounting."""
+
+    def __init__(self, db: "Database", policy: SchedulingPolicy) -> None:
+        self.db = db
+        self.policy = policy
+        self.delay = DelayQueue()
+        self.ready = ReadyQueue(policy)
+        self.enqueued_count = 0
+
+    def enqueue(self, task: Task) -> None:
+        """Queue ``task``, charging scheduling cost that grows linearly with
+        the number of tasks already in the system (STRIP v2.0 kept its
+        queues as linked lists; the paper observes that "more recompute
+        transactions means more tasks in the system at the same time which
+        increases the scheduling time", section 5.1)."""
+        db = self.db
+        queued = len(self.delay) + len(self.ready)
+        db.charge("sched_enqueue")
+        if queued:
+            db.charge("sched_per_queued", queued)
+        self.enqueued_count += 1
+        if task.release_time <= db.clock.now():
+            self.ready.push(task)
+        else:
+            self.delay.push(task)
+
+    def release_due(self, now: float) -> int:
+        due = self.delay.pop_due(now)
+        released = 0
+        for task in due:
+            if task.state in (TaskState.DONE, TaskState.ABORTED):
+                continue  # executed out of band (tests / direct calls)
+            self.db.charge("sched_enqueue")
+            self.ready.push(task)
+            released += 1
+        return released
+
+    def next_release_time(self) -> Optional[float]:
+        return self.delay.peek_time()
+
+    def pop_ready(self) -> Task:
+        self.db.charge("sched_dequeue")
+        return self.ready.pop()
+
+    @property
+    def pending(self) -> int:
+        return len(self.delay) + len(self.ready)
+
+
+class Database:
+    """A STRIP database instance (main-memory, virtual-time)."""
+
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        policy: str = "fifo",
+        start_time: float = 0.0,
+    ) -> None:
+        self.cost_model = cost_model or CostModel()
+        self._cost_seconds = self.cost_model._seconds
+        self.clock = VirtualClock(start_time)
+        self.catalog = Catalog()
+        self.lock_manager = LockManager()
+        self.metrics = MetricsCollector()
+        self.functions = FunctionRegistry()
+        self.rule_engine = RuleEngine(self)
+        self.unique_manager = UniqueManager(self)
+        self.task_manager = TaskManager(self, make_policy(policy))
+        self.plan_cache: dict[Any, Any] = {}
+        self._parse_cache: dict[str, ast.Statement] = {}
+        self.materialized_views: dict[str, Any] = {}
+        self.background_meter = Meter()
+        self._scalar_functions: dict[str, tuple] = {}
+        self._register_builtin_scalars()
+        self.committed_txns = 0
+        self.aborted_txns = 0
+
+    # --------------------------------------------------------------- costs
+
+    def charge(self, op: str, count: int = 1) -> None:
+        """Charge ``count`` occurrences of ``op`` to the running task (or to
+        the background meter during setup/population).
+
+        This is the engine's hottest function (millions of calls per
+        experiment); it reads the cost table and the active meter directly.
+        """
+        meter = self.clock._meter
+        if meter is None:
+            meter = self.background_meter
+        meter.total += self._cost_seconds[op] * count
+        meter.ops[op] += count
+
+    @property
+    def now(self) -> float:
+        return self.clock.now()
+
+    # ---------------------------------------------------------- functions
+
+    def register_function(self, name: str, fn: UserFunction, replace: bool = False) -> None:
+        """Register a rule-action user function (paper section 2)."""
+        self.functions.register(name, fn, replace=replace)
+
+    def register_scalar(
+        self,
+        name: str,
+        fn: Any,
+        cost_op: Optional[str] = None,
+    ) -> None:
+        """Register a scalar function callable from SQL expressions."""
+        lowered = name.lower()
+        if cost_op is not None:
+            charge = lambda op=cost_op: self.charge(op)
+        else:
+            charge = lambda: self.charge("expr_eval")
+        self._scalar_functions[lowered] = (fn, charge)
+
+    def resolve_scalar_function(self, name: str):
+        try:
+            return self._scalar_functions[name.lower()]
+        except KeyError:
+            from repro.errors import PlanError
+
+            raise PlanError(f"unknown scalar function {name!r}") from None
+
+    def _register_builtin_scalars(self) -> None:
+        def _null_safe(fn):
+            def wrapped(*args):
+                if any(arg is None for arg in args):
+                    return None
+                return fn(*args)
+
+            return wrapped
+
+        self.register_scalar("abs", _null_safe(abs))
+        self.register_scalar("round", _null_safe(round))
+        self.register_scalar("sqrt", _null_safe(math.sqrt))
+        self.register_scalar("exp", _null_safe(math.exp))
+        self.register_scalar("ln", _null_safe(math.log))
+        self.register_scalar("log", _null_safe(math.log))
+        self.register_scalar("power", _null_safe(math.pow))
+        self.register_scalar("floor", _null_safe(math.floor))
+        self.register_scalar("ceil", _null_safe(math.ceil))
+
+    # -------------------------------------------------------- transactions
+
+    def begin(self, task: Optional[Task] = None) -> Transaction:
+        return Transaction(self, task)
+
+    def on_txn_finished(self, txn: Transaction) -> None:
+        from repro.txn.transaction import TransactionState
+
+        if txn.state is TransactionState.COMMITTED:
+            self.committed_txns += 1
+        else:
+            self.aborted_txns += 1
+
+    # ----------------------------------------------------------------- SQL
+
+    def parse(self, sql: str) -> ast.Statement:
+        """Parse one statement, caching the AST by SQL text (user functions
+        re-run identical statements thousands of times per experiment)."""
+        stmt = self._parse_cache.get(sql)
+        if stmt is None:
+            stmt = self._parse_cache[sql] = parse_statement(sql)
+        return stmt
+
+    def execute(self, sql: str, params: Optional[dict[str, Any]] = None) -> Any:
+        """Parse and run one statement.  DML runs in an auto-commit
+        transaction (rule processing included); DDL applies immediately."""
+        stmt = self.parse(sql)
+        return self.execute_statement(stmt, params, sql_text=sql)
+
+    def execute_script(self, sql: str) -> list[Any]:
+        """Run a semicolon-separated script; returns one result per statement."""
+        return [self.execute_statement(stmt, None) for stmt in parse_script(sql)]
+
+    def query(self, sql: str, params: Optional[dict[str, Any]] = None) -> SelectResult:
+        """Run a SELECT outside any transaction (no locks taken)."""
+        stmt = self.parse(sql)
+        if not isinstance(stmt, ast.Select):
+            raise ExecutionError("query() requires a SELECT; use execute() for DML/DDL")
+        return execute_select(self, stmt, None, params)
+
+    def execute_statement(
+        self, stmt: ast.Statement, params: Optional[dict[str, Any]], sql_text: str = ""
+    ) -> Any:
+        if isinstance(stmt, ast.Select):
+            return execute_select(self, stmt, None, params)
+        if isinstance(stmt, (ast.Insert, ast.Update, ast.Delete)):
+            txn = self.begin()
+            try:
+                count = self._run_dml(stmt, txn, params)
+            except Exception:
+                txn.abort()
+                raise
+            txn.commit()
+            return count
+        if isinstance(stmt, ast.CreateTable):
+            schema = Schema(
+                [Column(c.name, ColumnType.from_sql(c.type_name)) for c in stmt.columns]
+            )
+            return self.catalog.create_table(stmt.name, schema)
+        if isinstance(stmt, ast.CreateIndex):
+            table = self.catalog.table(stmt.table)
+            return table.create_index(stmt.name, stmt.columns, stmt.kind)
+        if isinstance(stmt, ast.CreateView):
+            view = ViewDefinition(stmt.name, stmt.select, sql=sql_text or None)
+            self.catalog.create_view(view)
+            if stmt.materialized:
+                from repro.views.maintain import materialize
+
+                materialize(self, stmt.name)
+            return view
+        if isinstance(stmt, ast.CreateRule):
+            return self.create_rule(Rule.from_ast(stmt))
+        if isinstance(stmt, ast.AlterRule):
+            rule = self.catalog.rule(stmt.name)
+            rule.enabled = stmt.enabled
+            return rule
+        if isinstance(stmt, ast.Drop):
+            return self._drop(stmt)
+        raise ExecutionError(f"cannot execute statement {type(stmt).__name__}")
+
+    def _run_dml(
+        self, stmt: ast.Statement, txn: Transaction, params: Optional[dict[str, Any]]
+    ) -> int:
+        if isinstance(stmt, ast.Insert):
+            return execute_insert(self, stmt, txn, params)
+        if isinstance(stmt, ast.Update):
+            return execute_update(self, stmt, txn, params)
+        if isinstance(stmt, ast.Delete):
+            return execute_delete(self, stmt, txn, params)
+        raise ExecutionError(f"not a DML statement: {type(stmt).__name__}")
+
+    def execute_in_txn(
+        self,
+        sql: str,
+        txn: Transaction,
+        params: Optional[dict[str, Any]] = None,
+        namespace: Optional[dict[str, Any]] = None,
+    ) -> Any:
+        stmt = self.parse(sql)
+        if isinstance(stmt, ast.Select):
+            return execute_select(self, stmt, txn, params, namespace=namespace)
+        if isinstance(stmt, ast.Insert):
+            return execute_insert(self, stmt, txn, params, namespace=namespace)
+        if isinstance(stmt, ast.Update):
+            return execute_update(self, stmt, txn, params)
+        if isinstance(stmt, ast.Delete):
+            return execute_delete(self, stmt, txn, params)
+        raise ExecutionError("only SELECT/INSERT/UPDATE/DELETE may run inside a transaction")
+
+    def query_in_txn(
+        self,
+        sql: str,
+        txn: Transaction,
+        params: Optional[dict[str, Any]] = None,
+        namespace: Optional[dict[str, Any]] = None,
+    ) -> SelectResult:
+        stmt = self.parse(sql)
+        if not isinstance(stmt, ast.Select):
+            raise ExecutionError("query_in_txn() requires a SELECT")
+        return execute_select(self, stmt, txn, params, namespace=namespace)
+
+    def run_select(
+        self,
+        select: ast.Select,
+        txn: Optional[Transaction],
+        params: Optional[dict[str, Any]] = None,
+        pseudo: Optional[dict[str, Any]] = None,
+        namespace: Optional[dict[str, Any]] = None,
+    ) -> SelectResult:
+        return execute_select(self, select, txn, params, pseudo, namespace)
+
+    # ----------------------------------------------------------------- DDL
+
+    def create_table(self, name: str, *columns: tuple[str, ColumnType]) -> Table:
+        """Programmatic CREATE TABLE."""
+        return self.catalog.create_table(name, Schema.of(*columns))
+
+    def create_rule(self, rule: Rule) -> Rule:
+        """Register ``rule``, enforcing that all rules executing the same
+        user function define their bound tables identically (section 2)."""
+        names = tuple(sorted(rule.bind_names()))
+        existing = self.functions.bound_names.get(rule.function)
+        if existing is not None and existing != names:
+            raise BindingError(
+                f"rule {rule.name!r}: function {rule.function!r} is already bound "
+                f"with tables {list(existing)}, not {list(names)}"
+            )
+        self.catalog.create_rule(rule)
+        self.functions.bound_names.setdefault(rule.function, names)
+        return rule
+
+    def _drop(self, stmt: ast.Drop) -> None:
+        if stmt.kind == "table":
+            self.catalog.drop_table(stmt.name)
+        elif stmt.kind == "view":
+            view = self.catalog.view(stmt.name)
+            view.bump()
+            self.catalog.drop_view(stmt.name)
+        elif stmt.kind == "rule":
+            self.catalog.drop_rule(stmt.name)
+        elif stmt.kind == "index":
+            if stmt.table is not None:
+                self.catalog.table(stmt.table).drop_index(stmt.name)
+            else:
+                for table in self.catalog.tables():
+                    if stmt.name in table.indexes:
+                        table.drop_index(stmt.name)
+                        return
+                raise CatalogError(f"no index {stmt.name!r} on any table")
+        else:  # pragma: no cover - parser restricts kinds
+            raise ExecutionError(f"cannot DROP {stmt.kind!r}")
+
+    def view_version(self, name: str) -> int:
+        return self.catalog.view(name).version
+
+    # --------------------------------------------------------------- tasks
+
+    def submit(self, task: Task) -> Task:
+        """Enqueue an application task (e.g. one update-stream transaction)."""
+        self.task_manager.enqueue(task)
+        return task
+
+    def schedule_periodic(
+        self,
+        name: str,
+        fn: UserFunction,
+        interval: float,
+        start: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> Task:
+        """Schedule ``fn`` to run every ``interval`` virtual seconds.
+
+        The paper notes that periodic recomputation (e.g. refreshing
+        ``stock_stdev`` overnight) "is supported by STRIP" (section 3).
+        Each run executes in its own task and transaction; the task
+        re-enqueues its successor until ``until`` (or forever — bound your
+        ``drain(until=...)`` in that case).
+        """
+        if interval <= 0:
+            raise ExecutionError("periodic interval must be positive")
+        from repro.core.functions import FunctionContext
+
+        first_release = self.clock.now() + interval if start is None else start
+
+        def make_body(release: float):
+            def body(task: Task) -> None:
+                txn = self.begin(task)
+                try:
+                    fn(FunctionContext(self, task, txn))
+                except Exception:
+                    from repro.txn.transaction import TransactionState
+
+                    if txn.state is TransactionState.ACTIVE:
+                        txn.abort()
+                    raise
+                from repro.txn.transaction import TransactionState
+
+                if txn.state is TransactionState.ACTIVE:
+                    txn.commit()
+                successor = release + interval
+                if until is None or successor <= until:
+                    self.submit(
+                        Task(
+                            body=make_body(successor),
+                            klass=f"periodic:{name}",
+                            release_time=successor,
+                            created_time=self.clock.now(),
+                        )
+                    )
+
+            return body
+
+        task = Task(
+            body=make_body(first_release),
+            klass=f"periodic:{name}",
+            release_time=first_release,
+            created_time=self.clock.now(),
+        )
+        return self.submit(task)
+
+    def drain(self, until: Optional[float] = None) -> int:
+        """Run every queued task to completion in virtual time.
+
+        Jumps the clock forward to delayed release times.  Returns the
+        number of tasks executed.  ``until`` stops once the next release
+        lies beyond it (already-released work still completes).
+        """
+        from repro.sim.simulator import Simulator
+
+        return Simulator(self).run(until=until)
+
+    def advance(self, dt: float) -> None:
+        """Move virtual time forward without running tasks (direct mode)."""
+        self.clock.advance(dt)
+
+    # --------------------------------------------------------------- stats
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "now": self.clock.base,
+            "committed_txns": self.committed_txns,
+            "aborted_txns": self.aborted_txns,
+            "tasks_pending": self.task_manager.pending,
+            "unique_pending": self.unique_manager.pending_count(),
+            "unique_batched_firings": self.unique_manager.batch_count,
+            "rule_firings": self.rule_engine.firing_count,
+            "background_cpu": self.background_meter.total,
+        }

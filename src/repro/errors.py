@@ -1,0 +1,74 @@
+"""Exception hierarchy for the STRIP reproduction.
+
+Every error raised by the library derives from :class:`StripError` so that
+applications can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class StripError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(StripError):
+    """A schema was malformed or violated (unknown column, arity mismatch...)."""
+
+
+class CatalogError(StripError):
+    """A named object (table, view, rule, function) is missing or duplicated."""
+
+
+class SqlError(StripError):
+    """Base class for errors in the SQL front end."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class PlanError(SqlError):
+    """The statement parsed but could not be planned (unresolved name...)."""
+
+
+class ExecutionError(SqlError):
+    """A runtime failure while executing a planned statement."""
+
+
+class TransactionError(StripError):
+    """Illegal transaction state transition (use after commit, etc.)."""
+
+
+class LockError(StripError):
+    """Base class for lock manager failures."""
+
+
+class LockTimeoutError(LockError):
+    """A lock request waited longer than the configured timeout."""
+
+
+class DeadlockError(LockError):
+    """The lock manager chose this transaction as a deadlock victim."""
+
+
+class RuleError(StripError):
+    """A rule definition is invalid or two rules conflict."""
+
+
+class BindingError(RuleError):
+    """Bound tables for a shared user function are not defined identically."""
+
+
+class FunctionError(StripError):
+    """A user function is missing, duplicated, or raised during execution."""
+
+
+class SimulationError(StripError):
+    """The discrete-event simulator was driven into an invalid state."""

@@ -1,0 +1,20 @@
+"""The import/export system (paper Figure 15, citing [AKGM96b]).
+
+STRIP sits between live feeds and other databases: the *import* side turns
+an external update stream into database tasks; the *export* side keeps
+external consumers informed of changes to (derived) data.  The paper
+treats the machinery itself as prior work ([AKGM96b]) but its task flow —
+import tasks entering the delay/ready queues like any other work — is part
+of the architecture this reproduction models.
+
+* :class:`~repro.io.feed.ImportFeed` — replays a time-stamped record
+  stream as update tasks (the market feed of the PTA);
+* :class:`~repro.io.export.ExportQueue` / :func:`~repro.io.export.install_export_rule`
+  — a rule-driven change stream that forwards table changes to an
+  in-process consumer (the "other systems" edge of Figure 1).
+"""
+
+from repro.io.export import ExportQueue, install_export_rule
+from repro.io.feed import FeedRecord, ImportFeed
+
+__all__ = ["ExportQueue", "FeedRecord", "ImportFeed", "install_export_rule"]

@@ -1,0 +1,125 @@
+"""Export: rule-driven change streams to external consumers.
+
+The export side of Figure 15 keeps other systems (Figure 1's "other
+systems" edge — downstream databases, tickers, alerting) informed of
+changes.  We implement it with the rule system itself: an export rule
+binds the changed rows and its action appends them to an
+:class:`ExportQueue`, which an external consumer drains.
+
+Because the action is an ordinary STRIP rule it inherits the whole
+batching toolkit: an export can be non-batched (one message per
+transaction) or a unique transaction with a delay window (one batched
+message per window — feed throttling for free).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+from repro.core.rules import Rule
+from repro.sql import ast
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.database import Database
+
+_export_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ExportMessage:
+    """One batch of exported changes."""
+
+    export: str
+    kind: str  # inserted | deleted | updated
+    rows: tuple[dict, ...]
+    exported_at: float
+
+
+class ExportQueue:
+    """An in-process sink for exported changes (stand-in for a network
+    connection to a downstream system)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._messages: list[ExportMessage] = []
+
+    def push(self, message: ExportMessage) -> None:
+        self._messages.append(message)
+
+    def drain(self) -> list[ExportMessage]:
+        messages, self._messages = self._messages, []
+        return messages
+
+    def peek(self) -> list[ExportMessage]:
+        return list(self._messages)
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+
+def install_export_rule(
+    db: "Database",
+    table: str,
+    columns: Sequence[str],
+    events: Sequence[str] = ("inserted", "deleted", "updated"),
+    queue: Optional[ExportQueue] = None,
+    unique: bool = False,
+    delay: float = 0.0,
+    name: Optional[str] = None,
+) -> ExportQueue:
+    """Export changes of ``table``'s ``columns`` to a queue.
+
+    Returns the queue.  With ``unique=True`` and a ``delay``, changes are
+    batched across transactions into one message per window per event kind
+    — the same mechanism that batches recomputations (section 2).
+    """
+    export_name = name or f"export_{table}_{next(_export_ids)}"
+    # Note: an empty ExportQueue is falsy (len 0), so test identity, not truth.
+    sink = queue if queue is not None else ExportQueue(export_name)
+    wanted = tuple(events)
+
+    transition_for = {"inserted": "inserted", "deleted": "deleted", "updated": "new"}
+    items = tuple(ast.SelectItem(ast.ColumnRef(None, column), column) for column in columns)
+    evaluate = []
+    bind_names = {}
+    for kind in wanted:
+        source = transition_for[kind]
+        bind_as = f"{export_name}_{kind}"
+        bind_names[kind] = bind_as
+        evaluate.append(
+            ast.RuleQuery(
+                ast.Select(items=items, tables=(ast.TableRef(source, None),)),
+                bind_as,
+            )
+        )
+
+    def export_action(ctx: Any) -> None:
+        for kind in wanted:
+            bound = ctx.bound(bind_names[kind])
+            if len(bound) == 0:
+                continue
+            ctx.charge("row_output", len(bound))
+            sink.push(
+                ExportMessage(
+                    export=export_name,
+                    kind=kind,
+                    rows=tuple(bound.to_dicts()),
+                    exported_at=ctx.now,
+                )
+            )
+
+    db.register_function(export_name, export_action)
+    rule = Rule(
+        name=export_name,
+        table=table,
+        events=tuple(ast.Event(kind) for kind in wanted),
+        condition=(),
+        evaluate=tuple(evaluate),
+        function=export_name,
+        unique=unique,
+        after=delay,
+    )
+    db.create_rule(rule)
+    return sink

@@ -1,0 +1,71 @@
+"""Black-Scholes call option pricing (paper Appendix B).
+
+The paper prices call options with the Black-Scholes model [BS73], noting
+it "although known to undervalue options, is still commonly used", and
+computes the standard normal CDF via the C library's error function — we do
+exactly the same with :func:`math.erf`.
+
+The classic formula::
+
+    C = S * phi(d1) - K * exp(-r t) * phi(d2)
+    d1 = (ln(S / K) + (r + sigma^2 / 2) t) / (sigma sqrt(t))
+    d2 = d1 - sigma sqrt(t)
+
+with S the stock price, K the exercise (strike) price, r the continuously
+compounded riskless rate, sigma the annualized return standard deviation,
+and t the time to expiration in years.  (The published scan's rendition of
+the formula is OCR-garbled; this is the standard [BS73] form it cites.)
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Continuously compounded riskless rate used throughout the PTA.  The
+#: paper does not report its value; 5% is a period-plausible constant and
+#: the rule system's behaviour does not depend on it.
+RISK_FREE_RATE = 0.05
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def std_normal_cdf(x: float) -> float:
+    """Standard normal CDF via the error function (as the paper does)."""
+    return 0.5 * (1.0 + math.erf(x / _SQRT2))
+
+
+def call_price(
+    stock_price: float,
+    strike: float,
+    expiration: float,
+    stdev: float,
+    rate: float = RISK_FREE_RATE,
+) -> float:
+    """Theoretical Black-Scholes price of a call option.
+
+    Args:
+        stock_price: current price of the underlying stock (> 0).
+        strike: exercise price (> 0).
+        expiration: time remaining before expiration, in years.
+        stdev: annualized standard deviation of the stock's rate of return.
+        rate: continuously compounded riskless rate.
+
+    Degenerate inputs fall back to the no-time-value intrinsic price, which
+    keeps the maintenance workload robust to edge rows.
+    """
+    if stock_price <= 0.0:
+        return 0.0
+    if expiration <= 0.0 or stdev <= 0.0:
+        return max(stock_price - strike, 0.0)
+    vol_sqrt_t = stdev * math.sqrt(expiration)
+    d1 = (math.log(stock_price / strike) + (rate + 0.5 * stdev * stdev) * expiration) / vol_sqrt_t
+    d2 = d1 - vol_sqrt_t
+    discounted_strike = strike * math.exp(-rate * expiration)
+    price = stock_price * std_normal_cdf(d1) - discounted_strike * std_normal_cdf(d2)
+    # Deep out-of-the-money prices can round to a hair below zero.
+    return max(price, 0.0)
+
+
+def composite_price(prices_and_weights) -> float:
+    """A weighted composite average: sum of w_i * p_i (paper Appendix B)."""
+    return sum(weight * price for price, weight in prices_and_weights)

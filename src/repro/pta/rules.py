@@ -1,0 +1,305 @@
+"""The PTA rule families: ``do_comps1/2/3`` and ``do_options1/2/3``.
+
+Each *variant* of a family pairs a rule definition (non-unique, coarse
+``unique``, ``unique on symbol``, or ``unique on`` the derived key) with
+the user function written the way the paper writes it:
+
+* ``compute_comps1`` (Figure 3) walks the bound rows one at a time, reading
+  and rewriting the affected composite per row;
+* ``compute_comps2`` (Figure 6) groups the batch's rows by composite in
+  application code first, so each composite is read, recomputed and written
+  once — the paper notes STRIP v2.0 pushed this aggregation into the
+  application, and the cost model charges it as ``user_group_row``;
+* ``compute_comps3`` (Figure 7) receives rows for a single composite
+  (the rule system partitioned them via ``unique on comp``) and simply
+  accumulates;
+* the option functions mirror Figure 8 plus the batched variants of
+  section 5.2: batching lets the function price each option once from the
+  *last* quote in the window instead of once per quote.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import StripError
+from repro.pta.blackscholes import call_price
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.functions import FunctionContext
+    from repro.database import Database
+
+COMP_VARIANTS = ("nonunique", "unique", "on_symbol", "on_comp")
+OPTION_VARIANTS = ("nonunique", "unique", "on_symbol", "on_option")
+
+#: The condition query shared by every composite rule (paper Figures 3/6/7).
+_COMP_CONDITION = """
+    select comp, comps_list.symbol as symbol, weight,
+        old.price as old_price, new.price as new_price
+    from comps_list, new, old
+    where comps_list.symbol = new.symbol
+        and new.execute_order = old.execute_order
+    bind as matches
+"""
+
+#: The condition query shared by every option rule (paper Figure 8).
+_OPTION_CONDITION = """
+    select option_symbol, stock_symbol, strike, expiration,
+        new.price as new_price
+    from options_list, new
+    where options_list.stock_symbol = new.symbol
+    bind as matches
+"""
+
+
+# --------------------------------------------------------------------------
+# Composite maintenance functions
+# --------------------------------------------------------------------------
+
+
+def compute_comps1(ctx: "FunctionContext") -> None:
+    """Figure 3: incremental update, one read-modify-write per bound row."""
+    for row in ctx.rows("matches"):
+        change = row["weight"] * (row["new_price"] - row["old_price"])
+        ctx.charge("arith", 2)
+        ctx.execute(
+            "update comp_prices set price += :d where comp = :c",
+            {"d": change, "c": row["comp"]},
+        )
+
+
+def compute_comps2(ctx: "FunctionContext") -> None:
+    """Figure 6: group the batch by composite in application code, then
+    apply one aggregated change per composite."""
+    diffs: dict[str, float] = {}
+    for row in ctx.rows("matches"):
+        ctx.charge("user_group_row")
+        delta = row["weight"] * (row["new_price"] - row["old_price"])
+        diffs[row["comp"]] = diffs.get(row["comp"], 0.0) + delta
+    for comp, diff in diffs.items():
+        ctx.execute(
+            "update comp_prices set price += :d where comp = :c",
+            {"d": diff, "c": comp},
+        )
+
+
+def compute_comps3(ctx: "FunctionContext") -> None:
+    """Figure 7: all rows concern one composite; accumulate and apply once."""
+    total = 0.0
+    comp = None
+    for row in ctx.rows("matches"):
+        ctx.charge("arith", 2)
+        comp = row["comp"]
+        total += row["weight"] * (row["new_price"] - row["old_price"])
+    if comp is not None:
+        ctx.execute(
+            "update comp_prices set price += :d where comp = :c",
+            {"d": total, "c": comp},
+        )
+
+
+# --------------------------------------------------------------------------
+# Option maintenance functions
+# --------------------------------------------------------------------------
+
+
+def _stdev_of(ctx: "FunctionContext", symbol: str) -> float:
+    """Application-level lookup of a stock's return standard deviation."""
+    ctx.charge("index_probe")
+    ctx.charge("cursor_fetch")
+    record = ctx.db.catalog.table("stock_stdev").get_one("symbol", symbol)
+    if record is None:
+        raise StripError(f"no stdev for stock {symbol!r}")
+    return record.values[1]
+
+
+def _reprice(ctx: "FunctionContext", option_symbol: str, price: float) -> None:
+    ctx.execute(
+        "update option_prices set price = :p where option_symbol = :o",
+        {"p": price, "o": option_symbol},
+    )
+
+
+def compute_options1(ctx: "FunctionContext") -> None:
+    """Figure 8: recompute every bound row (one Black-Scholes per quote)."""
+    for row in ctx.rows("matches"):
+        stdev = _stdev_of(ctx, row["stock_symbol"])
+        ctx.charge("f_bs")
+        price = call_price(row["new_price"], row["strike"], row["expiration"], stdev)
+        _reprice(ctx, row["option_symbol"], price)
+
+
+def compute_options2(ctx: "FunctionContext") -> None:
+    """Coarse batching: group by option in application code, keep only the
+    last quote per option, price once."""
+    last: dict[str, dict] = {}
+    for row in ctx.rows("matches"):
+        ctx.charge("user_group_row")
+        last[row["option_symbol"]] = row  # rows arrive in commit order
+    stdev_cache: dict[str, float] = {}
+    for option_symbol, row in last.items():
+        stock = row["stock_symbol"]
+        stdev = stdev_cache.get(stock)
+        if stdev is None:
+            stdev = stdev_cache[stock] = _stdev_of(ctx, stock)
+        ctx.charge("f_bs")
+        price = call_price(row["new_price"], row["strike"], row["expiration"], stdev)
+        _reprice(ctx, option_symbol, price)
+
+
+def compute_options_sym(ctx: "FunctionContext") -> None:
+    """``unique on stock_symbol``: every row concerns one stock, so the
+    stdev is fetched once and partial results are shared; only the last
+    quote per option is priced."""
+    last: dict[str, dict] = {}
+    for row in ctx.rows("matches"):
+        ctx.charge("arith")
+        last[row["option_symbol"]] = row
+    if not last:
+        return
+    any_row = next(iter(last.values()))
+    stdev = _stdev_of(ctx, any_row["stock_symbol"])
+    for option_symbol, row in last.items():
+        ctx.charge("f_bs")
+        price = call_price(row["new_price"], row["strike"], row["expiration"], stdev)
+        _reprice(ctx, option_symbol, price)
+
+
+def compute_options_opt(ctx: "FunctionContext") -> None:
+    """``unique on option_symbol``: price the single option from its last
+    quote in the window."""
+    row = None
+    for row in ctx.rows("matches"):
+        ctx.charge("arith")
+    if row is None:
+        return
+    stdev = _stdev_of(ctx, row["stock_symbol"])
+    ctx.charge("f_bs")
+    price = call_price(row["new_price"], row["strike"], row["expiration"], stdev)
+    _reprice(ctx, row["option_symbol"], price)
+
+
+# --------------------------------------------------------------------------
+# Installation
+# --------------------------------------------------------------------------
+
+_COMP_FUNCTIONS: dict[str, tuple[str, Callable]] = {
+    "nonunique": ("compute_comps1", compute_comps1),
+    "unique": ("compute_comps2", compute_comps2),
+    "on_symbol": ("compute_comps_sym", compute_comps2),
+    "on_comp": ("compute_comps3", compute_comps3),
+}
+
+_OPTION_FUNCTIONS: dict[str, tuple[str, Callable]] = {
+    "nonunique": ("compute_options1", compute_options1),
+    "unique": ("compute_options2", compute_options2),
+    "on_symbol": ("compute_options_sym", compute_options_sym),
+    "on_option": ("compute_options_opt", compute_options_opt),
+}
+
+
+def _unique_clause(variant: str, family: str) -> str:
+    if variant == "nonunique":
+        return ""
+    if variant == "unique":
+        return "unique"
+    if variant == "on_symbol":
+        column = "symbol" if family == "comps" else "stock_symbol"
+        return f"unique on {column}"
+    if variant == "on_comp":
+        return "unique on comp"
+    if variant == "on_option":
+        return "unique on option_symbol"
+    raise StripError(f"unknown variant {variant!r}")
+
+
+def install_comp_rule(db: "Database", variant: str, delay: float = 0.0) -> str:
+    """Install one composite-maintenance rule variant; returns the function
+    name (the recompute task class is ``recompute:<function>``)."""
+    if variant not in COMP_VARIANTS:
+        raise StripError(f"variant must be one of {COMP_VARIANTS}, got {variant!r}")
+    function_name, fn = _COMP_FUNCTIONS[variant]
+    db.register_function(function_name, fn, replace=True)
+    clause = _unique_clause(variant, "comps")
+    after = f"after {delay} seconds" if delay > 0 else ""
+    db.execute(
+        f"""
+        create rule do_comps_{variant} on stocks
+        when updated price
+        if {_COMP_CONDITION}
+        then execute {function_name}
+        {clause}
+        {after}
+        """
+    )
+    return function_name
+
+
+def install_option_rule(db: "Database", variant: str, delay: float = 0.0) -> str:
+    """Install one option-maintenance rule variant."""
+    if variant not in OPTION_VARIANTS:
+        raise StripError(f"variant must be one of {OPTION_VARIANTS}, got {variant!r}")
+    function_name, fn = _OPTION_FUNCTIONS[variant]
+    db.register_function(function_name, fn, replace=True)
+    clause = _unique_clause(variant, "options")
+    after = f"after {delay} seconds" if delay > 0 else ""
+    db.execute(
+        f"""
+        create rule do_options_{variant} on stocks
+        when updated price
+        if {_OPTION_CONDITION}
+        then execute {function_name}
+        {clause}
+        {after}
+        """
+    )
+    return function_name
+
+
+# --------------------------------------------------------------------------
+# Option listing maintenance (the quarterly options_list churn, section 3)
+# --------------------------------------------------------------------------
+
+
+def maintain_option_listings(ctx: "FunctionContext") -> None:
+    """Keep ``option_prices`` aligned with ``options_list``.
+
+    The paper notes options_list "must be updated once every three months
+    when the option exchanges create new options and expunge expired
+    options" and leaves those rules out of its experiments; this is the
+    rule the full application would carry."""
+    for row in ctx.rows("expunged"):
+        ctx.execute(
+            "delete from option_prices where option_symbol = :o",
+            {"o": row["option_symbol"]},
+        )
+    for row in ctx.rows("listed"):
+        stock = ctx.db.catalog.table("stocks").get_one("symbol", row["stock_symbol"])
+        ctx.charge("index_probe")
+        ctx.charge("cursor_fetch")
+        if stock is None:
+            continue
+        stdev = _stdev_of(ctx, row["stock_symbol"])
+        ctx.charge("f_bs")
+        price = call_price(stock.values[1], row["strike"], row["expiration"], stdev)
+        ctx.execute(
+            "insert into option_prices values (:o, :p)",
+            {"o": row["option_symbol"], "p": price},
+        )
+
+
+def install_options_list_rule(db: "Database") -> str:
+    """Install the rule handling option listing/expunging events."""
+    db.register_function("maintain_option_listings", maintain_option_listings, replace=True)
+    db.execute(
+        """
+        create rule do_option_listings on options_list
+        when inserted deleted
+        then evaluate
+            select option_symbol, stock_symbol, strike, expiration
+            from inserted bind as listed,
+            select option_symbol from deleted bind as expunged
+        execute maintain_option_listings
+        """
+    )
+    return "maintain_option_listings"

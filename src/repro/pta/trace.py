@@ -1,0 +1,160 @@
+"""Synthetic NYSE TAQ-style quote trace.
+
+The paper drives its experiments with the consolidated quote file of the
+NYSE TAQ database (January 1994): ~60 000 price changes over a 30-minute
+window across 6 600 stocks, with quotes recorded at 1-second granularity
+and spread evenly within each second (section 4.1).  That file is
+proprietary, so we synthesize a trace that reproduces the two statistics
+the rule system's behaviour actually depends on:
+
+* **skewed activity** — per-stock quote counts follow a Zipf-like law, so a
+  few stocks trade thousands of times a day while most trade rarely
+  (Netscape vs Spyglass in the paper's telling);
+* **burstiness** — "a single base datum ... changes in bursts and then
+  remains constant for a relatively long time" [AKGM96a]: a stock wakes,
+  emits a short burst of quotes while market makers settle on a new price,
+  then goes idle for minutes.  Temporal locality inside the delay window is
+  exactly what ``unique on symbol`` batching exploits (section 5.2).
+
+Prices walk in eighths of a dollar (1994 ticks) and never repeat the same
+value twice in a row, so every quote is a genuine ``updated price`` event.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class QuoteEvent:
+    """One price change from the market feed."""
+
+    time: float  # seconds since trace start
+    symbol: str
+    price: float
+
+
+def zipf_weights(n: int, s: float = 1.0) -> list[float]:
+    """Normalized Zipf(s) weights over ranks 1..n."""
+    raw = [1.0 / (rank**s) for rank in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+class TaqTraceGenerator:
+    """Generates a deterministic, bursty, Zipf-skewed quote trace."""
+
+    def __init__(
+        self,
+        n_stocks: int,
+        duration: float,
+        target_updates: int,
+        burst_mean: float = 4.0,
+        burst_spread: float = 1.5,
+        zipf_s: float = 0.7,
+        initial_price_range: tuple[float, float] = (10.0, 100.0),
+        seed: int = 0,
+    ) -> None:
+        """
+        Args:
+            n_stocks: number of distinct symbols.
+            duration: trace length in seconds.
+            target_updates: total quotes to generate (approximately met).
+            burst_mean: mean quotes per burst (geometric distribution).
+            burst_spread: seconds over which one burst's quotes spread.
+            zipf_s: activity skew exponent.  The default 0.7 calibrates
+                the fan-out statistics to the paper's: the average stock
+                price change then triggers ~12 composite recomputations at
+                paper scale (section 5.1) and touches a plausible number
+                of listed options; classic Zipf (1.0) over-concentrates
+                activity on the head stocks.
+            initial_price_range: opening prices drawn uniformly, then
+                rounded to eighths.
+            seed: deterministic randomness.
+        """
+        if n_stocks < 1 or duration <= 0 or target_updates < 1:
+            raise ValueError("n_stocks, duration and target_updates must be positive")
+        if burst_mean < 1.0:
+            raise ValueError("burst_mean must be at least 1")
+        self.n_stocks = n_stocks
+        self.duration = duration
+        self.target_updates = target_updates
+        self.burst_mean = burst_mean
+        self.burst_spread = burst_spread
+        self.zipf_s = zipf_s
+        self.initial_price_range = initial_price_range
+        self.seed = seed
+        self.symbols = [f"S{i:05d}" for i in range(n_stocks)]
+        self.weights = zipf_weights(n_stocks, zipf_s)
+        rng = random.Random(seed ^ 0x5F5F)
+        low, high = initial_price_range
+        self.initial_prices = {
+            symbol: round(rng.uniform(low, high) * 8.0) / 8.0 for symbol in self.symbols
+        }
+
+    # ---------------------------------------------------------- generation
+
+    def generate(self) -> list[QuoteEvent]:
+        """The full trace, sorted by time."""
+        rng = random.Random(self.seed)
+        geom_p = 1.0 / self.burst_mean
+        events: list[QuoteEvent] = []
+        for index, symbol in enumerate(self.symbols):
+            expected = self.target_updates * self.weights[index]
+            n_bursts = max(int(round(expected / self.burst_mean)), 0)
+            remainder = expected - n_bursts * self.burst_mean
+            if rng.random() < remainder / self.burst_mean:
+                n_bursts += 1
+            if n_bursts == 0:
+                continue
+            # First lay out all of this stock's quote times (bursts may
+            # overlap), then walk the price along the *chronological* order
+            # so consecutive quotes always change the price.
+            times: list[float] = []
+            for _ in range(n_bursts):
+                start = rng.uniform(0.0, self.duration)
+                # Geometric burst length (support {1, 2, ...}, mean burst_mean).
+                length = 1
+                while rng.random() > geom_p:
+                    length += 1
+                for _quote in range(length):
+                    when = start + rng.uniform(0.0, self.burst_spread)
+                    if when < self.duration:
+                        times.append(when)
+            times.sort()
+            price = self.initial_prices[symbol]
+            for when in times:
+                price = self._next_price(rng, price)
+                events.append(QuoteEvent(when, symbol, price))
+        events.sort(key=lambda event: event.time)
+        return events
+
+    def _next_price(self, rng: random.Random, price: float) -> float:
+        """Random walk in eighths; never returns the same price."""
+        tick = rng.choice((0.125, 0.125, 0.25)) * rng.choice((-1.0, 1.0))
+        fresh = price + tick
+        if fresh < 0.5:
+            fresh = price + abs(tick)
+        return round(fresh * 8.0) / 8.0
+
+    # ----------------------------------------------------------- statistics
+
+    def activity(self, events: Sequence[QuoteEvent]) -> dict[str, int]:
+        """Quote count per symbol (the population routine samples by this)."""
+        counts: dict[str, int] = {}
+        for event in events:
+            counts[event.symbol] = counts.get(event.symbol, 0) + 1
+        return counts
+
+    def describe(self, events: Sequence[QuoteEvent]) -> dict[str, float]:
+        counts = self.activity(events)
+        actives = len(counts)
+        top = max(counts.values(), default=0)
+        return {
+            "events": len(events),
+            "active_stocks": actives,
+            "max_per_stock": top,
+            "rate_per_sec": len(events) / self.duration,
+        }

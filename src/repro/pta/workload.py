@@ -1,0 +1,260 @@
+"""Drive a full PTA experiment (paper sections 4 and 5).
+
+Two transaction types run, exactly as in the paper's evaluation: update
+transactions (one per quote in the trace, released at the quote's time) and
+the recomputation transactions the rules trigger.  Everything executes in
+virtual time on the single-server simulator; the returned
+:class:`ExperimentResult` carries the three quantities the paper plots —
+
+* ``cpu_fraction`` — maintenance CPU (recompute tasks **plus** the rule-
+  processing overhead inside update transactions, measured against a
+  no-rules baseline) as a fraction of the trace duration (Figures 9/12);
+* ``n_recomputes`` — N_r, the number of recompute transactions (10/13);
+* ``mean_recompute_length`` — mean system time minus queueing (11/14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.database import Database
+from repro.pta.rules import install_comp_rule, install_option_rule
+from repro.pta.tables import Scale, populate
+from repro.pta.trace import QuoteEvent, TaqTraceGenerator
+from repro.sim.costmodel import CostModel
+from repro.sim.simulator import Simulator
+from repro.txn.tasks import Task
+
+#: Shared trace cache so a sweep over variants/delays reuses one trace.
+_TRACE_CACHE: dict[tuple, tuple[TaqTraceGenerator, list[QuoteEvent]]] = {}
+#: Per-update CPU of a rule-free run, used to isolate maintenance overhead.
+_BASELINE_CACHE: dict[tuple, float] = {}
+
+
+def get_trace(
+    scale: Scale, seed: int = 0, trace_kwargs: Optional[dict] = None
+) -> tuple[TaqTraceGenerator, list[QuoteEvent]]:
+    """The (cached) trace for one scale/seed, shared across a sweep."""
+    kwargs = dict(trace_kwargs or {})
+    key = (scale, seed, tuple(sorted(kwargs.items())))
+    cached = _TRACE_CACHE.get(key)
+    if cached is None:
+        trace = scale.make_trace(seed=seed, **kwargs)
+        cached = _TRACE_CACHE[key] = (trace, trace.generate())
+    return cached
+
+
+def clear_caches() -> None:
+    """Drop the trace and baseline caches (tests / ablations)."""
+    _TRACE_CACHE.clear()
+    _BASELINE_CACHE.clear()
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment run produced."""
+
+    view: str
+    variant: str
+    delay: float
+    scale: Scale
+    seed: int
+    n_updates: int
+    n_recomputes: int
+    cpu_update: float  # CPU seconds spent in update tasks
+    cpu_recompute: float  # CPU seconds spent in recompute tasks
+    cpu_baseline_update: float  # what update tasks would cost with no rules
+    mean_recompute_length: float  # seconds (system time minus queueing)
+    mean_recompute_response: float  # seconds (includes queueing)
+    batched_firings: int  # firings absorbed into pending unique tasks
+    rule_firings: int
+    total_bound_rows: int
+    context_switches: int
+    end_time: float  # virtual time when the last task finished
+
+    @property
+    def duration(self) -> float:
+        return self.scale.duration
+
+    @property
+    def maintenance_cpu(self) -> float:
+        """CPU attributable to derived-data maintenance: the recompute tasks
+        plus the rule-processing overhead inside the update transactions."""
+        overhead = max(self.cpu_update - self.cpu_baseline_update, 0.0)
+        return self.cpu_recompute + overhead
+
+    @property
+    def cpu_fraction(self) -> float:
+        """The Figure 9/12 y-axis."""
+        return self.maintenance_cpu / self.duration
+
+    def row(self) -> dict[str, object]:
+        """A flat dict for report tables."""
+        return {
+            "view": self.view,
+            "variant": self.variant,
+            "delay_s": self.delay,
+            "cpu_fraction": round(self.cpu_fraction, 4),
+            "n_recomputes": self.n_recomputes,
+            "mean_length_ms": round(self.mean_recompute_length * 1e3, 4),
+            "batched_firings": self.batched_firings,
+            "n_updates": self.n_updates,
+        }
+
+
+def _make_update_body(db: Database, symbol: str, price: float):
+    """One update transaction: the Table 1 simple-update path, by cursor."""
+
+    def body(task: Task) -> None:
+        txn = db.begin(task)
+        stocks = db.catalog.table("stocks")
+        db.charge("cursor_open")
+        db.charge("index_probe")
+        record = stocks.get_one("symbol", symbol)
+        db.charge("cursor_fetch")
+        if record is not None and record.values[1] != price:
+            txn.update_columns(stocks, record, {"price": price})
+        db.charge("cursor_close")
+        txn.commit()
+
+    return body
+
+
+def _trace_tasks(
+    db: Database,
+    events: Sequence[QuoteEvent],
+    update_deadline: Optional[float] = None,
+) -> list[Task]:
+    """Update-stream tasks, handed to the simulator as an arrivals stream
+    (the market feed enters the system over time, not as a preloaded queue;
+    the paper excludes feed handling from its measurements, section 4.1).
+
+    ``update_deadline`` gives each update task a relative deadline — only
+    meaningful under the EDF scheduling policy (ablation experiments)."""
+    return [
+        Task(
+            body=_make_update_body(db, event.symbol, event.price),
+            klass="update",
+            release_time=event.time,
+            created_time=event.time,
+            deadline=None if update_deadline is None else event.time + update_deadline,
+            value=10.0,
+            estimated_cpu=200e-6,
+        )
+        for event in events
+    ]
+
+
+def _baseline_update_cpu(
+    scale: Scale,
+    seed: int,
+    cost_model: Optional[CostModel],
+    trace_kwargs: Optional[dict] = None,
+) -> float:
+    """Total update-task CPU of a run with **no rules installed**."""
+    key = (scale, seed, cost_model, tuple(sorted((trace_kwargs or {}).items())))
+    cached = _BASELINE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    db = Database(cost_model=cost_model)
+    db.metrics.set_keep_records(False)
+    trace, events = get_trace(scale, seed, trace_kwargs)
+    populate(db, scale, trace, events, seed)
+    Simulator(db).run(arrivals=_trace_tasks(db, events))
+    total = db.metrics.total_cpu("update")
+    _BASELINE_CACHE[key] = total
+    return total
+
+
+def run_experiment(
+    scale: Scale,
+    view: str = "comps",
+    variant: str = "unique",
+    delay: float = 1.0,
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+    policy: str = "fifo",
+    processors: int = 1,
+    keep_records: bool = False,
+    db_out: Optional[list] = None,
+    trace_kwargs: Optional[dict] = None,
+    update_deadline: Optional[float] = None,
+) -> ExperimentResult:
+    """Run one full PTA experiment and collect the paper's metrics.
+
+    Args:
+        scale: workload dimensions (:meth:`Scale.paper` for the full setup).
+        view: ``"comps"`` (Figures 9-11) or ``"options"`` (Figures 12-14).
+        variant: batching unit — ``nonunique``, ``unique``, ``on_symbol``,
+            or the per-derived-key unit (``on_comp`` / ``on_option``).
+        delay: the ``after`` window in seconds (ignored for ``nonunique``).
+        cost_model: override the Table-1-calibrated defaults (ablations).
+        policy: task scheduling policy (``fifo`` / ``edf`` / ``vdf``).
+        keep_records: retain per-task records (large runs: keep False).
+        db_out: if given, the Database is appended for post-hoc inspection.
+    """
+    if view not in ("comps", "options"):
+        raise ValueError(f"view must be 'comps' or 'options', got {view!r}")
+    db = Database(cost_model=cost_model, policy=policy)
+    db.metrics.set_keep_records(keep_records)
+    trace, events = get_trace(scale, seed, trace_kwargs)
+    populate(db, scale, trace, events, seed)
+    if view == "comps":
+        function_name = install_comp_rule(db, variant, delay)
+    else:
+        function_name = install_option_rule(db, variant, delay)
+    Simulator(db, processors).run(
+        arrivals=_trace_tasks(db, events, update_deadline)
+    )
+
+    prefix = f"recompute:{function_name}"
+    metrics = db.metrics
+    summary = metrics.by_class.get(prefix)
+    result = ExperimentResult(
+        view=view,
+        variant=variant,
+        delay=delay,
+        scale=scale,
+        seed=seed,
+        n_updates=len(events),
+        n_recomputes=metrics.count(prefix),
+        cpu_update=metrics.total_cpu("update"),
+        cpu_recompute=metrics.total_cpu(prefix),
+        cpu_baseline_update=_baseline_update_cpu(scale, seed, cost_model, trace_kwargs),
+        mean_recompute_length=metrics.mean_length(prefix),
+        mean_recompute_response=metrics.mean_response(prefix),
+        batched_firings=db.unique_manager.batch_count,
+        rule_firings=db.rule_engine.firing_count,
+        total_bound_rows=summary.total_bound_rows if summary else 0,
+        context_switches=summary.total_context_switches if summary else 0,
+        end_time=db.clock.base,
+    )
+    if db_out is not None:
+        db_out.append(db)
+    return result
+
+
+def sweep(
+    scale: Scale,
+    view: str,
+    variants: Sequence[str],
+    delays: Sequence[float],
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+) -> list[ExperimentResult]:
+    """The paper's experiment grid: every (variant, delay) combination.
+
+    Non-unique variants run once (the delay axis does not apply)."""
+    results: list[ExperimentResult] = []
+    for variant in variants:
+        if variant == "nonunique":
+            results.append(
+                run_experiment(scale, view, variant, 0.0, seed, cost_model)
+            )
+            continue
+        for delay in delays:
+            results.append(
+                run_experiment(scale, view, variant, delay, seed, cost_model)
+            )
+    return results

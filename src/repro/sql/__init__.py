@@ -1,0 +1,23 @@
+"""The SQL front end.
+
+STRIP speaks an SQL subset plus the rule-definition grammar of the paper's
+Figure 2.  This package provides:
+
+* :mod:`repro.sql.lexer` — a hand-written tokenizer;
+* :mod:`repro.sql.ast` — dataclass AST nodes for expressions and statements;
+* :mod:`repro.sql.parser` — a recursive-descent parser (precedence-climbing
+  expressions), including ``CREATE RULE ... when / if / then evaluate /
+  bind as / execute / unique on / after``;
+* :mod:`repro.sql.expressions` — compiles expressions to Python closures
+  with SQL NULL semantics;
+* :mod:`repro.sql.planner` / :mod:`repro.sql.executor` — a left-deep
+  planner choosing index-nested-loop or hash joins, with scan/filter/
+  project/group-by/order-by operators, virtual-time cost charging, and
+  pointer-preserving projection so query results can be bound as
+  temporary tables without copying attribute values (paper section 6.1).
+"""
+
+from repro.sql.lexer import Token, tokenize
+from repro.sql.parser import parse_expression, parse_script, parse_statement
+
+__all__ = ["Token", "parse_expression", "parse_script", "parse_statement", "tokenize"]

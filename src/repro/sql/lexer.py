@@ -1,0 +1,148 @@
+"""A hand-written SQL tokenizer.
+
+Produces a flat list of :class:`Token`.  Keywords are not distinguished from
+identifiers at the lexing level — the parser matches words case-
+insensitively — which keeps the keyword set extensible (the STRIP grammar
+adds ``when``, ``bind``, ``unique``, ``after`` and friends on top of SQL).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import SqlSyntaxError
+
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"
+SYMBOL = "symbol"
+PARAM = "param"
+EOF = "eof"
+
+#: Multi-character symbols, longest first so ``<=`` wins over ``<``.
+_MULTI_SYMBOLS = ("<=", ">=", "<>", "!=", "+=", "-=", "==")
+_SINGLE_SYMBOLS = set("+-*/%(),.;=<>")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: type, value and source offset."""
+    type: str
+    value: object  # str for ident/symbol/string/param, int/float for number
+    pos: int
+
+    def matches_word(self, word: str) -> bool:
+        return self.type == IDENT and isinstance(self.value, str) and self.value.lower() == word
+
+    def __repr__(self) -> str:
+        return f"Token({self.type}, {self.value!r})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`SqlSyntaxError` on bad input."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        # -- comments: -- to end of line, /* ... */
+        if ch == "-" and text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch == "/" and text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end == -1:
+                raise SqlSyntaxError("unterminated /* comment", i)
+            i = end + 2
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            yield Token(IDENT, text[start:i], start)
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            yield _number(text, i)
+            i += len(str_of_number_source(text, i))
+            continue
+        if ch == "'":
+            literal, i = _string(text, i)
+            yield literal
+            continue
+        if ch == ":" and i + 1 < n and (text[i + 1].isalpha() or text[i + 1] == "_"):
+            start = i
+            i += 1
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            yield Token(PARAM, text[start + 1 : i], start)
+            continue
+        matched = None
+        for symbol in _MULTI_SYMBOLS:
+            if text.startswith(symbol, i):
+                matched = symbol
+                break
+        if matched is not None:
+            yield Token(SYMBOL, matched, i)
+            i += len(matched)
+            continue
+        if ch in _SINGLE_SYMBOLS:
+            yield Token(SYMBOL, ch, i)
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r}", i)
+    yield Token(EOF, None, n)
+
+
+def str_of_number_source(text: str, start: int) -> str:
+    """The raw characters of the number literal starting at ``start``."""
+    i = start
+    n = len(text)
+    while i < n and text[i].isdigit():
+        i += 1
+    if i < n and text[i] == ".":
+        i += 1
+        while i < n and text[i].isdigit():
+            i += 1
+    if i < n and text[i] in "eE":
+        j = i + 1
+        if j < n and text[j] in "+-":
+            j += 1
+        if j < n and text[j].isdigit():
+            i = j
+            while i < n and text[i].isdigit():
+                i += 1
+    return text[start:i]
+
+
+def _number(text: str, start: int) -> Token:
+    raw = str_of_number_source(text, start)
+    if not raw:
+        raise SqlSyntaxError("malformed number", start)
+    if any(c in raw for c in ".eE"):
+        return Token(NUMBER, float(raw), start)
+    return Token(NUMBER, int(raw), start)
+
+
+def _string(text: str, start: int) -> tuple[Token, int]:
+    i = start + 1
+    n = len(text)
+    parts: list[str] = []
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":  # escaped quote
+                parts.append("'")
+                i += 2
+                continue
+            return Token(STRING, "".join(parts), start), i + 1
+        parts.append(ch)
+        i += 1
+    raise SqlSyntaxError("unterminated string literal", start)

@@ -1,0 +1,667 @@
+"""Recursive-descent parser for the SQL subset and the STRIP rule grammar.
+
+The rule grammar follows the paper's Figure 2::
+
+    create rule rule-name on t-name
+       when transition-predicate
+           [ if condition ]
+       then
+           [ evaluate query-commalist ]
+           execute function-name
+           [ unique [on column-commalist] ]
+           [ after time-value ]
+
+where each query may be suffixed ``bind as bound-table-name``.  Statements
+in a script are separated by semicolons; a trailing ``end rule`` after a
+rule definition is accepted and ignored (the paper's figures show it).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast
+from repro.sql.lexer import EOF, IDENT, NUMBER, PARAM, STRING, SYMBOL, Token, tokenize
+
+_EVENT_KINDS = ("inserted", "deleted", "updated")
+#: Words that terminate a column list inside a rule definition.
+_RULE_STOPWORDS = frozenset(
+    _EVENT_KINDS + ("if", "then", "evaluate", "execute", "unique", "after", "end")
+)
+#: Words that end a select item / table reference rather than naming an
+#: alias — SQL clause openers plus the STRIP rule-grammar keywords, since
+#: rule condition queries are embedded directly in CREATE RULE text.
+_CLAUSE_WORDS = (
+    "from",
+    "where",
+    "group",
+    "groupby",
+    "having",
+    "order",
+    "limit",
+    "bind",
+    "then",
+    "evaluate",
+    "execute",
+    "unique",
+    "after",
+    "end",
+    "when",
+)
+
+_TIME_UNITS = {
+    "second": 1.0,
+    "seconds": 1.0,
+    "sec": 1.0,
+    "secs": 1.0,
+    "ms": 1e-3,
+    "millisecond": 1e-3,
+    "milliseconds": 1e-3,
+    "minute": 60.0,
+    "minutes": 60.0,
+}
+
+
+def parse_statement(sql: str) -> ast.Statement:
+    """Parse exactly one statement (a trailing semicolon is allowed)."""
+    parser = _Parser(tokenize(sql))
+    statement = parser.statement()
+    parser.accept_symbol(";")
+    parser.expect_eof()
+    return statement
+
+
+def parse_script(sql: str) -> list[ast.Statement]:
+    """Parse a semicolon-separated sequence of statements."""
+    parser = _Parser(tokenize(sql))
+    statements: list[ast.Statement] = []
+    while not parser.at_eof():
+        if parser.accept_symbol(";"):
+            continue
+        statements.append(parser.statement())
+    return statements
+
+
+def parse_expression(sql: str) -> ast.Expr:
+    """Parse a standalone scalar expression (used by tests and the views layer)."""
+    parser = _Parser(tokenize(sql))
+    expr = parser.expression()
+    parser.expect_eof()
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._i = 0
+
+    # ------------------------------------------------------------ plumbing
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self._tokens[min(self._i + ahead, len(self._tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._i]
+        if token.type != EOF:
+            self._i += 1
+        return token
+
+    def at_eof(self) -> bool:
+        return self.peek().type == EOF
+
+    def expect_eof(self) -> None:
+        if not self.at_eof():
+            token = self.peek()
+            raise SqlSyntaxError(f"unexpected trailing input {token.value!r}", token.pos)
+
+    def at_word(self, *words: str) -> bool:
+        token = self.peek()
+        return token.type == IDENT and str(token.value).lower() in words
+
+    def accept_word(self, *words: str) -> Optional[str]:
+        if self.at_word(*words):
+            return str(self.advance().value).lower()
+        return None
+
+    def expect_word(self, *words: str) -> str:
+        got = self.accept_word(*words)
+        if got is None:
+            token = self.peek()
+            raise SqlSyntaxError(
+                f"expected {' or '.join(words).upper()}, found {token.value!r}", token.pos
+            )
+        return got
+
+    def at_symbol(self, symbol: str) -> bool:
+        token = self.peek()
+        return token.type == SYMBOL and token.value == symbol
+
+    def accept_symbol(self, symbol: str) -> bool:
+        if self.at_symbol(symbol):
+            self.advance()
+            return True
+        return False
+
+    def expect_symbol(self, symbol: str) -> None:
+        if not self.accept_symbol(symbol):
+            token = self.peek()
+            raise SqlSyntaxError(f"expected {symbol!r}, found {token.value!r}", token.pos)
+
+    def ident(self, what: str = "identifier") -> str:
+        token = self.peek()
+        if token.type != IDENT:
+            raise SqlSyntaxError(f"expected {what}, found {token.value!r}", token.pos)
+        self.advance()
+        return str(token.value)
+
+    # ----------------------------------------------------------- statements
+
+    def statement(self) -> ast.Statement:
+        if self.at_word("select"):
+            return self.select()
+        if self.at_word("insert"):
+            return self._insert()
+        if self.at_word("update"):
+            return self._update()
+        if self.at_word("delete"):
+            return self._delete()
+        if self.at_word("create"):
+            return self._create()
+        if self.at_word("drop"):
+            return self._drop()
+        if self.at_word("alter"):
+            return self._alter()
+        token = self.peek()
+        raise SqlSyntaxError(f"unknown statement start {token.value!r}", token.pos)
+
+    def _create(self) -> ast.Statement:
+        self.expect_word("create")
+        if self.accept_word("table"):
+            return self._create_table()
+        if self.accept_word("index"):
+            return self._create_index()
+        if self.accept_word("materialized"):
+            self.expect_word("view")
+            return self._create_view(materialized=True)
+        if self.accept_word("view"):
+            return self._create_view(materialized=False)
+        if self.accept_word("rule"):
+            return self._create_rule()
+        token = self.peek()
+        raise SqlSyntaxError(f"cannot CREATE {token.value!r}", token.pos)
+
+    def _create_table(self) -> ast.CreateTable:
+        name = self.ident("table name")
+        self.expect_symbol("(")
+        columns = []
+        while True:
+            col_name = self.ident("column name")
+            type_name = self.ident("type name")
+            columns.append(ast.ColumnDef(col_name, type_name))
+            if not self.accept_symbol(","):
+                break
+        self.expect_symbol(")")
+        return ast.CreateTable(name, tuple(columns))
+
+    def _create_index(self) -> ast.CreateIndex:
+        name = self.ident("index name")
+        self.expect_word("on")
+        table = self.ident("table name")
+        self.expect_symbol("(")
+        columns = [self.ident("column name")]
+        while self.accept_symbol(","):
+            columns.append(self.ident("column name"))
+        self.expect_symbol(")")
+        kind = "hash"
+        if self.accept_word("using"):
+            kind = self.expect_word("hash", "rbtree")
+        return ast.CreateIndex(name, table, tuple(columns), kind)
+
+    def _create_view(self, materialized: bool) -> ast.CreateView:
+        name = self.ident("view name")
+        self.expect_word("as")
+        select = self.select()
+        return ast.CreateView(name, select, materialized)
+
+    def _create_rule(self) -> ast.CreateRule:
+        name = self.ident("rule name")
+        self.expect_word("on")
+        table = self.ident("table name")
+        self.expect_word("when")
+        events = self._events()
+        condition: tuple[ast.RuleQuery, ...] = ()
+        if self.accept_word("if"):
+            condition = self._rule_queries()
+        self.expect_word("then")
+        evaluate: tuple[ast.RuleQuery, ...] = ()
+        if self.accept_word("evaluate"):
+            evaluate = self._rule_queries()
+        self.expect_word("execute")
+        function = self.ident("function name")
+        unique = False
+        unique_on: tuple[str, ...] = ()
+        if self.accept_word("unique"):
+            unique = True
+            if self.accept_word("on"):
+                unique_on = self._rule_column_list()
+        after = 0.0
+        if self.accept_word("after"):
+            after = self._time_value()
+        if self.accept_word("end"):
+            self.accept_word("rule")
+        return ast.CreateRule(
+            name=name,
+            table=table,
+            events=events,
+            condition=condition,
+            evaluate=evaluate,
+            function=function,
+            unique=unique,
+            unique_on=unique_on,
+            after=after,
+        )
+
+    def _events(self) -> tuple[ast.Event, ...]:
+        events = []
+        while self.at_word(*_EVENT_KINDS):
+            kind = self.expect_word(*_EVENT_KINDS)
+            columns: tuple[str, ...] = ()
+            if kind == "updated":
+                columns = self._rule_column_list(optional=True)
+            events.append(ast.Event(kind, columns))
+        if not events:
+            token = self.peek()
+            raise SqlSyntaxError(
+                f"expected INSERTED, DELETED or UPDATED, found {token.value!r}", token.pos
+            )
+        if len(events) > 3:
+            raise SqlSyntaxError("a transition predicate has at most three events")
+        return tuple(events)
+
+    def _rule_column_list(self, optional: bool = False) -> tuple[str, ...]:
+        """Bare column names as in ``updated price, volume`` or ``unique on comp``.
+
+        Terminated by a rule keyword or a non-identifier.  Column names may
+        be qualified (``matches.comp``); the qualifier is kept as written.
+        """
+        columns: list[str] = []
+        while True:
+            token = self.peek()
+            if token.type != IDENT or str(token.value).lower() in _RULE_STOPWORDS:
+                break
+            name = self.ident("column name")
+            if self.accept_symbol("."):
+                name = f"{name}.{self.ident('column name')}"
+            columns.append(name)
+            if not self.accept_symbol(","):
+                break
+        if not columns and not optional:
+            token = self.peek()
+            raise SqlSyntaxError(f"expected a column list, found {token.value!r}", token.pos)
+        return tuple(columns)
+
+    def _rule_queries(self) -> tuple[ast.RuleQuery, ...]:
+        queries = []
+        while True:
+            select = self.select()
+            bind_as = None
+            if self.accept_word("bind"):
+                self.expect_word("as")
+                bind_as = self.ident("bound table name")
+            queries.append(ast.RuleQuery(select, bind_as))
+            if not self.accept_symbol(","):
+                break
+        return tuple(queries)
+
+    def _time_value(self) -> float:
+        token = self.peek()
+        if token.type != NUMBER:
+            raise SqlSyntaxError(f"expected a time value, found {token.value!r}", token.pos)
+        self.advance()
+        amount = float(token.value)
+        unit = self.accept_word(*_TIME_UNITS)
+        if unit is not None:
+            amount *= _TIME_UNITS[unit]
+        return amount
+
+    # --------------------------------------------------------------- SELECT
+
+    def select(self) -> ast.Select:
+        self.expect_word("select")
+        distinct = bool(self.accept_word("distinct"))
+        items = self._select_items()
+        self.expect_word("from")
+        tables = [self._table_ref()]
+        while self.accept_symbol(","):
+            tables.append(self._table_ref())
+        where = None
+        if self.accept_word("where"):
+            where = self.expression()
+        group_by: tuple[ast.Expr, ...] = ()
+        if self.accept_word("group"):
+            self.expect_word("by")
+            group_by = self._expr_list()
+        elif self.accept_word("groupby"):  # the paper writes "groupby" in places
+            group_by = self._expr_list()
+        having = None
+        if self.accept_word("having"):
+            having = self.expression()
+        order_by: tuple[ast.OrderItem, ...] = ()
+        if self.accept_word("order"):
+            self.expect_word("by")
+            order_by = self._order_items()
+        limit = None
+        if self.accept_word("limit"):
+            token = self.peek()
+            if token.type != NUMBER or not isinstance(token.value, int):
+                raise SqlSyntaxError("LIMIT requires an integer", token.pos)
+            self.advance()
+            limit = int(token.value)
+        return ast.Select(
+            items=tuple(items),
+            tables=tuple(tables),
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _select_items(self) -> list[Union[ast.SelectItem, ast.StarItem]]:
+        items: list[Union[ast.SelectItem, ast.StarItem]] = []
+        while True:
+            items.append(self._select_item())
+            if not self.accept_symbol(","):
+                break
+        return items
+
+    def _select_item(self) -> Union[ast.SelectItem, ast.StarItem]:
+        if self.at_symbol("*"):
+            self.advance()
+            return ast.StarItem(None)
+        # alias.* — lookahead: IDENT . *
+        if (
+            self.peek().type == IDENT
+            and self.peek(1).type == SYMBOL
+            and self.peek(1).value == "."
+            and self.peek(2).type == SYMBOL
+            and self.peek(2).value == "*"
+        ):
+            table = self.ident()
+            self.advance()  # .
+            self.advance()  # *
+            return ast.StarItem(table)
+        expr = self.expression()
+        alias = None
+        if self.accept_word("as"):
+            alias = self.ident("column alias")
+        elif self.peek().type == IDENT and not self.at_word(*_CLAUSE_WORDS):
+            alias = self.ident("column alias")
+        return ast.SelectItem(expr, alias)
+
+    def _table_ref(self) -> ast.TableRef:
+        name = self.ident("table name")
+        alias = None
+        if self.accept_word("as"):
+            alias = self.ident("table alias")
+        elif self.peek().type == IDENT and not self.at_word(*_CLAUSE_WORDS, "on", "set", "values"):
+            alias = self.ident("table alias")
+        return ast.TableRef(name, alias)
+
+    def _order_items(self) -> tuple[ast.OrderItem, ...]:
+        items = []
+        while True:
+            expr = self.expression()
+            descending = False
+            if self.accept_word("desc"):
+                descending = True
+            else:
+                self.accept_word("asc")
+            items.append(ast.OrderItem(expr, descending))
+            if not self.accept_symbol(","):
+                break
+        return tuple(items)
+
+    def _expr_list(self) -> tuple[ast.Expr, ...]:
+        exprs = [self.expression()]
+        while self.accept_symbol(","):
+            exprs.append(self.expression())
+        return tuple(exprs)
+
+    # ------------------------------------------------------------------ DML
+
+    def _insert(self) -> ast.Insert:
+        self.expect_word("insert")
+        self.expect_word("into")
+        table = self.ident("table name")
+        columns: tuple[str, ...] = ()
+        if self.at_symbol("("):
+            self.advance()
+            names = [self.ident("column name")]
+            while self.accept_symbol(","):
+                names.append(self.ident("column name"))
+            self.expect_symbol(")")
+            columns = tuple(names)
+        if self.accept_word("values"):
+            rows = []
+            while True:
+                self.expect_symbol("(")
+                row = [self.expression()]
+                while self.accept_symbol(","):
+                    row.append(self.expression())
+                self.expect_symbol(")")
+                rows.append(tuple(row))
+                if not self.accept_symbol(","):
+                    break
+            return ast.Insert(table, columns, rows=tuple(rows))
+        if self.at_word("select"):
+            return ast.Insert(table, columns, select=self.select())
+        token = self.peek()
+        raise SqlSyntaxError(f"expected VALUES or SELECT, found {token.value!r}", token.pos)
+
+    def _update(self) -> ast.Update:
+        self.expect_word("update")
+        table = self.ident("table name")
+        self.expect_word("set")
+        assignments = []
+        while True:
+            column = self.ident("column name")
+            if self.accept_symbol("+="):
+                assignments.append(ast.Assignment(column, self.expression(), increment=True))
+            elif self.accept_symbol("-="):
+                assignments.append(ast.Assignment(column, self.expression(), decrement=True))
+            else:
+                self.expect_symbol("=")
+                assignments.append(ast.Assignment(column, self.expression()))
+            if not self.accept_symbol(","):
+                break
+        where = None
+        if self.accept_word("where"):
+            where = self.expression()
+        return ast.Update(table, tuple(assignments), where)
+
+    def _delete(self) -> ast.Delete:
+        self.expect_word("delete")
+        self.expect_word("from")
+        table = self.ident("table name")
+        where = None
+        if self.accept_word("where"):
+            where = self.expression()
+        return ast.Delete(table, where)
+
+    def _alter(self) -> ast.AlterRule:
+        self.expect_word("alter")
+        self.expect_word("rule")
+        name = self.ident("rule name")
+        word = self.expect_word("enable", "disable")
+        return ast.AlterRule(name, enabled=(word == "enable"))
+
+    def _drop(self) -> ast.Drop:
+        self.expect_word("drop")
+        kind = self.expect_word("table", "view", "rule", "index")
+        name = self.ident(f"{kind} name")
+        table = None
+        if kind == "index" and self.accept_word("on"):
+            table = self.ident("table name")
+        return ast.Drop(kind, name, table)
+
+    # ---------------------------------------------------------- expressions
+
+    def expression(self) -> ast.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expr:
+        left = self._and_expr()
+        while self.accept_word("or"):
+            left = ast.BinaryOp("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> ast.Expr:
+        left = self._not_expr()
+        while self.accept_word("and"):
+            left = ast.BinaryOp("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> ast.Expr:
+        if self.accept_word("not"):
+            return ast.UnaryOp("not", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> ast.Expr:
+        left = self._additive()
+        token = self.peek()
+        if token.type == SYMBOL and token.value in ("=", "==", "!=", "<>", "<", "<=", ">", ">="):
+            op = str(self.advance().value)
+            if op in ("==",):
+                op = "="
+            if op == "<>":
+                op = "!="
+            return ast.BinaryOp(op, left, self._additive())
+        if self.at_word("is"):
+            self.advance()
+            negated = bool(self.accept_word("not"))
+            self.expect_word("null")
+            return ast.IsNull(left, negated)
+        negated_in = False
+        if self.at_word("not") and self.peek(1).matches_word("in"):
+            self.advance()
+            negated_in = True
+        if self.at_word("in"):
+            self.advance()
+            self.expect_symbol("(")
+            if self.at_word("select"):
+                select = self.select()
+                self.expect_symbol(")")
+                return ast.InSubquery(left, select, negated=negated_in)
+            options = [self.expression()]
+            while self.accept_symbol(","):
+                options.append(self.expression())
+            self.expect_symbol(")")
+            # Desugar to a chain of equality ORs.
+            result: ast.Expr = ast.BinaryOp("=", left, options[0])
+            for option in options[1:]:
+                result = ast.BinaryOp("or", result, ast.BinaryOp("=", left, option))
+            if negated_in:
+                return ast.UnaryOp("not", result)
+            return result
+        if negated_in:
+            token = self.peek()
+            raise SqlSyntaxError(f"expected IN after NOT, found {token.value!r}", token.pos)
+        return left
+
+    def _additive(self) -> ast.Expr:
+        left = self._multiplicative()
+        while True:
+            if self.accept_symbol("+"):
+                left = ast.BinaryOp("+", left, self._multiplicative())
+            elif self.accept_symbol("-"):
+                left = ast.BinaryOp("-", left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> ast.Expr:
+        left = self._unary()
+        while True:
+            if self.accept_symbol("*"):
+                left = ast.BinaryOp("*", left, self._unary())
+            elif self.accept_symbol("/"):
+                left = ast.BinaryOp("/", left, self._unary())
+            elif self.accept_symbol("%"):
+                left = ast.BinaryOp("%", left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> ast.Expr:
+        if self.accept_symbol("-"):
+            operand = self._unary()
+            if (
+                isinstance(operand, ast.Literal)
+                and isinstance(operand.value, (int, float))
+                and not isinstance(operand.value, bool)
+            ):
+                return ast.Literal(-operand.value)  # fold negative literals
+            return ast.UnaryOp("-", operand)
+        if self.accept_symbol("+"):
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.type == NUMBER:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.type == STRING:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.type == PARAM:
+            self.advance()
+            return ast.Param(str(token.value))
+        if self.accept_symbol("("):
+            if self.at_word("select"):
+                select = self.select()
+                self.expect_symbol(")")
+                return ast.ScalarSubquery(select)
+            expr = self.expression()
+            self.expect_symbol(")")
+            return expr
+        if token.type == IDENT and str(token.value).lower() == "exists":
+            self.advance()
+            self.expect_symbol("(")
+            select = self.select()
+            self.expect_symbol(")")
+            return ast.Exists(select)
+        if token.type == IDENT:
+            word = str(token.value).lower()
+            if word == "null":
+                self.advance()
+                return ast.Literal(None)
+            if word == "true":
+                self.advance()
+                return ast.Literal(True)
+            if word == "false":
+                self.advance()
+                return ast.Literal(False)
+            name = self.ident()
+            if self.at_symbol("("):
+                return self._func_call(name)
+            if self.accept_symbol("."):
+                return ast.ColumnRef(name, self.ident("column name"))
+            return ast.ColumnRef(None, name)
+        raise SqlSyntaxError(f"unexpected token {token.value!r}", token.pos)
+
+    def _func_call(self, name: str) -> ast.FuncCall:
+        self.expect_symbol("(")
+        lowered = name.lower()
+        if self.accept_symbol("*"):
+            self.expect_symbol(")")
+            return ast.FuncCall(lowered, (), star=True)
+        distinct = bool(self.accept_word("distinct"))
+        args: list[ast.Expr] = []
+        if not self.at_symbol(")"):
+            args.append(self.expression())
+            while self.accept_symbol(","):
+                args.append(self.expression())
+        self.expect_symbol(")")
+        return ast.FuncCall(lowered, tuple(args), distinct=distinct)

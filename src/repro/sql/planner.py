@@ -1,0 +1,1372 @@
+"""Planning and execution of SELECT statements.
+
+A compiled plan is a left-deep pipeline of steps over an *environment*: a
+list ``[state, h1, h2, ..., hn]`` with one handle per planned table.  A
+handle is a :class:`~repro.storage.tuples.Record` for standard tables, a raw
+``(ptrs, mats)`` row for temporary tables, or a plain value list for derived
+(view) sources.  Column getters are compiled once per plan into closures
+indexed by environment position, so per-row evaluation is tight.
+
+Join order: temporary tables (transition and bound tables are small) come
+first, then tables reachable through equi-join predicates — via an index
+probe when the standard table has a matching index, otherwise a hash join —
+and finally any unconnected tables as nested-loop cross products (these
+appear when rule semantics call for a product of bound tables, Appendix A).
+
+Projection preserves provenance: an output column that is a direct column
+reference keeps a pointer to the contributing record, so a result bound as
+a temporary table stores record pointers instead of copied values (paper
+section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+from repro.errors import ExecutionError, PlanError
+from repro.sql import ast
+from repro.sql.expressions import Getter, compile_expr, truthy
+from repro.storage.schema import Column, ColumnType, Schema
+from repro.storage.table import Table
+from repro.storage.temptable import ColumnSource, StaticMap, TempTable
+from repro.storage.tuples import Record
+
+# --------------------------------------------------------------------------
+# Source descriptions
+# --------------------------------------------------------------------------
+
+STD = "std"
+TMP = "tmp"
+DERIVED = "derived"
+
+
+@dataclass
+class SourceDesc:
+    """One FROM-clause table as seen by the planner."""
+
+    name: str  # catalog / namespace name
+    binding: str  # alias used in the query
+    kind: str  # STD / TMP / DERIVED
+    schema: Schema
+    map_sources: Optional[tuple[ColumnSource, ...]] = None  # TMP only
+    subplan: Optional["CompiledSelect"] = None  # DERIVED only
+    from_pos: int = 0  # position in the original FROM list
+    env_pos: int = 0  # position in the environment (1-based; 0 is state)
+
+    def signature(self) -> tuple:
+        return (self.name, self.kind, id(self.schema), self.map_sources)
+
+
+class ExecState:
+    """Per-execution state threaded through the environment at slot 0."""
+
+    __slots__ = ("db", "txn", "params", "pseudo", "instances", "namespace", "subqueries")
+
+    def __init__(
+        self,
+        db: Any,
+        txn: Any,
+        params: dict[str, Any],
+        pseudo: dict[str, Any],
+        namespace: Optional[dict[str, Any]] = None,
+    ):
+        self.db = db
+        self.txn = txn
+        self.params = params
+        self.pseudo = pseudo
+        self.namespace = namespace
+        self.instances: list[Any] = []  # filled by CompiledSelect.execute
+        self.subqueries: dict[int, list] = {}  # per-execution subquery cache
+
+
+# --------------------------------------------------------------------------
+# Output columns
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class OutputColumn:
+    """One column of the result: how to read its value and, when possible,
+    which record/offset provides it (for pointer-based binding)."""
+
+    name: str
+    type: ColumnType
+    value: Getter  # env -> value
+    ptr_record: Optional[Getter] = None  # env -> Record (None => materialize)
+    ptr_offset: int = 0
+    ptr_key: Optional[tuple] = None  # identity of the pointer slot
+
+
+# --------------------------------------------------------------------------
+# The compiled plan
+# --------------------------------------------------------------------------
+
+
+class CompiledSelect:
+    """An executable SELECT plan (cached per Database and binding shape)."""
+
+    def __init__(
+        self,
+        select: ast.Select,
+        sources: list[SourceDesc],
+        steps: list["_Step"],
+        output: "_OutputSpec",
+    ) -> None:
+        self.select = select
+        self.sources = sources  # planned order
+        self.steps = steps
+        self.output = output
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.output.columns]
+
+    def execute(
+        self,
+        db: Any,
+        txn: Any,
+        params: Optional[dict[str, Any]] = None,
+        pseudo: Optional[dict[str, Any]] = None,
+        namespace: Optional[dict[str, Any]] = None,
+    ) -> "SelectResult":
+        state = ExecState(db, txn, dict(params or {}), dict(pseudo or {}), namespace)
+        for desc in self.sources:
+            state.instances.append(_fetch_instance(desc, db, txn, namespace, state))
+        envs = self.steps[0].start(state)
+        for step in self.steps[1:]:
+            envs = step.run(envs, state)
+        return self.output.produce(envs, state)
+
+
+def _fetch_instance(
+    desc: SourceDesc, db: Any, txn: Any, namespace: Optional[dict[str, Any]], state: ExecState
+) -> Any:
+    if desc.kind == DERIVED:
+        return desc.subplan
+    instance = None
+    if namespace and desc.name in namespace:
+        instance = namespace[desc.name]
+    elif db.catalog.has_table(desc.name):
+        instance = db.catalog.table(desc.name)
+    if instance is None:
+        raise ExecutionError(f"table {desc.name!r} disappeared between planning and execution")
+    if desc.kind == STD:
+        if instance.schema is not desc.schema and instance.schema != desc.schema:
+            raise ExecutionError(f"schema of {desc.name!r} changed; plan is stale")
+        if txn is not None:
+            txn.lock_table_shared(desc.name)
+    return instance
+
+
+# --------------------------------------------------------------------------
+# Pipeline steps
+# --------------------------------------------------------------------------
+
+
+class _Step:
+    def start(self, state: ExecState) -> Iterator[list[Any]]:  # first step only
+        raise NotImplementedError
+
+    def run(self, envs: Iterator[list[Any]], state: ExecState) -> Iterator[list[Any]]:
+        raise NotImplementedError
+
+
+def _source_rows(desc: SourceDesc, instance: Any, state: ExecState) -> Iterator[Any]:
+    """Iterate raw handles of one source, charging scan costs."""
+    charge = state.db.charge
+    if desc.kind == STD:
+        charge("cursor_open")
+        for record in instance.scan():
+            charge("row_scan")
+            yield record
+        charge("cursor_close")
+    elif desc.kind == TMP:
+        for raw in instance.scan_raw():
+            charge("row_scan")
+            yield raw
+    else:  # DERIVED: run the subplan, yield value lists
+        result = instance.execute(state.db, state.txn, state.params, state.pseudo)
+        for values in result.rows():
+            charge("row_scan")
+            yield values
+
+
+class _ScanStep(_Step):
+    """First pipeline step: scan (or index-probe) the driving table."""
+
+    def __init__(
+        self,
+        desc: SourceDesc,
+        n_slots: int,
+        residual: Optional[Getter],
+        eq_columns: Optional[tuple[str, ...]] = None,
+        eq_key: Optional[Getter] = None,
+        range_column: Optional[str] = None,
+        range_spec: Optional[tuple] = None,  # (low_getter, high_getter, incl_low, incl_high)
+    ) -> None:
+        self.desc = desc
+        self.n_slots = n_slots
+        self.residual = residual
+        self.eq_columns = eq_columns
+        self.eq_key = eq_key
+        self.range_column = range_column
+        self.range_spec = range_spec
+
+    def start(self, state: ExecState) -> Iterator[list[Any]]:
+        instance = state.instances[self.desc.env_pos - 1]
+        charge = state.db.charge
+        pos = self.desc.env_pos
+        template: list[Any] = [None] * (self.n_slots + 1)
+        template[0] = state
+        if self.eq_columns is not None and self.desc.kind == STD:
+            index = instance.index_on(self.eq_columns)
+            if index is not None:
+                probe_env = list(template)
+                key = self.eq_key(probe_env)
+                charge("index_probe")
+                for record in index.lookup(key):
+                    charge("cursor_fetch")
+                    env = list(template)
+                    env[pos] = record
+                    if self.residual is None or truthy(self.residual(env)):
+                        yield env
+                return
+        if self.range_column is not None and self.desc.kind == STD:
+            index = instance.index_on((self.range_column,))
+            if index is not None and hasattr(index, "range"):
+                probe_env = list(template)
+                low_getter, high_getter, include_low, include_high = self.range_spec
+                low = low_getter(probe_env) if low_getter is not None else None
+                high = high_getter(probe_env) if high_getter is not None else None
+                charge("index_probe")
+                for record in index.range(low, high, include_low, include_high):
+                    charge("cursor_fetch")
+                    env = list(template)
+                    env[pos] = record
+                    if self.residual is None or truthy(self.residual(env)):
+                        yield env
+                return
+        for handle in _source_rows(self.desc, instance, state):
+            env = list(template)
+            env[pos] = handle
+            if self.residual is not None:
+                charge("expr_eval")
+                if not truthy(self.residual(env)):
+                    continue
+            yield env
+
+
+class _IndexJoinStep(_Step):
+    """Probe a standard table's index once per outer row."""
+
+    def __init__(
+        self,
+        desc: SourceDesc,
+        index_columns: tuple[str, ...],
+        key: Getter,
+        residual: Optional[Getter],
+    ) -> None:
+        self.desc = desc
+        self.index_columns = index_columns
+        self.key = key
+        self.residual = residual
+
+    def run(self, envs: Iterator[list[Any]], state: ExecState) -> Iterator[list[Any]]:
+        instance = state.instances[self.desc.env_pos - 1]
+        index = instance.index_on(self.index_columns)
+        charge = state.db.charge
+        pos = self.desc.env_pos
+        residual = self.residual
+        if index is None:
+            # The index was dropped since planning; degrade to a hash join.
+            step = _HashJoinStep(
+                self.desc,
+                build_key=_handle_key_getter(self.desc, self.index_columns),
+                probe_key=self.key,
+                residual=residual,
+            )
+            yield from step.run(envs, state)
+            return
+        for env in envs:
+            charge("index_probe")
+            for record in index.lookup(self.key(env)):
+                charge("cursor_fetch")
+                out = list(env)
+                out[pos] = record
+                if residual is not None:
+                    charge("expr_eval")
+                    if not truthy(residual(out)):
+                        continue
+                yield out
+
+
+def _handle_key_getter(desc: SourceDesc, columns: tuple[str, ...]) -> Callable[[Any], Any]:
+    """Key extractor over a *raw handle* of ``desc`` (hash-join build side)."""
+    offsets = tuple(desc.schema.offset(c) for c in columns)
+    if desc.kind == STD:
+        if len(offsets) == 1:
+            off = offsets[0]
+            return lambda handle: handle.values[off]
+        return lambda handle: tuple(handle.values[off] for off in offsets)
+    if desc.kind == TMP:
+        sources = desc.map_sources
+
+        def tmp_value(handle: Any, offset: int) -> Any:
+            source = sources[offset]
+            if source.kind == "ptr":
+                return handle[0][source.slot].values[source.offset]
+            return handle[1][source.slot]
+
+        if len(offsets) == 1:
+            off = offsets[0]
+            return lambda handle: tmp_value(handle, off)
+        return lambda handle: tuple(tmp_value(handle, off) for off in offsets)
+    # DERIVED: handles are plain value lists
+    if len(offsets) == 1:
+        off = offsets[0]
+        return lambda handle: handle[off]
+    return lambda handle: tuple(handle[off] for off in offsets)
+
+
+class _HashJoinStep(_Step):
+    """Build a hash table over the inner source, probe per outer row."""
+
+    def __init__(
+        self,
+        desc: SourceDesc,
+        build_key: Callable[[Any], Any],
+        probe_key: Getter,
+        residual: Optional[Getter],
+    ) -> None:
+        self.desc = desc
+        self.build_key = build_key
+        self.probe_key = probe_key
+        self.residual = residual
+
+    def run(self, envs: Iterator[list[Any]], state: ExecState) -> Iterator[list[Any]]:
+        instance = state.instances[self.desc.env_pos - 1]
+        charge = state.db.charge
+        buckets: dict[Any, list[Any]] = {}
+        for handle in _source_rows(self.desc, instance, state):
+            buckets.setdefault(self.build_key(handle), []).append(handle)
+        pos = self.desc.env_pos
+        residual = self.residual
+        for env in envs:
+            charge("join_probe")
+            for handle in buckets.get(self.probe_key(env), ()):
+                out = list(env)
+                out[pos] = handle
+                if residual is not None:
+                    charge("expr_eval")
+                    if not truthy(residual(out)):
+                        continue
+                yield out
+
+
+class _NestedJoinStep(_Step):
+    """Cross product with an optional residual filter (no join predicate)."""
+
+    def __init__(self, desc: SourceDesc, residual: Optional[Getter]) -> None:
+        self.desc = desc
+        self.residual = residual
+
+    def run(self, envs: Iterator[list[Any]], state: ExecState) -> Iterator[list[Any]]:
+        instance = state.instances[self.desc.env_pos - 1]
+        charge = state.db.charge
+        handles = list(_source_rows(self.desc, instance, state))
+        pos = self.desc.env_pos
+        residual = self.residual
+        for env in envs:
+            for handle in handles:
+                charge("join_probe")
+                out = list(env)
+                out[pos] = handle
+                if residual is not None:
+                    charge("expr_eval")
+                    if not truthy(residual(out)):
+                        continue
+                yield out
+
+
+class _FilterStep(_Step):
+    def __init__(self, predicate: Getter) -> None:
+        self.predicate = predicate
+
+    def run(self, envs: Iterator[list[Any]], state: ExecState) -> Iterator[list[Any]]:
+        charge = state.db.charge
+        predicate = self.predicate
+        for env in envs:
+            charge("expr_eval")
+            if truthy(predicate(env)):
+                yield env
+
+
+# --------------------------------------------------------------------------
+# Output: plain and aggregate
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _AggSpec:
+    kind: str  # sum / count / avg / min / max
+    arg: Optional[Getter]  # None for count(*)
+    distinct: bool = False
+
+
+class _OutputSpec:
+    columns: list[OutputColumn]
+    _bind_spec = None  # lazily shared BindSpec (see SelectResult.bind_spec)
+
+    def produce(self, envs: Iterator[list[Any]], state: ExecState) -> "SelectResult":
+        raise NotImplementedError
+
+
+class _PlainOutput(_OutputSpec):
+    def __init__(
+        self,
+        columns: list[OutputColumn],
+        order_keys: list[tuple[Getter, bool]],
+        limit: Optional[int],
+        distinct: bool,
+    ) -> None:
+        self.columns = columns
+        self.order_keys = order_keys
+        self.limit = limit
+        self.distinct = distinct
+
+    def produce(self, envs: Iterator[list[Any]], state: ExecState) -> "SelectResult":
+        charge = state.db.charge
+        env_list = list(envs)
+        if self.order_keys:
+            for getter, descending in reversed(self.order_keys):
+                charge("sort_row", max(len(env_list), 1))
+                env_list.sort(key=lambda env: _null_safe_key(getter(env)), reverse=descending)
+        result_envs: list[list[Any]] = []
+        seen: set[tuple] = set()
+        for env in env_list:
+            if self.limit is not None and len(result_envs) >= self.limit:
+                break
+            if self.distinct:
+                key = tuple(column.value(env) for column in self.columns)
+                if key in seen:
+                    continue
+                seen.add(key)
+            charge("row_output")
+            result_envs.append(env)
+        return SelectResult(self.columns, envs=result_envs, spec_home=self)
+
+
+class _AggregateOutput(_OutputSpec):
+    def __init__(
+        self,
+        columns: list[OutputColumn],  # getters over the group env
+        group_keys: list[Getter],  # over row envs
+        agg_specs: list[_AggSpec],
+        having: Optional[Getter],
+        order_keys: list[tuple[Getter, bool]],
+        limit: Optional[int],
+        distinct: bool,
+    ) -> None:
+        self.columns = columns
+        self.group_keys = group_keys
+        self.agg_specs = agg_specs
+        self.having = having
+        self.order_keys = order_keys
+        self.limit = limit
+        self.distinct = distinct
+        self._materialized_columns: Optional[list[OutputColumn]] = None
+
+    def produce(self, envs: Iterator[list[Any]], state: ExecState) -> "SelectResult":
+        charge = state.db.charge
+        groups: dict[tuple, list[Any]] = {}
+        first_env: dict[tuple, list[Any]] = {}
+        accums: dict[tuple, list[Any]] = {}
+        n_agg = len(self.agg_specs)
+        for env in envs:
+            charge("group_row")
+            key = tuple(getter(env) for getter in self.group_keys)
+            acc = accums.get(key)
+            if acc is None:
+                acc = accums[key] = [_agg_init(spec) for spec in self.agg_specs]
+                first_env[key] = env
+            for i in range(n_agg):
+                charge("agg_update")
+                _agg_step(self.agg_specs[i], acc[i], env)
+        # Global aggregate over an empty input still yields one row; there
+        # is no representative row, so row-scoped getters must see None.
+        if not accums and not self.group_keys:
+            accums[()] = [_agg_init(spec) for spec in self.agg_specs]
+            first_env[()] = None
+        group_envs = []
+        for key, acc in accums.items():
+            finals = [_agg_final(spec, a) for spec, a in zip(self.agg_specs, acc)]
+            genv = (state, list(key), finals, first_env[key])
+            if self.having is not None:
+                charge("expr_eval")
+                if not truthy(self.having(genv)):
+                    continue
+            group_envs.append(genv)
+        if self.order_keys:
+            for getter, descending in reversed(self.order_keys):
+                group_envs.sort(key=lambda g: _null_safe_key(getter(g)), reverse=descending)
+        rows: list[list[Any]] = []
+        seen: set[tuple] = set()
+        for genv in group_envs:
+            if self.limit is not None and len(rows) >= self.limit:
+                break
+            values = [column.value(genv) for column in self.columns]
+            if self.distinct:
+                key = tuple(values)
+                if key in seen:
+                    continue
+                seen.add(key)
+            charge("row_output")
+            rows.append(values)
+        if self._materialized_columns is None:
+            self._materialized_columns = [
+                OutputColumn(c.name, c.type, _item_getter(i))
+                for i, c in enumerate(self.columns)
+            ]
+        return SelectResult(self._materialized_columns, value_rows=rows, spec_home=self)
+
+
+def _item_getter(i: int) -> Getter:
+    return lambda row: row[i]
+
+
+def _null_safe_key(value: Any) -> tuple:
+    """Sort key placing NULLs last and avoiding cross-type comparisons."""
+    if value is None:
+        return (2, 0)
+    if isinstance(value, str):
+        return (1, value)
+    if isinstance(value, bool):
+        return (0, int(value))
+    return (0, value)
+
+
+def _agg_init(spec: _AggSpec) -> Any:
+    if spec.distinct:
+        return {"seen": set(), "acc": _agg_init(_AggSpec(spec.kind, spec.arg))}
+    if spec.kind == "count":
+        return [0]
+    if spec.kind == "sum":
+        return [None]
+    if spec.kind == "avg":
+        return [0.0, 0]
+    return [None]  # min / max
+
+
+def _agg_step(spec: _AggSpec, acc: Any, env: Any) -> None:
+    if spec.distinct:
+        value = spec.arg(env) if spec.arg is not None else None
+        if value in acc["seen"]:
+            return
+        acc["seen"].add(value)
+        _agg_step(_AggSpec(spec.kind, lambda _e, v=value: v), acc["acc"], env)
+        return
+    if spec.kind == "count":
+        if spec.arg is None or spec.arg(env) is not None:
+            acc[0] += 1
+        return
+    value = spec.arg(env)
+    if value is None:
+        return
+    if spec.kind == "sum":
+        acc[0] = value if acc[0] is None else acc[0] + value
+    elif spec.kind == "avg":
+        acc[0] += value
+        acc[1] += 1
+    elif spec.kind == "min":
+        acc[0] = value if acc[0] is None or value < acc[0] else acc[0]
+    elif spec.kind == "max":
+        acc[0] = value if acc[0] is None or value > acc[0] else acc[0]
+
+
+def _agg_final(spec: _AggSpec, acc: Any) -> Any:
+    if spec.distinct:
+        return _agg_final(_AggSpec(spec.kind, spec.arg), acc["acc"])
+    if spec.kind == "count":
+        return acc[0]
+    if spec.kind == "avg":
+        return acc[0] / acc[1] if acc[1] else None
+    return acc[0]
+
+
+# --------------------------------------------------------------------------
+# The result set
+# --------------------------------------------------------------------------
+
+
+class BindSpec:
+    """Shared binding shape for one result-column list: schema, static map,
+    and per-row extractors (pointer slots assigned per distinct source)."""
+
+    __slots__ = ("schema", "static_map", "ptr_getters", "mat_columns")
+
+    def __init__(self, columns: list[OutputColumn]) -> None:
+        self.schema = Schema([Column(c.name, c.type) for c in columns])
+        slot_of_key: dict[tuple, int] = {}
+        self.ptr_getters: list[Getter] = []
+        sources: list[ColumnSource] = []
+        self.mat_columns: list[OutputColumn] = []
+        for column in columns:
+            if column.ptr_record is not None and column.ptr_key is not None:
+                slot = slot_of_key.get(column.ptr_key)
+                if slot is None:
+                    slot = slot_of_key[column.ptr_key] = len(self.ptr_getters)
+                    self.ptr_getters.append(column.ptr_record)
+                sources.append(ColumnSource("ptr", slot, column.ptr_offset))
+            else:
+                sources.append(ColumnSource("mat", len(self.mat_columns)))
+                self.mat_columns.append(column)
+        self.static_map = StaticMap(
+            sources, ptr_labels=[f"p{i}" for i in range(len(self.ptr_getters))]
+        )
+
+
+class SelectResult:
+    """Materialized result of a SELECT, bindable as a temporary table."""
+
+    def __init__(
+        self,
+        columns: list[OutputColumn],
+        envs: Optional[list[list[Any]]] = None,
+        value_rows: Optional[list[list[Any]]] = None,
+        spec_home: Optional["_OutputSpec"] = None,
+    ) -> None:
+        self.columns = columns
+        self._envs = envs
+        self._value_rows = value_rows
+        self._spec_home = spec_home
+        self._bind_spec = spec_home._bind_spec if spec_home is not None else None
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def rows(self) -> list[list[Any]]:
+        if self._value_rows is None:
+            self._value_rows = [
+                [column.value(env) for column in self.columns] for env in self._envs or []
+            ]
+        return self._value_rows
+
+    def dicts(self) -> list[dict[str, Any]]:
+        names = self.column_names
+        return [dict(zip(names, row)) for row in self.rows()]
+
+    def scalar(self) -> Any:
+        rows = self.rows()
+        if not rows or not rows[0]:
+            return None
+        return rows[0][0]
+
+    def first(self) -> Optional[dict[str, Any]]:
+        dicts = self.dicts()
+        return dicts[0] if dicts else None
+
+    def __len__(self) -> int:
+        if self._value_rows is not None:
+            return len(self._value_rows)
+        return len(self._envs or [])
+
+    def __iter__(self):
+        return iter(self.dicts())
+
+    # ----------------------------------------------------------- binding
+
+    def schema(self) -> Schema:
+        return self.bind_spec().schema
+
+    def bind_spec(self) -> "BindSpec":
+        """The (cached, shared) schema / static map / extractors used when
+        binding this result shape as a temporary table.  One BindSpec per
+        column list, so bound tables from successive firings share Schema
+        and StaticMap objects and plans compiled against them stay cached."""
+        spec = self._bind_spec
+        if spec is None:
+            spec = self._bind_spec = BindSpec(self.columns)
+            if self._spec_home is not None:
+                self._spec_home._bind_spec = spec
+        return spec
+
+    def bind(self, name: str, charge: Optional[Callable[[str, int], None]] = None) -> TempTable:
+        """Build a temporary table from this result, sharing record pointers
+        for direct-column outputs (paper section 6.1)."""
+        spec = self.bind_spec()
+        table = TempTable(name, spec.schema, spec.static_map)
+        if self._envs is None:
+            for row in self.rows():
+                if charge is not None:
+                    charge("bind_row", 1)
+                table.append_row((), tuple(row))
+            return table
+        ptr_getters = spec.ptr_getters
+        mat_columns = spec.mat_columns
+        for env in self._envs:
+            if charge is not None:
+                charge("bind_row", 1)
+            ptrs = tuple(getter(env) for getter in ptr_getters)
+            mats = tuple(column.value(env) for column in mat_columns)
+            table.append_row(ptrs, mats)
+        return table
+
+
+# --------------------------------------------------------------------------
+# Plan construction
+# --------------------------------------------------------------------------
+
+
+class _SelectResolution:
+    """Column / param / function resolution for one SELECT's sources."""
+
+    def __init__(
+        self,
+        db: Any,
+        descs: list[SourceDesc],
+        namespace: Optional[dict[str, Any]] = None,
+    ) -> None:
+        self.db = db
+        self.descs = descs
+        self.by_binding = {desc.binding: desc for desc in descs}
+        self.namespace = namespace
+
+    # -- ResolutionContext protocol --
+
+    def resolve_column(self, table: Optional[str], name: str) -> Getter:
+        getter, _ptr = self.resolve_output(table, name)
+        return getter
+
+    def resolve_param(self, name: str) -> Getter:
+        def _param(env: Any) -> Any:
+            try:
+                return env[0].params[name]
+            except KeyError:
+                raise ExecutionError(f"missing parameter :{name}") from None
+
+        return _param
+
+    def resolve_function(self, name: str) -> tuple[Callable[..., Any], Callable[[], None]]:
+        return self.db.resolve_scalar_function(name)
+
+    def resolve_subquery(self, select: ast.Select) -> Getter:
+        """Plan an uncorrelated subquery now; run it once per execution."""
+        subplan = plan_select(self.db, select, self.namespace)
+        key = id(subplan)
+
+        def rows(env: Any) -> list:
+            state = env[0]
+            cached = state.subqueries.get(key)
+            if cached is None:
+                result = subplan.execute(
+                    state.db, state.txn, state.params, state.pseudo, state.namespace
+                )
+                cached = state.subqueries[key] = result.rows()
+            return cached
+
+        return rows
+
+    # -- richer resolution used for output columns --
+
+    def resolve_output(
+        self, table: Optional[str], name: str
+    ) -> tuple[Getter, Optional[tuple[Getter, int, tuple]]]:
+        """(value getter, pointer spec) where pointer spec is
+        (record getter, offset, slot key) or None for materialized values."""
+        desc = self._find(table, name)
+        if desc is None:
+            if name == "commit_time":
+                return self._pseudo_getter("commit_time"), None
+            where = f"table {table!r}" if table else "any table in scope"
+            raise PlanError(f"unknown column {name!r} in {where}")
+        return self.column_of(desc, name)
+
+    def _find(self, table: Optional[str], name: str) -> Optional[SourceDesc]:
+        if table is not None:
+            desc = self.by_binding.get(table)
+            if desc is None:
+                raise PlanError(f"unknown table alias {table!r}")
+            if not desc.schema.has_column(name):
+                raise PlanError(f"table {table!r} has no column {name!r}")
+            return desc
+        matches = [desc for desc in self.descs if desc.schema.has_column(name)]
+        if not matches:
+            return None
+        if len(matches) > 1:
+            names = ", ".join(desc.binding for desc in matches)
+            raise PlanError(f"column {name!r} is ambiguous (in {names})")
+        return matches[0]
+
+    def column_of(
+        self, desc: SourceDesc, name: str
+    ) -> tuple[Getter, Optional[tuple[Getter, int, tuple]]]:
+        offset = desc.schema.offset(name)
+        pos = desc.env_pos
+        if desc.kind == STD:
+            getter = lambda env, p=pos, o=offset: env[p].values[o]
+            record = lambda env, p=pos: env[p]
+            return getter, (record, offset, ("std", pos))
+        if desc.kind == TMP:
+            source = desc.map_sources[offset]
+            if source.kind == "ptr":
+                slot, inner = source.slot, source.offset
+                getter = lambda env, p=pos, s=slot, o=inner: env[p][0][s].values[o]
+                record = lambda env, p=pos, s=slot: env[p][0][s]
+                return getter, (record, inner, ("tmp", pos, slot))
+            slot = source.slot
+            return (lambda env, p=pos, s=slot: env[p][1][s]), None
+        return (lambda env, p=pos, o=offset: env[p][o]), None
+
+    def _pseudo_getter(self, name: str) -> Getter:
+        def _pseudo(env: Any) -> Any:
+            try:
+                return env[0].pseudo[name]
+            except KeyError:
+                raise ExecutionError(
+                    f"pseudo column {name!r} is only available during rule binding"
+                ) from None
+
+        return _pseudo
+
+
+def _describe_source(db: Any, ref: ast.TableRef, namespace: Optional[dict[str, Any]]) -> SourceDesc:
+    name = ref.name
+    if namespace and name in namespace:
+        instance = namespace[name]
+        return SourceDesc(
+            name=name,
+            binding=ref.binding,
+            kind=TMP,
+            schema=instance.schema,
+            map_sources=instance.static_map.sources,
+        )
+    if db.catalog.has_table(name):
+        table = db.catalog.table(name)
+        return SourceDesc(name=name, binding=ref.binding, kind=STD, schema=table.schema)
+    if db.catalog.has_view(name):
+        view = db.catalog.view(name)
+        subplan = plan_select(db, view.select, None)
+        schema = Schema(
+            [Column(column.name, column.type) for column in subplan.output.columns]
+        )
+        return SourceDesc(
+            name=name, binding=ref.binding, kind=DERIVED, schema=schema, subplan=subplan
+        )
+    raise PlanError(f"unknown table or view {name!r}")
+
+
+def _split_conjuncts(expr: Optional[ast.Expr]) -> list[ast.Expr]:
+    if expr is None:
+        return []
+    if isinstance(expr, ast.BinaryOp) and expr.op == "and":
+        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
+    return [expr]
+
+
+def _aliases_in(expr: ast.Expr, resolution_aliases: dict[str, SourceDesc]) -> set[str]:
+    """Bindings referenced by ``expr`` (unqualified names resolved uniquely)."""
+    out: set[str] = set()
+    for ref in ast.column_refs(expr):
+        if ref.table is not None:
+            out.add(ref.table)
+        else:
+            matches = [
+                binding
+                for binding, desc in resolution_aliases.items()
+                if desc.schema.has_column(ref.name)
+            ]
+            if len(matches) == 1:
+                out.add(matches[0])
+            elif len(matches) > 1:
+                raise PlanError(f"column {ref.name!r} is ambiguous")
+            # zero matches: pseudo column (commit_time) — no alias dependency
+    return out
+
+
+def _single_column_of(
+    expr: ast.Expr, binding: str, desc: SourceDesc, aliases: dict[str, SourceDesc]
+) -> Optional[str]:
+    """If ``expr`` is a bare column of ``binding``, return the column name."""
+    if not isinstance(expr, ast.ColumnRef):
+        return None
+    if expr.table is not None:
+        return expr.name if expr.table == binding and desc.schema.has_column(expr.name) else None
+    matches = [b for b, d in aliases.items() if d.schema.has_column(expr.name)]
+    if matches == [binding]:
+        return expr.name
+    return None
+
+
+def plan_select(
+    db: Any, select: ast.Select, namespace: Optional[dict[str, Any]]
+) -> CompiledSelect:
+    """Compile ``select`` against the database catalog plus ``namespace``
+    (the running task's bound/transition tables, if any)."""
+    descs = [_describe_source(db, ref, namespace) for ref in select.tables]
+    for from_pos, desc in enumerate(descs):
+        desc.from_pos = from_pos
+    bindings = {desc.binding: desc for desc in descs}
+    if len(bindings) != len(descs):
+        raise PlanError("duplicate table alias in FROM")
+
+    conjuncts = _split_conjuncts(select.where)
+    conjunct_aliases = [_aliases_in(conjunct, bindings) for conjunct in conjuncts]
+    used = [False] * len(conjuncts)
+
+    # ---- choose the join order -------------------------------------------
+    remaining = list(descs)
+
+    def _has_probeable_join_index(desc: SourceDesc) -> bool:
+        """True if some equi-join conjunct could probe an index of ``desc``
+        — such tables should be *joined into* the pipeline, not scanned."""
+        if desc.kind != STD:
+            return False
+        table = db.catalog.table(desc.name)
+        for i, conjunct in enumerate(conjuncts):
+            if not isinstance(conjunct, ast.BinaryOp) or conjunct.op != "=":
+                continue
+            if desc.binding not in conjunct_aliases[i] or len(conjunct_aliases[i]) < 2:
+                continue
+            for side in (conjunct.left, conjunct.right):
+                column = _single_column_of(side, desc.binding, desc, bindings)
+                if column and table.index_on((column,)) is not None:
+                    return True
+        return False
+
+    def _start_score(desc: SourceDesc) -> tuple:
+        kind_rank = {TMP: 0, DERIVED: 1, STD: 2}[desc.kind]
+        has_local_eq = 0
+        if desc.kind == STD:
+            table = db.catalog.table(desc.name)
+            for i, conjunct in enumerate(conjuncts):
+                if conjunct_aliases[i] == {desc.binding} and isinstance(conjunct, ast.BinaryOp):
+                    if conjunct.op == "=":
+                        for side, other in (
+                            (conjunct.left, conjunct.right),
+                            (conjunct.right, conjunct.left),
+                        ):
+                            column = _single_column_of(side, desc.binding, desc, bindings)
+                            if column and not _aliases_in(other, bindings):
+                                if table.index_on((column,)) is not None:
+                                    has_local_eq = -1
+        probeable = 1 if _has_probeable_join_index(desc) else 0
+        return (kind_rank + has_local_eq, probeable, desc.from_pos)
+
+    start = min(remaining, key=_start_score)
+    order = [start]
+    remaining.remove(start)
+    join_specs: list[Optional[list[tuple[str, ast.Expr]]]] = [None]  # per planned table
+
+    while remaining:
+        placed = {desc.binding for desc in order}
+        best: Optional[tuple[tuple, SourceDesc, list[tuple[str, ast.Expr]]]] = None
+        for desc in remaining:
+            keys: list[tuple[str, ast.Expr]] = []
+            for i, conjunct in enumerate(conjuncts):
+                if used[i] or not isinstance(conjunct, ast.BinaryOp) or conjunct.op != "=":
+                    continue
+                refs = conjunct_aliases[i]
+                if desc.binding not in refs or not refs - {desc.binding} <= placed:
+                    continue
+                if not (refs - {desc.binding}) <= placed:
+                    continue
+                for side, other in (
+                    (conjunct.left, conjunct.right),
+                    (conjunct.right, conjunct.left),
+                ):
+                    column = _single_column_of(side, desc.binding, desc, bindings)
+                    other_refs = _aliases_in(other, bindings)
+                    if column and desc.binding not in other_refs and other_refs <= placed:
+                        keys.append((column, other))
+                        break
+            if keys:
+                has_index = 0
+                if desc.kind == STD:
+                    table = db.catalog.table(desc.name)
+                    columns = tuple(k for k, _ in keys)
+                    if table.index_on(columns) or (
+                        len(keys) > 1 and table.index_on((keys[0][0],))
+                    ):
+                        has_index = -1
+                    elif table.index_on((keys[0][0],)):
+                        has_index = -1
+                score = (has_index, {TMP: 0, DERIVED: 1, STD: 2}[desc.kind], desc.from_pos)
+                if best is None or score < best[0]:
+                    best = (score, desc, keys)
+        if best is not None:
+            _score, desc, keys = best
+            # Mark the conjuncts we consumed as join keys.
+            for column, other in keys:
+                for i, conjunct in enumerate(conjuncts):
+                    if used[i]:
+                        continue
+                    if isinstance(conjunct, ast.BinaryOp) and conjunct.op == "=":
+                        sides = (
+                            (conjunct.left, conjunct.right),
+                            (conjunct.right, conjunct.left),
+                        )
+                        for side, other_side in sides:
+                            if (
+                                _single_column_of(side, desc.binding, desc, bindings) == column
+                                and other_side is other
+                            ):
+                                used[i] = True
+            order.append(desc)
+            join_specs.append(keys)
+            remaining.remove(desc)
+        else:
+            desc = remaining.pop(0)
+            order.append(desc)
+            join_specs.append(None)
+
+    for env_pos, desc in enumerate(order, start=1):
+        desc.env_pos = env_pos
+
+    resolution = _SelectResolution(db, order, namespace)
+
+    # ---- assign residual conjuncts to pipeline positions ------------------
+    residuals: list[list[ast.Expr]] = [[] for _ in order]
+    leftovers: list[ast.Expr] = []
+    placed_sets = []
+    running: set[str] = set()
+    for desc in order:
+        running = running | {desc.binding}
+        placed_sets.append(set(running))
+    for i, conjunct in enumerate(conjuncts):
+        if used[i]:
+            continue
+        refs = conjunct_aliases[i]
+        target = None
+        for step_idx, placed in enumerate(placed_sets):
+            if refs <= placed:
+                target = step_idx
+                break
+        if target is None:
+            leftovers.append(conjunct)
+        else:
+            residuals[target].append(conjunct)
+
+    def _compile_conjunction(exprs: list[ast.Expr]) -> Optional[Getter]:
+        if not exprs:
+            return None
+        combined = exprs[0]
+        for expr in exprs[1:]:
+            combined = ast.BinaryOp("and", combined, expr)
+        return compile_expr(combined, resolution)
+
+    # ---- build the pipeline steps -----------------------------------------
+    steps: list[_Step] = []
+    first = order[0]
+    eq_columns = None
+    eq_key = None
+    scan_residuals = list(residuals[0])
+    if first.kind == STD:
+        table = db.catalog.table(first.name)
+        for expr in list(scan_residuals):
+            if isinstance(expr, ast.BinaryOp) and expr.op == "=":
+                for side, other in ((expr.left, expr.right), (expr.right, expr.left)):
+                    column = _single_column_of(side, first.binding, first, bindings)
+                    if (
+                        column
+                        and not _aliases_in(other, bindings)
+                        and table.index_on((column,)) is not None
+                    ):
+                        eq_columns = (column,)
+                        eq_key = compile_expr(other, resolution)
+                        break
+                if eq_columns:
+                    break
+    range_column = None
+    range_spec = None
+    if eq_columns is None and first.kind == STD:
+        table = db.catalog.table(first.name)
+        bounds: dict[str, list] = {}
+        for expr in scan_residuals:
+            if not (isinstance(expr, ast.BinaryOp) and expr.op in ("<", "<=", ">", ">=")):
+                continue
+            for side, other, flip in (
+                (expr.left, expr.right, False),
+                (expr.right, expr.left, True),
+            ):
+                column = _single_column_of(side, first.binding, first, bindings)
+                if not column or _aliases_in(other, bindings):
+                    continue
+                index = table.index_on((column,))
+                if index is None or not hasattr(index, "range"):
+                    continue
+                op = expr.op
+                if flip:  # literal OP column  ==  column OP' literal
+                    op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+                getter = compile_expr(other, resolution)
+                entry = bounds.setdefault(column, [None, None, True, True])
+                if op in ("<", "<="):
+                    entry[1] = getter
+                    entry[3] = op == "<="
+                else:
+                    entry[0] = getter
+                    entry[2] = op == ">="
+                break
+        if bounds:
+            range_column, entry = next(iter(bounds.items()))
+            range_spec = tuple(entry)
+    steps.append(
+        _ScanStep(
+            first,
+            n_slots=len(order),
+            residual=_compile_conjunction(scan_residuals),
+            eq_columns=eq_columns,
+            eq_key=eq_key,
+            range_column=range_column,
+            range_spec=range_spec,
+        )
+    )
+    for step_idx in range(1, len(order)):
+        desc = order[step_idx]
+        keys = join_specs[step_idx]
+        residual = _compile_conjunction(residuals[step_idx])
+        if keys:
+            columns = tuple(column for column, _ in keys)
+            probe_parts = [compile_expr(other, resolution) for _, other in keys]
+            if len(probe_parts) == 1:
+                probe_key = probe_parts[0]
+            else:
+                probe_key = lambda env, parts=tuple(probe_parts): tuple(p(env) for p in parts)
+            if desc.kind == STD and db.catalog.table(desc.name).index_on(columns) is not None:
+                steps.append(_IndexJoinStep(desc, columns, probe_key, residual))
+            else:
+                steps.append(
+                    _HashJoinStep(
+                        desc,
+                        build_key=_handle_key_getter(desc, columns),
+                        probe_key=probe_key,
+                        residual=residual,
+                    )
+                )
+        else:
+            steps.append(_NestedJoinStep(desc, residual))
+    leftover_pred = _compile_conjunction(leftovers)
+    if leftover_pred is not None:
+        steps.append(_FilterStep(leftover_pred))
+
+    output = _build_output(db, select, order, resolution)
+    return CompiledSelect(select, order, steps, output)
+
+
+# --------------------------------------------------------------------------
+# Output construction
+# --------------------------------------------------------------------------
+
+
+def _infer_type(expr: ast.Expr, order: list[SourceDesc], resolution: _SelectResolution) -> ColumnType:
+    if isinstance(expr, ast.ColumnRef):
+        if expr.table is None and expr.name == "commit_time":
+            for desc in order:
+                if desc.schema.has_column("commit_time"):
+                    break
+            else:
+                return ColumnType.TIME
+        try:
+            desc = resolution._find(expr.table, expr.name)
+        except PlanError:
+            return ColumnType.REAL
+        if desc is None:
+            return ColumnType.TIME if expr.name == "commit_time" else ColumnType.REAL
+        return desc.schema.column(expr.name).type
+    if isinstance(expr, ast.Literal):
+        if isinstance(expr.value, bool):
+            return ColumnType.BOOL
+        if isinstance(expr.value, int):
+            return ColumnType.INT
+        if isinstance(expr.value, str):
+            return ColumnType.TEXT
+        return ColumnType.REAL
+    if isinstance(expr, ast.FuncCall):
+        if expr.name == "count":
+            return ColumnType.INT
+        if expr.name in ("sum", "min", "max", "avg") and expr.args:
+            inner = _infer_type(expr.args[0], order, resolution)
+            return inner if expr.name != "avg" else ColumnType.REAL
+        return ColumnType.REAL
+    if isinstance(expr, ast.BinaryOp):
+        if expr.op in ("and", "or", "=", "!=", "<", "<=", ">", ">="):
+            return ColumnType.BOOL
+        left = _infer_type(expr.left, order, resolution)
+        right = _infer_type(expr.right, order, resolution)
+        if expr.op != "/" and left is ColumnType.INT and right is ColumnType.INT:
+            return ColumnType.INT
+        return ColumnType.REAL
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == "not":
+            return ColumnType.BOOL
+        return _infer_type(expr.operand, order, resolution)
+    if isinstance(expr, ast.IsNull):
+        return ColumnType.BOOL
+    return ColumnType.REAL
+
+
+def _default_name(expr: ast.Expr, index: int) -> str:
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    if isinstance(expr, ast.FuncCall):
+        return expr.name
+    return f"col{index}"
+
+
+def _expand_items(
+    select: ast.Select, order: list[SourceDesc]
+) -> list[tuple[ast.Expr, Optional[str]]]:
+    """Expand ``*`` / ``alias.*`` into explicit column references."""
+    by_from = sorted(order, key=lambda desc: desc.from_pos)
+    items: list[tuple[ast.Expr, Optional[str]]] = []
+    for item in select.items:
+        if isinstance(item, ast.StarItem):
+            targets = by_from if item.table is None else [
+                desc for desc in order if desc.binding == item.table
+            ]
+            if item.table is not None and not targets:
+                raise PlanError(f"unknown table alias {item.table!r} in select list")
+            for desc in targets:
+                for column in desc.schema.columns:
+                    items.append((ast.ColumnRef(desc.binding, column.name), column.name))
+        else:
+            items.append((item.expr, item.alias))
+    return items
+
+
+def _build_output(
+    db: Any, select: ast.Select, order: list[SourceDesc], resolution: _SelectResolution
+) -> _OutputSpec:
+    items = _expand_items(select, order)
+    has_aggregate = bool(select.group_by) or any(
+        ast.contains_aggregate(expr) for expr, _alias in items
+    )
+    if not has_aggregate:
+        columns = []
+        for index, (expr, alias) in enumerate(items):
+            name = alias or _default_name(expr, index)
+            col_type = _infer_type(expr, order, resolution)
+            if isinstance(expr, ast.ColumnRef):
+                getter, ptr = resolution.resolve_output(expr.table, expr.name)
+            else:
+                getter, ptr = compile_expr(expr, resolution), None
+            if ptr is not None:
+                record_getter, offset, key = ptr
+                columns.append(
+                    OutputColumn(name, col_type, getter, record_getter, offset, key)
+                )
+            else:
+                columns.append(OutputColumn(name, col_type, getter))
+        order_keys = [
+            (compile_expr(item.expr, resolution), item.descending)
+            for item in select.order_by
+        ]
+        if select.having is not None:
+            raise PlanError("HAVING requires GROUP BY or aggregates")
+        return _PlainOutput(columns, order_keys, select.limit, select.distinct)
+
+    # ---- aggregate output --------------------------------------------------
+    group_exprs = list(select.group_by)
+    group_getters = [compile_expr(expr, resolution) for expr in group_exprs]
+    agg_specs: list[_AggSpec] = []
+
+    alias_getters: dict[str, Getter] = {}
+
+    def compile_group_scoped(expr: ast.Expr) -> Getter:
+        """Compile an expression evaluated per *group* environment
+        ``(state, key_values, agg_values, representative_row_env)``."""
+        for key_index, group_expr in enumerate(group_exprs):
+            if expr == group_expr:
+                return lambda genv, k=key_index: genv[1][k]
+        if (
+            isinstance(expr, ast.ColumnRef)
+            and expr.table is None
+            and expr.name in alias_getters
+        ):
+            # Output-alias reference in HAVING / ORDER BY (a common SQL
+            # extension that paper-era systems also allowed).
+            return alias_getters[expr.name]
+        if isinstance(expr, ast.FuncCall) and expr.name in ast.AGGREGATE_NAMES:
+            if expr.star:
+                arg = None
+            elif len(expr.args) == 1:
+                arg = compile_expr(expr.args[0], resolution)
+            elif not expr.args and expr.name == "count":
+                arg = None
+            else:
+                raise PlanError(f"aggregate {expr.name.upper()} takes one argument")
+            slot = len(agg_specs)
+            agg_specs.append(_AggSpec(expr.name, arg, expr.distinct))
+            return lambda genv, s=slot: genv[2][s]
+        mentions_alias = any(
+            ref.table is None and ref.name in alias_getters
+            for ref in ast.column_refs(expr)
+        )
+        if not ast.contains_aggregate(expr) and not mentions_alias:
+            row_getter = compile_expr(expr, resolution)
+            # genv[3] is None for a global aggregate over empty input: a
+            # non-aggregated item then has no defining row and yields NULL.
+            return lambda genv: row_getter(genv[3]) if genv[3] is not None else None
+        if isinstance(expr, ast.BinaryOp):
+            left = compile_group_scoped(expr.left)
+            right = compile_group_scoped(expr.right)
+            from repro.sql.expressions import _ARITH, _COMPARE
+
+            if expr.op == "and":
+                return lambda genv: (
+                    False
+                    if left(genv) is False or right(genv) is False
+                    else (None if left(genv) is None or right(genv) is None else True)
+                )
+            if expr.op == "or":
+                return lambda genv: (
+                    True
+                    if left(genv) is True or right(genv) is True
+                    else (None if left(genv) is None or right(genv) is None else False)
+                )
+            fn = _ARITH.get(expr.op) or _COMPARE.get(expr.op)
+            if fn is None:
+                raise PlanError(f"unknown operator {expr.op!r}")
+            return lambda genv: fn(left(genv), right(genv))
+        if isinstance(expr, ast.UnaryOp):
+            inner = compile_group_scoped(expr.operand)
+            if expr.op == "-":
+                return lambda genv: None if (v := inner(genv)) is None else -v
+            return lambda genv: None if (v := inner(genv)) is None else not v
+        if isinstance(expr, ast.IsNull):
+            inner = compile_group_scoped(expr.operand)
+            if expr.negated:
+                return lambda genv: inner(genv) is not None
+            return lambda genv: inner(genv) is None
+        if isinstance(expr, ast.FuncCall):
+            fn, charge = resolution.resolve_function(expr.name)
+            arg_getters = [compile_group_scoped(arg) for arg in expr.args]
+
+            def _call(genv: Any) -> Any:
+                charge()
+                return fn(*[getter(genv) for getter in arg_getters])
+
+            return _call
+        raise PlanError(f"cannot compile aggregate expression {type(expr).__name__}")
+
+    columns = []
+    for index, (expr, alias) in enumerate(items):
+        name = alias or _default_name(expr, index)
+        col_type = _infer_type(expr, order, resolution)
+        getter = compile_group_scoped(expr)
+        alias_getters.setdefault(name, getter)
+        columns.append(OutputColumn(name, col_type, getter))
+    having = compile_group_scoped(select.having) if select.having is not None else None
+    order_keys = [
+        (compile_group_scoped(item.expr), item.descending) for item in select.order_by
+    ]
+    return _AggregateOutput(
+        columns,
+        group_getters,
+        agg_specs,
+        having,
+        order_keys,
+        select.limit,
+        select.distinct,
+    )

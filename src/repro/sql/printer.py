@@ -1,0 +1,221 @@
+"""Render ASTs back to SQL text.
+
+Used for debugging, for storing canonical view definitions, and by the
+property tests that round-trip ``parse(print(ast)) == ast``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlError
+from repro.sql import ast
+
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "=": 4,
+    "!=": 4,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+
+def expr_to_sql(expr: ast.Expr, parent_precedence: int = 0) -> str:
+    """Render an expression, parenthesizing only where precedence demands."""
+    if isinstance(expr, ast.Literal):
+        return _literal(expr.value)
+    if isinstance(expr, ast.ColumnRef):
+        return f"{expr.table}.{expr.name}" if expr.table else expr.name
+    if isinstance(expr, ast.Param):
+        return f":{expr.name}"
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == "not":
+            # NOT sits between AND and the comparisons.
+            inner = expr_to_sql(expr.operand, 4)
+            text = f"not {inner}"
+            return f"({text})" if parent_precedence > 3 else text
+        inner = expr_to_sql(expr.operand, 8)
+        if inner.startswith("-"):
+            inner = f"({inner})"  # avoid "--", which opens a line comment
+        text = f"-{inner}"
+        return f"({text})" if parent_precedence > 7 else text
+    if isinstance(expr, ast.BinaryOp):
+        precedence = _PRECEDENCE[expr.op]
+        if precedence == 4:
+            # Comparisons are non-associative: parenthesize nested ones.
+            left = expr_to_sql(expr.left, precedence + 1)
+        else:
+            left = expr_to_sql(expr.left, precedence)
+        # +1 on the right side keeps left-associativity explicit (a - b - c).
+        right = expr_to_sql(expr.right, precedence + 1)
+        text = f"{left} {expr.op} {right}"
+        if precedence < parent_precedence:
+            return f"({text})"
+        return text
+    if isinstance(expr, ast.IsNull):
+        inner = expr_to_sql(expr.operand, 5)
+        text = f"{inner} is not null" if expr.negated else f"{inner} is null"
+        return f"({text})" if parent_precedence > 4 else text
+    if isinstance(expr, ast.FuncCall):
+        if expr.star:
+            return f"{expr.name}(*)"
+        args = ", ".join(expr_to_sql(arg) for arg in expr.args)
+        distinct = "distinct " if expr.distinct else ""
+        return f"{expr.name}({distinct}{args})"
+    if isinstance(expr, ast.ScalarSubquery):
+        return f"({select_to_sql(expr.select)})"
+    if isinstance(expr, ast.Exists):
+        keyword = "not exists" if expr.negated else "exists"
+        return f"{keyword} ({select_to_sql(expr.select)})"
+    if isinstance(expr, ast.InSubquery):
+        keyword = "not in" if expr.negated else "in"
+        return f"{expr_to_sql(expr.operand, 5)} {keyword} ({select_to_sql(expr.select)})"
+    raise SqlError(f"cannot print expression node {type(expr).__name__}")
+
+
+def _literal(value: object) -> str:
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return repr(value)
+
+
+def select_to_sql(select: ast.Select) -> str:
+    """Render a SELECT back to SQL text."""
+    parts = ["select"]
+    if select.distinct:
+        parts.append("distinct")
+    items = []
+    for item in select.items:
+        if isinstance(item, ast.StarItem):
+            items.append(f"{item.table}.*" if item.table else "*")
+        else:
+            text = expr_to_sql(item.expr)
+            if item.alias:
+                text += f" as {item.alias}"
+            items.append(text)
+    parts.append(", ".join(items))
+    parts.append("from")
+    parts.append(
+        ", ".join(
+            f"{ref.name} as {ref.alias}" if ref.alias else ref.name
+            for ref in select.tables
+        )
+    )
+    if select.where is not None:
+        parts.append("where " + expr_to_sql(select.where))
+    if select.group_by:
+        parts.append("group by " + ", ".join(expr_to_sql(e) for e in select.group_by))
+    if select.having is not None:
+        parts.append("having " + expr_to_sql(select.having))
+    if select.order_by:
+        rendered = [
+            expr_to_sql(item.expr) + (" desc" if item.descending else "")
+            for item in select.order_by
+        ]
+        parts.append("order by " + ", ".join(rendered))
+    if select.limit is not None:
+        parts.append(f"limit {select.limit}")
+    return " ".join(parts)
+
+
+def statement_to_sql(stmt: ast.Statement) -> str:
+    """Render any statement back to SQL."""
+    if isinstance(stmt, ast.Select):
+        return select_to_sql(stmt)
+    if isinstance(stmt, ast.Insert):
+        columns = f" ({', '.join(stmt.columns)})" if stmt.columns else ""
+        if stmt.select is not None:
+            return f"insert into {stmt.table}{columns} {select_to_sql(stmt.select)}"
+        rows = ", ".join(
+            "(" + ", ".join(expr_to_sql(value) for value in row) + ")"
+            for row in stmt.rows
+        )
+        return f"insert into {stmt.table}{columns} values {rows}"
+    if isinstance(stmt, ast.Update):
+        assignments = []
+        for assignment in stmt.assignments:
+            if assignment.increment:
+                op = "+="
+            elif assignment.decrement:
+                op = "-="
+            else:
+                op = "="
+            assignments.append(
+                f"{assignment.column} {op} {expr_to_sql(assignment.expr)}"
+            )
+        text = f"update {stmt.table} set {', '.join(assignments)}"
+        if stmt.where is not None:
+            text += " where " + expr_to_sql(stmt.where)
+        return text
+    if isinstance(stmt, ast.Delete):
+        text = f"delete from {stmt.table}"
+        if stmt.where is not None:
+            text += " where " + expr_to_sql(stmt.where)
+        return text
+    if isinstance(stmt, ast.CreateTable):
+        columns = ", ".join(f"{c.name} {c.type_name}" for c in stmt.columns)
+        return f"create table {stmt.name} ({columns})"
+    if isinstance(stmt, ast.CreateIndex):
+        return (
+            f"create index {stmt.name} on {stmt.table} "
+            f"({', '.join(stmt.columns)}) using {stmt.kind}"
+        )
+    if isinstance(stmt, ast.CreateView):
+        kind = "materialized view" if stmt.materialized else "view"
+        return f"create {kind} {stmt.name} as {select_to_sql(stmt.select)}"
+    if isinstance(stmt, ast.AlterRule):
+        action = "enable" if stmt.enabled else "disable"
+        return f"alter rule {stmt.name} {action}"
+    if isinstance(stmt, ast.Drop):
+        if stmt.kind == "index" and stmt.table:
+            return f"drop index {stmt.name} on {stmt.table}"
+        return f"drop {stmt.kind} {stmt.name}"
+    if isinstance(stmt, ast.CreateRule):
+        return rule_to_sql(stmt)
+    raise SqlError(f"cannot print statement {type(stmt).__name__}")
+
+
+def rule_to_sql(rule: ast.CreateRule) -> str:
+    """Render a CREATE RULE back to the Figure 2 grammar."""
+    parts = [f"create rule {rule.name} on {rule.table}", "when"]
+    events = []
+    for event in rule.events:
+        text = event.kind
+        if event.columns:
+            text += " " + ", ".join(event.columns)
+        events.append(text)
+    parts.append(" ".join(events))
+    if rule.condition:
+        parts.append("if " + _rule_queries(rule.condition))
+    parts.append("then")
+    if rule.evaluate:
+        parts.append("evaluate " + _rule_queries(rule.evaluate))
+    parts.append(f"execute {rule.function}")
+    if rule.unique:
+        parts.append("unique" + (" on " + ", ".join(rule.unique_on) if rule.unique_on else ""))
+    if rule.after:
+        parts.append(f"after {rule.after} seconds")
+    return " ".join(parts)
+
+
+def _rule_queries(queries) -> str:
+    rendered = []
+    for query in queries:
+        text = select_to_sql(query.select)
+        if query.bind_as:
+            text += f" bind as {query.bind_as}"
+        rendered.append(text)
+    return ", ".join(rendered)

@@ -1,0 +1,39 @@
+"""Main-memory storage engine (paper section 6.1).
+
+This subpackage implements STRIP's two kinds of tables:
+
+* **standard tables** (:class:`~repro.storage.table.Table`) — linked lists of
+  versioned records whose attribute values are stored inline.  Records are
+  never updated in place: an update creates a new record and the old one is
+  retired, surviving as long as any temporary table still references it.
+* **temporary tables** (:class:`~repro.storage.temptable.TempTable`) — used
+  for intermediate query results, transition tables, and bound tables.  A
+  temporary tuple stores one pointer per contributing standard record plus
+  inline values for computed attributes, with a per-table *static map*
+  describing where each column's value lives.
+
+Indexes (hash and red-black tree) and the catalog also live here.
+"""
+
+from repro.storage.catalog import Catalog
+from repro.storage.index import HashIndex, RBTreeIndex
+from repro.storage.rbtree import RedBlackTree
+from repro.storage.schema import Column, ColumnType, Schema
+from repro.storage.table import Table
+from repro.storage.temptable import ColumnSource, StaticMap, TempTable
+from repro.storage.tuples import Record
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnSource",
+    "ColumnType",
+    "HashIndex",
+    "RBTreeIndex",
+    "Record",
+    "RedBlackTree",
+    "Schema",
+    "StaticMap",
+    "Table",
+    "TempTable",
+]

@@ -1,0 +1,127 @@
+"""Secondary indexes over standard tables.
+
+STRIP tables "can be indexed using either a hash or red-black tree
+structure" (section 6.1).  Both index kinds map a key — the value of one
+column, or a tuple of values for composite keys — to the set of *current*
+records holding that key.  Indexes are maintained by the owning
+:class:`~repro.storage.table.Table` on every insert/delete/update.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.errors import SchemaError
+from repro.storage.rbtree import RedBlackTree
+from repro.storage.schema import Schema
+from repro.storage.tuples import Record
+
+
+class BaseIndex:
+    """Shared key-extraction logic for both index structures."""
+
+    kind = "base"
+
+    def __init__(self, name: str, schema: Schema, columns: Iterable[str]) -> None:
+        self.name = name
+        self.columns = tuple(columns)
+        if not self.columns:
+            raise SchemaError("an index needs at least one column")
+        self._offsets = tuple(schema.offset(column) for column in self.columns)
+        self._single = self._offsets[0] if len(self._offsets) == 1 else None
+
+    def key_of(self, record: Record) -> Any:
+        if self._single is not None:
+            return record.values[self._single]
+        return tuple(record.values[offset] for offset in self._offsets)
+
+    def key_of_values(self, values: list[Any]) -> Any:
+        if self._single is not None:
+            return values[self._single]
+        return tuple(values[offset] for offset in self._offsets)
+
+    # The concrete structures implement these three.
+    def add(self, record: Record) -> None:
+        raise NotImplementedError
+
+    def remove(self, record: Record) -> None:
+        raise NotImplementedError
+
+    def lookup(self, key: Any) -> Iterator[Record]:
+        raise NotImplementedError
+
+
+class HashIndex(BaseIndex):
+    """A non-unique hash index: key -> list of current records."""
+
+    kind = "hash"
+
+    def __init__(self, name: str, schema: Schema, columns: Iterable[str]) -> None:
+        super().__init__(name, schema, columns)
+        self._buckets: dict[Any, list[Record]] = {}
+
+    def add(self, record: Record) -> None:
+        self._buckets.setdefault(self.key_of(record), []).append(record)
+
+    def remove(self, record: Record) -> None:
+        key = self.key_of(record)
+        bucket = self._buckets.get(key)
+        if not bucket:
+            raise KeyError(f"record {record.rid} not in index {self.name}")
+        bucket.remove(record)
+        if not bucket:
+            del self._buckets[key]
+
+    def lookup(self, key: Any) -> Iterator[Record]:
+        return iter(self._buckets.get(key, ()))
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class RBTreeIndex(BaseIndex):
+    """A non-unique ordered index backed by a red-black tree."""
+
+    kind = "rbtree"
+
+    def __init__(self, name: str, schema: Schema, columns: Iterable[str]) -> None:
+        super().__init__(name, schema, columns)
+        self._tree = RedBlackTree()
+        self._count = 0
+
+    def add(self, record: Record) -> None:
+        key = self.key_of(record)
+        bucket = self._tree.get(key)
+        if bucket is None:
+            self._tree.insert(key, [record])
+        else:
+            bucket.append(record)
+        self._count += 1
+
+    def remove(self, record: Record) -> None:
+        key = self.key_of(record)
+        bucket = self._tree.get(key)
+        if not bucket:
+            raise KeyError(f"record {record.rid} not in index {self.name}")
+        bucket.remove(record)
+        if not bucket:
+            self._tree.delete(key)
+        self._count -= 1
+
+    def lookup(self, key: Any) -> Iterator[Record]:
+        bucket = self._tree.get(key)
+        return iter(bucket) if bucket else iter(())
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[Record]:
+        """All current records with index key in the given range, key-ordered."""
+        for _key, bucket in self._tree.range(low, high, include_low, include_high):
+            yield from bucket
+
+    def __len__(self) -> int:
+        return self._count

@@ -1,0 +1,334 @@
+"""A red-black tree, built from scratch.
+
+The paper states that STRIP standard tables can be indexed "using either a
+hash or red-black tree structure" (section 6.1).  This module provides the
+ordered half of that pair: a classic CLRS-style red-black tree mapping keys
+to arbitrary payloads, with in-order and range iteration for ordered scans.
+
+The tree stores one node per distinct key; the index layer on top keeps a
+bucket of records per key, so duplicate-key handling lives there.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple
+
+RED = True
+BLACK = False
+
+
+class _Node:
+    __slots__ = ("key", "value", "color", "left", "right", "parent")
+
+    def __init__(self, key: Any, value: Any, color: bool, nil: "_Node") -> None:
+        self.key = key
+        self.value = value
+        self.color = color
+        self.left = nil
+        self.right = nil
+        self.parent = nil
+
+
+class RedBlackTree:
+    """An ordered map with O(log n) insert/delete/search and ordered iteration."""
+
+    __slots__ = ("_nil", "_root", "_size")
+
+    def __init__(self) -> None:
+        nil = _Node.__new__(_Node)
+        nil.key = None
+        nil.value = None
+        nil.color = BLACK
+        nil.left = nil
+        nil.right = nil
+        nil.parent = nil
+        self._nil = nil
+        self._root = nil
+        self._size = 0
+
+    # ------------------------------------------------------------------ API
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Any) -> bool:
+        return self._find(key) is not None
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        node = self._find(key)
+        return default if node is None else node.value
+
+    def insert(self, key: Any, value: Any) -> bool:
+        """Insert or replace ``key``; return True if the key was new."""
+        parent = self._nil
+        node = self._root
+        while node is not self._nil:
+            parent = node
+            if key == node.key:
+                node.value = value
+                return False
+            node = node.left if key < node.key else node.right
+        fresh = _Node(key, value, RED, self._nil)
+        fresh.parent = parent
+        if parent is self._nil:
+            self._root = fresh
+        elif key < parent.key:
+            parent.left = fresh
+        else:
+            parent.right = fresh
+        self._size += 1
+        self._insert_fixup(fresh)
+        return True
+
+    def delete(self, key: Any) -> bool:
+        """Remove ``key``; return True if it was present."""
+        node = self._find(key)
+        if node is None:
+            return False
+        self._delete_node(node)
+        self._size -= 1
+        return True
+
+    def minimum(self) -> Optional[Tuple[Any, Any]]:
+        if self._root is self._nil:
+            return None
+        node = self._subtree_min(self._root)
+        return node.key, node.value
+
+    def maximum(self) -> Optional[Tuple[Any, Any]]:
+        if self._root is self._nil:
+            return None
+        node = self._root
+        while node.right is not self._nil:
+            node = node.right
+        return node.key, node.value
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """All (key, value) pairs in ascending key order (iterative walk)."""
+        stack: list[_Node] = []
+        node = self._root
+        while stack or node is not self._nil:
+            while node is not self._nil:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+
+    def keys(self) -> Iterator[Any]:
+        for key, _value in self.items():
+            yield key
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[Tuple[Any, Any]]:
+        """(key, value) pairs with ``low <= key <= high``, bounds optional."""
+        stack: list[_Node] = []
+        node = self._root
+        while stack or node is not self._nil:
+            while node is not self._nil:
+                if low is not None and (node.key < low or (node.key == low and not include_low)):
+                    # Everything in the left subtree is below the bound too.
+                    node = node.right
+                    continue
+                stack.append(node)
+                node = node.left
+            if not stack:
+                break
+            node = stack.pop()
+            if high is not None and (node.key > high or (node.key == high and not include_high)):
+                break
+            if low is None or node.key > low or (node.key == low and include_low):
+                yield node.key, node.value
+            node = node.right
+
+    # ----------------------------------------------------------- invariants
+
+    def check_invariants(self) -> None:
+        """Validate the red-black properties; raise AssertionError on violation.
+
+        Used by the property-based tests rather than production code paths.
+        """
+        if self._root.color is not BLACK:
+            raise AssertionError("root must be black")
+
+        def walk(node: _Node, low: Any, high: Any) -> int:
+            if node is self._nil:
+                return 1
+            if low is not None and not node.key > low:
+                raise AssertionError("BST order violated (left)")
+            if high is not None and not node.key < high:
+                raise AssertionError("BST order violated (right)")
+            if node.color is RED:
+                if node.left.color is RED or node.right.color is RED:
+                    raise AssertionError("red node with red child")
+            left_black = walk(node.left, low, node.key)
+            right_black = walk(node.right, node.key, high)
+            if left_black != right_black:
+                raise AssertionError("black-height mismatch")
+            return left_black + (1 if node.color is BLACK else 0)
+
+        walk(self._root, None, None)
+
+    # ------------------------------------------------------------ internals
+
+    def _find(self, key: Any) -> Optional[_Node]:
+        node = self._root
+        while node is not self._nil:
+            if key == node.key:
+                return node
+            node = node.left if key < node.key else node.right
+        return None
+
+    def _subtree_min(self, node: _Node) -> _Node:
+        while node.left is not self._nil:
+            node = node.left
+        return node
+
+    def _rotate_left(self, x: _Node) -> None:
+        y = x.right
+        x.right = y.left
+        if y.left is not self._nil:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is self._nil:
+            self._root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+
+    def _rotate_right(self, x: _Node) -> None:
+        y = x.left
+        x.left = y.right
+        if y.right is not self._nil:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is self._nil:
+            self._root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+
+    def _insert_fixup(self, z: _Node) -> None:
+        while z.parent.color is RED:
+            grand = z.parent.parent
+            if z.parent is grand.left:
+                uncle = grand.right
+                if uncle.color is RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    z = grand
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._rotate_left(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._rotate_right(z.parent.parent)
+            else:
+                uncle = grand.left
+                if uncle.color is RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    z = grand
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._rotate_right(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._rotate_left(z.parent.parent)
+        self._root.color = BLACK
+
+    def _transplant(self, u: _Node, v: _Node) -> None:
+        if u.parent is self._nil:
+            self._root = v
+        elif u is u.parent.left:
+            u.parent.left = v
+        else:
+            u.parent.right = v
+        v.parent = u.parent
+
+    def _delete_node(self, z: _Node) -> None:
+        y = z
+        y_original_color = y.color
+        if z.left is self._nil:
+            x = z.right
+            self._transplant(z, z.right)
+        elif z.right is self._nil:
+            x = z.left
+            self._transplant(z, z.left)
+        else:
+            y = self._subtree_min(z.right)
+            y_original_color = y.color
+            x = y.right
+            if y.parent is z:
+                x.parent = y
+            else:
+                self._transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+            self._transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.color = z.color
+        if y_original_color is BLACK:
+            self._delete_fixup(x)
+
+    def _delete_fixup(self, x: _Node) -> None:
+        while x is not self._root and x.color is BLACK:
+            if x is x.parent.left:
+                sibling = x.parent.right
+                if sibling.color is RED:
+                    sibling.color = BLACK
+                    x.parent.color = RED
+                    self._rotate_left(x.parent)
+                    sibling = x.parent.right
+                if sibling.left.color is BLACK and sibling.right.color is BLACK:
+                    sibling.color = RED
+                    x = x.parent
+                else:
+                    if sibling.right.color is BLACK:
+                        sibling.left.color = BLACK
+                        sibling.color = RED
+                        self._rotate_right(sibling)
+                        sibling = x.parent.right
+                    sibling.color = x.parent.color
+                    x.parent.color = BLACK
+                    sibling.right.color = BLACK
+                    self._rotate_left(x.parent)
+                    x = self._root
+            else:
+                sibling = x.parent.left
+                if sibling.color is RED:
+                    sibling.color = BLACK
+                    x.parent.color = RED
+                    self._rotate_right(x.parent)
+                    sibling = x.parent.left
+                if sibling.right.color is BLACK and sibling.left.color is BLACK:
+                    sibling.color = RED
+                    x = x.parent
+                else:
+                    if sibling.left.color is BLACK:
+                        sibling.right.color = BLACK
+                        sibling.color = RED
+                        self._rotate_left(sibling)
+                        sibling = x.parent.left
+                    sibling.color = x.parent.color
+                    x.parent.color = BLACK
+                    sibling.left.color = BLACK
+                    self._rotate_right(x.parent)
+                    x = self._root
+        x.color = BLACK

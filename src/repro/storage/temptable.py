@@ -1,0 +1,237 @@
+"""Temporary tables with pointer-based tuples and static maps.
+
+Paper section 6.1: a temporary tuple does not copy attribute values.  It
+stores **one pointer per standard record that contributes at least one
+attribute**, plus inline storage for aggregate/computed/timestamp attributes
+that exist nowhere else.  A per-table *static map* records, for every column,
+which pointer to follow and the offset inside the referenced record — or the
+slot in the inline (materialized) area.
+
+Because rule conditions are evaluated in the triggering transaction while
+the rule action runs later in a decoupled transaction, a temporary table used
+as a *bound table* pins every record it references; the storage layer keeps
+retired record versions alive until the last referencing bound table is
+retired (reference counting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Optional, Sequence
+
+from repro.errors import BindingError, SchemaError
+from repro.storage.schema import Schema
+from repro.storage.tuples import Record
+
+
+@dataclass(frozen=True)
+class ColumnSource:
+    """Where one temp-table column's value lives.
+
+    ``kind`` is ``"ptr"`` (follow ``slot``-th record pointer, read attribute
+    at ``offset``) or ``"mat"`` (read the ``slot``-th materialized value).
+    """
+
+    kind: str
+    slot: int
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ptr", "mat"):
+            raise SchemaError(f"bad column source kind {self.kind!r}")
+
+
+class StaticMap:
+    """The static column map of one temporary table."""
+
+    __slots__ = ("sources", "ptr_slots", "mat_slots", "ptr_labels")
+
+    def __init__(self, sources: Sequence[ColumnSource], ptr_labels: Sequence[str] = ()) -> None:
+        self.sources = tuple(sources)
+        self.ptr_slots = 1 + max(
+            (s.slot for s in self.sources if s.kind == "ptr"), default=-1
+        )
+        self.mat_slots = 1 + max(
+            (s.slot for s in self.sources if s.kind == "mat"), default=-1
+        )
+        # Human-readable names of the contributing tables, for repr/debugging.
+        self.ptr_labels = tuple(ptr_labels) if ptr_labels else tuple(
+            f"src{i}" for i in range(self.ptr_slots)
+        )
+
+    @classmethod
+    def all_materialized(cls, n_columns: int) -> "StaticMap":
+        """A map where every column is stored inline (no pointers)."""
+        return cls([ColumnSource("mat", i) for i in range(n_columns)])
+
+    @classmethod
+    def all_pointer(cls, schema: Schema, label: str = "src0") -> "StaticMap":
+        """A map where every column comes from a single record pointer.
+
+        Used for transition tables, whose rows each reference exactly one
+        standard record.
+        """
+        return cls(
+            [ColumnSource("ptr", 0, offset) for offset in range(len(schema))],
+            ptr_labels=(label,),
+        )
+
+    def signature(self) -> tuple:
+        """A comparable shape identity (bound tables of one user function
+        must be defined identically — paper section 2)."""
+        return (self.sources, self.ptr_slots, self.mat_slots)
+
+    def __repr__(self) -> str:
+        parts = []
+        for source in self.sources:
+            if source.kind == "ptr":
+                parts.append(f"({self.ptr_labels[source.slot]}, @{source.offset})")
+            else:
+                parts.append(f"(mat, #{source.slot})")
+        return f"StaticMap[{', '.join(parts)}]"
+
+
+class TempTable:
+    """A temporary table: schema + static map + rows of (pointers, values).
+
+    Rows are ``(ptrs, mats)`` pairs where ``ptrs`` is a tuple of pinned
+    :class:`Record` references and ``mats`` a tuple of inline values.
+    """
+
+    is_temporary = True
+
+    def __init__(self, name: str, schema: Schema, static_map: Optional[StaticMap] = None) -> None:
+        if static_map is None:
+            static_map = StaticMap.all_materialized(len(schema))
+        if len(static_map.sources) != len(schema):
+            raise SchemaError(
+                f"static map has {len(static_map.sources)} columns, schema has {len(schema)}"
+            )
+        self.name = name
+        self.schema = schema
+        self.static_map = static_map
+        self._rows: list[tuple[tuple[Record, ...], tuple[Any, ...]]] = []
+        self._retired = False
+
+    # ------------------------------------------------------------ mutation
+
+    def append_row(self, ptrs: Sequence[Record], mats: Sequence[Any] = ()) -> None:
+        """Add one row, pinning every referenced record."""
+        self._check_live()
+        ptrs = tuple(ptrs)
+        mats = tuple(mats)
+        if len(ptrs) != self.static_map.ptr_slots:
+            raise SchemaError(
+                f"row has {len(ptrs)} pointers, static map needs {self.static_map.ptr_slots}"
+            )
+        if len(mats) != self.static_map.mat_slots:
+            raise SchemaError(
+                f"row has {len(mats)} materialized values, "
+                f"static map needs {self.static_map.mat_slots}"
+            )
+        for record in ptrs:
+            record.pin()
+        self._rows.append((ptrs, mats))
+
+    def append_values(self, values: Sequence[Any]) -> None:
+        """Add a fully materialized row (only valid for all-mat maps)."""
+        if self.static_map.ptr_slots:
+            raise SchemaError("append_values requires an all-materialized static map")
+        self.append_row((), tuple(values))
+
+    def absorb(self, other: "TempTable") -> int:
+        """Append all of ``other``'s rows to this table (unique-transaction
+        batching, paper sections 2 and 6.3).  Returns the number of rows added.
+
+        The two tables must be *defined identically*: same schema, same
+        static-map shape.
+        """
+        self._check_live()
+        if other.schema != self.schema:
+            raise BindingError(
+                f"bound table {self.name!r}: schema mismatch when batching "
+                f"({other.schema!r} vs {self.schema!r})"
+            )
+        if other.static_map.signature() != self.static_map.signature():
+            raise BindingError(
+                f"bound table {self.name!r}: static map mismatch when batching"
+            )
+        for ptrs, mats in other._rows:
+            for record in ptrs:
+                record.pin()
+            self._rows.append((ptrs, mats))
+        return len(other._rows)
+
+    def retire(self) -> None:
+        """Release every pinned record.  Idempotent."""
+        if self._retired:
+            return
+        self._retired = True
+        for ptrs, _mats in self._rows:
+            for record in ptrs:
+                record.unpin()
+        self._rows.clear()
+
+    @property
+    def retired(self) -> bool:
+        return self._retired
+
+    # -------------------------------------------------------------- access
+
+    def value_at(self, row_index: int, column_offset: int) -> Any:
+        ptrs, mats = self._rows[row_index]
+        source = self.static_map.sources[column_offset]
+        if source.kind == "ptr":
+            return ptrs[source.slot].values[source.offset]
+        return mats[source.slot]
+
+    def row_values(self, row_index: int) -> list[Any]:
+        ptrs, mats = self._rows[row_index]
+        values = []
+        for source in self.static_map.sources:
+            if source.kind == "ptr":
+                values.append(ptrs[source.slot].values[source.offset])
+            else:
+                values.append(mats[source.slot])
+        return values
+
+    def scan_values(self) -> Iterator[list[Any]]:
+        """Iterate rows as plain value lists (the executor's row source)."""
+        sources = self.static_map.sources
+        for ptrs, mats in self._rows:
+            yield [
+                ptrs[s.slot].values[s.offset] if s.kind == "ptr" else mats[s.slot]
+                for s in sources
+            ]
+
+    def scan_raw(self) -> Iterator[tuple[tuple[Record, ...], tuple[Any, ...]]]:
+        return iter(self._rows)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Rows as dictionaries — convenient in user functions and tests."""
+        names = self.schema.names()
+        return [dict(zip(names, self.row_values(i))) for i in range(len(self._rows))]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        state = "retired" if self._retired else f"{len(self._rows)} rows"
+        return f"TempTable({self.name!r}, {state})"
+
+    def _check_live(self) -> None:
+        if self._retired:
+            raise SchemaError(f"temp table {self.name!r} is retired")
+
+
+def project_columns(
+    table: TempTable, name: str, columns: Iterable[str]
+) -> TempTable:
+    """A new all-materialized temp table holding a projection of ``table``."""
+    offsets = [table.schema.offset(column) for column in columns]
+    schema = Schema([table.schema.columns[offset] for offset in offsets])
+    result = TempTable(name, schema)
+    for i in range(len(table)):
+        values = table.row_values(i)
+        result.append_values([values[offset] for offset in offsets])
+    return result

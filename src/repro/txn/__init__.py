@@ -1,0 +1,39 @@
+"""Transactions, locking, tasks and scheduling (paper sections 4.4 and 6.2).
+
+Tasks — not transactions — are STRIP's unit of scheduling; every transaction
+runs inside exactly one task.  New tasks carry a release time and sit in the
+delay queue until released, then in the ready queue until a processor picks
+them up.  The rule system creates tasks whose task control blocks (TCBs)
+carry bound-table pointers, the user function name, and the release delay.
+"""
+
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.log import LogEntry, TransactionLog
+from repro.txn.queues import DelayQueue, ReadyQueue
+from repro.txn.scheduler import (
+    EarliestDeadlinePolicy,
+    FifoPolicy,
+    SchedulingPolicy,
+    ValueDensityPolicy,
+    make_policy,
+)
+from repro.txn.tasks import Task, TaskState
+from repro.txn.transaction import Transaction, TransactionState
+
+__all__ = [
+    "DelayQueue",
+    "EarliestDeadlinePolicy",
+    "FifoPolicy",
+    "LockManager",
+    "LockMode",
+    "LogEntry",
+    "ReadyQueue",
+    "SchedulingPolicy",
+    "Task",
+    "TaskState",
+    "Transaction",
+    "TransactionLog",
+    "TransactionState",
+    "ValueDensityPolicy",
+    "make_policy",
+]

@@ -1,0 +1,212 @@
+"""A strict two-phase lock manager with shared/exclusive record locks.
+
+STRIP holds locks for the duration of a transaction and releases them at
+commit; a task that must wait moves to the blocked queue until its lock is
+granted (paper section 6.2).  Our engine executes task bodies one at a time
+in virtual time, so in normal operation a request is always grantable — but
+the manager is a complete implementation (wait queues, upgrades, waits-for
+deadlock detection) so that concurrent interleavings can be exercised
+directly, as the lock tests do.
+
+Resources are ``(table_name, record_id)`` pairs for row locks and
+``(table_name, None)`` for whole-table locks; a table lock conflicts with
+every row lock in that table and vice versa (coarse two-level hierarchy).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+from repro.errors import DeadlockError
+
+Resource = tuple[str, Optional[Hashable]]
+
+
+class LockMode(enum.Enum):
+    """S (read), X (write), and IX (table-level intent for row writes)."""
+    SHARED = "S"
+    EXCLUSIVE = "X"
+    INTENTION_EXCLUSIVE = "IX"  # taken on the table before row X locks
+
+    def compatible_with(self, other: "LockMode") -> bool:
+        if self is LockMode.EXCLUSIVE or other is LockMode.EXCLUSIVE:
+            return False
+        if self is other:
+            # S+S share readers; IX+IX lets writers of different rows coexist.
+            return True
+        return False  # S vs IX: a table reader blocks row writers
+
+    def covers(self, other: "LockMode") -> bool:
+        """True if holding ``self`` already satisfies a request for ``other``."""
+        if self is LockMode.EXCLUSIVE:
+            return True
+        return self is other
+
+
+@dataclass
+class _LockState:
+    holders: dict[int, LockMode] = field(default_factory=dict)  # txn id -> mode
+    waiters: list[tuple[int, LockMode]] = field(default_factory=list)
+
+
+class LockManager:
+    """Row/table lock manager with FIFO waiting and deadlock detection."""
+
+    def __init__(self) -> None:
+        self._locks: dict[Resource, _LockState] = {}
+        self._held_by_txn: dict[int, set[Resource]] = {}
+        self._waits_for: dict[int, set[int]] = {}
+        self.grant_count = 0
+        self.wait_count = 0
+        self.deadlock_count = 0
+
+    # ------------------------------------------------------------- acquire
+
+    def acquire(self, txn_id: int, resource: Resource, mode: LockMode) -> bool:
+        """Try to take ``resource`` in ``mode`` for ``txn_id``.
+
+        Returns True if granted immediately.  If the request conflicts, the
+        transaction is queued (FIFO) and False is returned; the caller is
+        expected to block until :meth:`release_all` by some holder grants it.
+        Raises :class:`DeadlockError` if queueing would close a cycle in the
+        waits-for graph (this transaction is chosen as the victim).
+        """
+        state = self._locks.setdefault(resource, _LockState())
+        held = state.holders.get(txn_id)
+        if held is not None:
+            if held.covers(mode):
+                return True  # already strong enough
+            # Upgrade (S->X, IX->X, S<->IX escalate to X): only as sole holder.
+            if len(state.holders) == 1:
+                state.holders[txn_id] = LockMode.EXCLUSIVE
+                self.grant_count += 1
+                return True
+            return self._enqueue(txn_id, resource, mode, state)
+
+        if self._grantable(state, mode) and not state.waiters:
+            state.holders[txn_id] = mode
+            self._held_by_txn.setdefault(txn_id, set()).add(resource)
+            self.grant_count += 1
+            return True
+        return self._enqueue(txn_id, resource, mode, state)
+
+    def holds(self, txn_id: int, resource: Resource, mode: LockMode) -> bool:
+        state = self._locks.get(resource)
+        if state is None:
+            return False
+        held = state.holders.get(txn_id)
+        if held is None:
+            return False
+        return held is LockMode.EXCLUSIVE or mode is LockMode.SHARED
+
+    # ------------------------------------------------------------- release
+
+    def release_all(self, txn_id: int) -> list[tuple[int, Resource, LockMode]]:
+        """Release every lock held by ``txn_id``; returns newly granted
+        ``(txn_id, resource, mode)`` triples for the caller to unblock."""
+        granted: list[tuple[int, Resource, LockMode]] = []
+        for resource in self._held_by_txn.pop(txn_id, set()):
+            state = self._locks.get(resource)
+            if state is None:
+                continue
+            state.holders.pop(txn_id, None)
+            granted.extend(self._grant_waiters(resource, state))
+            if not state.holders and not state.waiters:
+                del self._locks[resource]
+        # Drop any waits-for edges pointing at the departing transaction.
+        self._waits_for.pop(txn_id, None)
+        for edges in self._waits_for.values():
+            edges.discard(txn_id)
+        return granted
+
+    def cancel_waits(self, txn_id: int) -> None:
+        """Remove ``txn_id`` from every wait queue (abort path)."""
+        for state in self._locks.values():
+            state.waiters = [(t, m) for t, m in state.waiters if t != txn_id]
+        self._waits_for.pop(txn_id, None)
+
+    def held_resources(self, txn_id: int) -> set[Resource]:
+        return set(self._held_by_txn.get(txn_id, set()))
+
+    # ----------------------------------------------------------- internals
+
+    def _grantable(self, state: _LockState, mode: LockMode) -> bool:
+        return all(mode.compatible_with(held) for held in state.holders.values())
+
+    def _enqueue(
+        self, txn_id: int, resource: Resource, mode: LockMode, state: _LockState
+    ) -> bool:
+        blockers = {t for t in state.holders if t != txn_id}
+        blockers.update(t for t, _m in state.waiters if t != txn_id)
+        self._waits_for.setdefault(txn_id, set()).update(blockers)
+        if self._on_cycle(txn_id):
+            self._waits_for.pop(txn_id, None)
+            self.deadlock_count += 1
+            raise DeadlockError(
+                f"transaction {txn_id} would deadlock waiting for {sorted(blockers)}"
+            )
+        state.waiters.append((txn_id, mode))
+        self.wait_count += 1
+        return False
+
+    def _on_cycle(self, start: int) -> bool:
+        """Depth-first search for ``start`` reachable from its own out-edges."""
+        stack = list(self._waits_for.get(start, ()))
+        seen: set[int] = set()
+        while stack:
+            node = stack.pop()
+            if node == start:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._waits_for.get(node, ()))
+        return False
+
+    def _grant_waiters(
+        self, resource: Resource, state: _LockState
+    ) -> list[tuple[int, Resource, LockMode]]:
+        granted = []
+        while state.waiters:
+            txn_id, mode = state.waiters[0]
+            current = state.holders.get(txn_id)
+            if current is not None:
+                # Pending upgrade: grant only if sole holder.
+                if len(state.holders) != 1:
+                    break
+                state.holders[txn_id] = LockMode.EXCLUSIVE
+            elif self._grantable(state, mode):
+                state.holders[txn_id] = mode
+                self._held_by_txn.setdefault(txn_id, set()).add(resource)
+            else:
+                break
+            state.waiters.pop(0)
+            self._waits_for.pop(txn_id, None)
+            self.grant_count += 1
+            granted.append((txn_id, resource, mode))
+        return granted
+
+
+class NullLockManager:
+    """A no-op drop-in used when an experiment turns locking off entirely."""
+
+    grant_count = 0
+    wait_count = 0
+    deadlock_count = 0
+
+    def acquire(self, txn_id: int, resource: Resource, mode: LockMode) -> bool:
+        return True
+
+    def holds(self, txn_id: int, resource: Resource, mode: LockMode) -> bool:
+        return True
+
+    def release_all(self, txn_id: int) -> list:
+        return []
+
+    def cancel_waits(self, txn_id: int) -> None:
+        return None
+
+    def held_resources(self, txn_id: int) -> set:
+        return set()

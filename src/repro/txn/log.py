@@ -1,0 +1,86 @@
+"""The per-transaction operation log.
+
+Rule processing in STRIP happens at the end of a transaction by scanning the
+transaction's log to see which events occurred; transition tables are built
+during the same pass (paper section 6.3).  The log also powers abort/undo.
+
+Each logged change carries an ``execute_order`` sequence number; for an
+update, the old and new tuple images share the same number so the rule
+condition can pair them (paper section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.storage.tuples import Record
+
+INSERT = "insert"
+DELETE = "delete"
+UPDATE = "update"
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One logged change to one standard table."""
+
+    kind: str  # INSERT / DELETE / UPDATE
+    table: str
+    old_record: Optional[Record]  # None for inserts
+    new_record: Optional[Record]  # None for deletes
+    execute_order: int
+
+    def changed_offsets(self) -> set[int]:
+        """Column offsets whose value actually changed (updates only)."""
+        if self.kind != UPDATE or self.old_record is None or self.new_record is None:
+            return set()
+        return {
+            offset
+            for offset, (old, new) in enumerate(
+                zip(self.old_record.values, self.new_record.values)
+            )
+            if old != new
+        }
+
+
+class TransactionLog:
+    """Ordered list of changes made by one transaction, indexed by table."""
+
+    __slots__ = ("entries", "_by_table", "_next_order")
+
+    def __init__(self) -> None:
+        self.entries: list[LogEntry] = []
+        self._by_table: dict[str, list[LogEntry]] = {}
+        self._next_order = 1
+
+    def log_insert(self, table: str, record: Record) -> LogEntry:
+        return self._append(LogEntry(INSERT, table, None, record, self._take_order()))
+
+    def log_delete(self, table: str, record: Record) -> LogEntry:
+        return self._append(LogEntry(DELETE, table, record, None, self._take_order()))
+
+    def log_update(self, table: str, old: Record, new: Record) -> LogEntry:
+        return self._append(LogEntry(UPDATE, table, old, new, self._take_order()))
+
+    def for_table(self, table: str) -> list[LogEntry]:
+        return self._by_table.get(table, [])
+
+    def tables_touched(self) -> list[str]:
+        return list(self._by_table)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def _take_order(self) -> int:
+        order = self._next_order
+        self._next_order += 1
+        return order
+
+    def _append(self, entry: LogEntry) -> LogEntry:
+        self.entries.append(entry)
+        self._by_table.setdefault(entry.table, []).append(entry)
+        return entry

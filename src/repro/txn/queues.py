@@ -1,0 +1,99 @@
+"""The delay and ready queues of the STRIP task flow (Figure 15).
+
+New tasks with a future release time wait in the :class:`DelayQueue` (a heap
+ordered by release time); released tasks wait in the :class:`ReadyQueue`,
+ordered by the active scheduling policy, until a processor takes them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.txn.tasks import Task, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.txn.scheduler import SchedulingPolicy
+
+
+class DelayQueue:
+    """Tasks waiting for their release time, earliest first."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Task]] = []
+        self._cancelled: set[int] = set()
+        self._members: set[int] = set()
+        self._live = 0
+
+    def push(self, task: Task) -> None:
+        task.state = TaskState.DELAYED
+        heapq.heappush(self._heap, (task.release_time, task.seq, task))
+        self._members.add(task.task_id)
+        self._live += 1
+
+    def cancel(self, task: Task) -> None:
+        """Lazily remove ``task`` (it will be skipped when popped).
+        Cancelling a task that is not queued is a no-op."""
+        if task.task_id not in self._members or task.task_id in self._cancelled:
+            return
+        self._cancelled.add(task.task_id)
+        self._live -= 1
+
+    def peek_time(self) -> Optional[float]:
+        self._skip_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def pop_due(self, now: float) -> list[Task]:
+        """All tasks with ``release_time <= now``, in release order."""
+        due = []
+        while True:
+            self._skip_cancelled()
+            if not self._heap or self._heap[0][0] > now:
+                break
+            _release, _seq, task = heapq.heappop(self._heap)
+            self._members.discard(task.task_id)
+            self._live -= 1
+            due.append(task)
+        return due
+
+    def _skip_cancelled(self) -> None:
+        while self._heap and self._heap[0][2].task_id in self._cancelled:
+            _r, _s, task = heapq.heappop(self._heap)
+            self._cancelled.discard(task.task_id)
+            self._members.discard(task.task_id)
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+
+class ReadyQueue:
+    """Released tasks ordered by the scheduling policy."""
+
+    def __init__(self, policy: "SchedulingPolicy") -> None:
+        self._policy = policy
+        self._heap: list[tuple[tuple, int, Task]] = []
+
+    def push(self, task: Task) -> None:
+        task.state = TaskState.READY
+        heapq.heappush(self._heap, (self._policy.key(task), task.seq, task))
+
+    def pop(self) -> Task:
+        _key, _seq, task = heapq.heappop(self._heap)
+        return task
+
+    def peek(self) -> Optional[Task]:
+        return self._heap[0][2] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __iter__(self) -> Iterator[Task]:
+        return (task for _key, _seq, task in sorted(self._heap))

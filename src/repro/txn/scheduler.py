@@ -1,0 +1,74 @@
+"""Real-time task scheduling policies.
+
+STRIP provides "standard real-time scheduling algorithms for tasks such as
+earliest-deadline and value-density first" (paper section 6.2, citing
+[Ade96]).  A policy turns a task into a sortable key; smaller keys run
+first.  All the paper's experiments effectively use FIFO (release order),
+which is the default; EDF and value-density are exercised by the scheduler
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SimulationError
+from repro.txn.tasks import Task
+
+
+class SchedulingPolicy:
+    """Base class: order tasks by :meth:`key` (ascending)."""
+
+    name = "base"
+
+    def key(self, task: Task) -> tuple:
+        raise NotImplementedError
+
+
+class FifoPolicy(SchedulingPolicy):
+    """First released, first served (ties broken by creation order)."""
+
+    name = "fifo"
+
+    def key(self, task: Task) -> tuple:
+        return (task.release_time,)
+
+
+class EarliestDeadlinePolicy(SchedulingPolicy):
+    """Earliest deadline first; tasks without a deadline run last."""
+
+    name = "edf"
+
+    def key(self, task: Task) -> tuple:
+        deadline = task.deadline if task.deadline is not None else math.inf
+        return (deadline, task.release_time)
+
+
+class ValueDensityPolicy(SchedulingPolicy):
+    """Highest value per unit of estimated CPU first.
+
+    Value density = value / estimated execution time; we negate it so that
+    the ready queue's min-heap pops the densest task first.
+    """
+
+    name = "vdf"
+
+    def key(self, task: Task) -> tuple:
+        density = task.value / max(task.estimated_cpu, 1e-9)
+        return (-density, task.release_time)
+
+
+_POLICIES = {
+    policy.name: policy
+    for policy in (FifoPolicy, EarliestDeadlinePolicy, ValueDensityPolicy)
+}
+
+
+def make_policy(name: str) -> SchedulingPolicy:
+    """Instantiate a policy by name: ``fifo``, ``edf`` or ``vdf``."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise SimulationError(
+            f"unknown scheduling policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None

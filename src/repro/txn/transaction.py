@@ -1,0 +1,221 @@
+"""Transactions: logged, locked, undoable units of database change.
+
+A transaction belongs to exactly one task (paper section 4.4).  Its write
+log drives both abort/undo and rule processing at commit time: the rule
+engine scans the log to detect events and build transition tables, then
+creates new tasks for triggered actions (section 6.3).
+
+Locking discipline: strict two-phase.  Writes take exclusive row locks;
+reads take one shared table lock per accessed table (a deliberate, coarse
+read granularity — the paper's cost accounting likewise charges a single
+``get lock`` on the simple-update path).  All locks release at commit/abort.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING, Any, Iterable, Optional
+
+from repro.errors import LockError, TransactionError
+from repro.storage.table import Table
+from repro.storage.tuples import Record
+from repro.txn.locks import LockMode
+from repro.txn.log import DELETE, INSERT, UPDATE, TransactionLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.database import Database
+    from repro.txn.tasks import Task
+
+_txn_ids = itertools.count(1)
+
+
+class TransactionState(enum.Enum):
+    """Lifecycle of a transaction."""
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One transaction, always used via ``db.begin()`` or a task context."""
+
+    def __init__(self, db: "Database", task: Optional["Task"] = None) -> None:
+        self.db = db
+        self.task = task
+        self.txn_id = next(_txn_ids)
+        self.state = TransactionState.ACTIVE
+        self.log = TransactionLog()
+        self.commit_time: Optional[float] = None
+        self._read_locked_tables: set[str] = set()
+        self._ix_locked_tables: set[str] = set()
+        db.charge("begin_txn")
+
+    # ----------------------------------------------------------- DML (core)
+
+    def insert_record(self, table: Table, values: Iterable[Any]) -> Record:
+        self._check_active()
+        self.db.charge("cursor_insert")
+        record = table.insert(values)
+        self._lock_row(table.name, record)
+        self.log.log_insert(table.name, record)
+        return record
+
+    def insert(self, table_name: str, row: Any) -> Record:
+        """Insert a row given as a mapping or a sequence of values."""
+        table = self.db.catalog.table(table_name)
+        if isinstance(row, dict):
+            return self.insert_record(table, table.schema.row_from_mapping(row))
+        return self.insert_record(table, row)
+
+    def update_record(self, table: Table, record: Record, values: Iterable[Any]) -> Record:
+        self._check_active()
+        self._lock_row(table.name, record)
+        self.db.charge("cursor_update")
+        fresh = table.update(record, values)
+        self._lock_row(table.name, fresh)
+        self.log.log_update(table.name, record, fresh)
+        return fresh
+
+    def update_columns(self, table: Table, record: Record, changes: dict[str, Any]) -> Record:
+        values = list(record.values)
+        for column, value in changes.items():
+            values[table.schema.offset(column)] = value
+        return self.update_record(table, record, values)
+
+    def delete_record(self, table: Table, record: Record) -> None:
+        self._check_active()
+        self._lock_row(table.name, record)
+        self.db.charge("cursor_delete")
+        table.delete(record)
+        self.log.log_delete(table.name, record)
+
+    # ------------------------------------------------------------ SQL sugar
+
+    def execute(self, sql: str, params: Optional[dict[str, Any]] = None):
+        """Run a SQL statement inside this transaction."""
+        return self.db.execute_in_txn(sql, self, params)
+
+    def query(self, sql: str, params: Optional[dict[str, Any]] = None):
+        """Run a SELECT inside this transaction, returning a result set."""
+        return self.db.query_in_txn(sql, self, params)
+
+    # -------------------------------------------------------------- locking
+
+    def lock_table_shared(self, table_name: str) -> None:
+        """Take (once) the shared table lock used for reads."""
+        if table_name in self._read_locked_tables:
+            return
+        self._check_active()
+        self.db.charge("lock_acquire")
+        granted = self.db.lock_manager.acquire(
+            self.txn_id, (table_name, None), LockMode.SHARED
+        )
+        if not granted:
+            raise LockError(
+                f"transaction {self.txn_id} blocked on table {table_name!r}; "
+                "the serial engine cannot wait (see DESIGN.md)"
+            )
+        self._read_locked_tables.add(table_name)
+
+    def _lock_row(self, table_name: str, record: Record) -> None:
+        # Two-level hierarchy: an intention lock on the table (so table-level
+        # readers conflict with row writers) plus the exclusive row lock.
+        if table_name not in self._ix_locked_tables:
+            self.db.charge("lock_acquire")
+            granted = self.db.lock_manager.acquire(
+                self.txn_id, (table_name, None), LockMode.INTENTION_EXCLUSIVE
+            )
+            if not granted:
+                raise LockError(
+                    f"transaction {self.txn_id} blocked on table {table_name!r} "
+                    "(held by a reader)"
+                )
+            self._ix_locked_tables.add(table_name)
+        self.db.charge("lock_acquire")
+        granted = self.db.lock_manager.acquire(
+            self.txn_id, (table_name, record.rid), LockMode.EXCLUSIVE
+        )
+        if not granted:
+            raise LockError(
+                f"transaction {self.txn_id} blocked on row {table_name}:{record.rid}"
+            )
+
+    # ------------------------------------------------------------- lifecycle
+
+    def commit(self) -> None:
+        """Commit: stamp the commit time, run rule processing, free locks.
+
+        Event checking happens at the end of the transaction prior to the
+        commit point (paper section 2); triggered action transactions become
+        visible to the scheduler the moment we return.
+        """
+        self._check_active()
+        self.commit_time = self.db.clock.now()
+        if len(self.log):
+            try:
+                self.db.rule_engine.process_commit(self)
+            except Exception:
+                # A failing rule fails the commit: roll the transaction back
+                # so no locks or half-applied changes survive, then re-raise.
+                self.commit_time = None
+                self.abort()
+                raise
+        self.db.charge("commit_txn")
+        self._release_locks()
+        self.state = TransactionState.COMMITTED
+        self.db.on_txn_finished(self)
+
+    def abort(self) -> None:
+        """Undo every logged change in reverse order and free locks."""
+        self._check_active()
+        self.db.charge("abort_txn")
+        redirect: dict[int, Record] = {}
+
+        def current(record: Record) -> Record:
+            return redirect.get(record.rid, record)
+
+        for entry in reversed(self.log.entries):
+            table = self.db.catalog.table(entry.table)
+            if entry.kind == INSERT:
+                table.delete(current(entry.new_record))
+            elif entry.kind == DELETE:
+                restored = table.insert(list(entry.old_record.values))
+                redirect[entry.old_record.rid] = restored
+            elif entry.kind == UPDATE:
+                live = current(entry.new_record)
+                restored = table.update(live, list(entry.old_record.values))
+                redirect[entry.old_record.rid] = restored
+        self.db.lock_manager.cancel_waits(self.txn_id)
+        self._release_locks()
+        self.state = TransactionState.ABORTED
+        self.db.on_txn_finished(self)
+
+    def _release_locks(self) -> None:
+        held = self.db.lock_manager.held_resources(self.txn_id)
+        if held:
+            self.db.charge("lock_release", len(held))
+        self.db.lock_manager.release_all(self.txn_id)
+        self._read_locked_tables.clear()
+        self._ix_locked_tables.clear()
+
+    def _check_active(self) -> None:
+        if self.state is not TransactionState.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.txn_id} is {self.state.value}, not active"
+            )
+
+    # --------------------------------------------------------------- helpers
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.state is TransactionState.ACTIVE:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+
+    def __repr__(self) -> str:
+        return f"Txn#{self.txn_id}({self.state.value}, {len(self.log)} ops)"

@@ -1,0 +1,533 @@
+"""Materialize a view and generate the STRIP rules that maintain it.
+
+The paper cites [CW91] for automatically deriving maintenance rules from
+view definitions (sections 1 and 8).  This module implements that idea for
+the two view classes the paper's workload uses, which cover a broad span of
+monitoring applications:
+
+* **Aggregate views** — ``SELECT g1..gk, AGG(e) AS a FROM T1..Tn WHERE
+  joins GROUP BY g1..gk`` with SUM/COUNT/AVG maintained *incrementally*
+  (deltas applied per group, with a hidden contribution counter so empty
+  groups disappear) and MIN/MAX maintained by recomputing only the affected
+  groups.
+
+* **Projection views** — ``SELECT k, e1 AS c1, ... FROM T1..Tn WHERE
+  joins`` (no aggregation), maintained by recomputing exactly the output
+  rows whose inputs changed (the option-pricing pattern: non-incremental
+  per row, but narrowly targeted).
+
+For every base table one rule is generated, triggered by
+``inserted deleted updated``; its ``evaluate`` queries bind the
+plus/minus delta rows derived from the transition tables, and the
+generated user function applies them.  The ``unique``/``unique on``/
+``after`` batching knobs are passed straight through to the generated
+rules — this is exactly the hook the paper's conclusion proposes for an
+automatic view manager, and :mod:`repro.views.advisor` chooses them from
+statistics when asked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from repro.core.rules import Rule
+from repro.errors import StripError
+from repro.sql import ast
+from repro.storage.schema import Column, ColumnType, Schema
+from repro.views.definition import ViewDefinition
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.functions import FunctionContext
+    from repro.database import Database
+
+HIDDEN_COUNT = "maint_cnt"
+
+
+class UnsupportedViewError(StripError):
+    """The view shape is outside the generator's supported classes."""
+
+
+@dataclass
+class MaintenancePlan:
+    """What :func:`materialize` built for one view."""
+
+    view: ViewDefinition
+    backing_table: str
+    rules: list[Rule] = field(default_factory=list)
+    function_name: str = ""
+    kind: str = ""  # "aggregate" | "projection"
+    incremental: bool = False
+
+
+# --------------------------------------------------------------------------
+# AST helpers
+# --------------------------------------------------------------------------
+
+
+def _substitute_table(expr: ast.Expr, old: str, new: str) -> ast.Expr:
+    """Rewrite qualified column references ``old.c`` to ``new.c``."""
+    if isinstance(expr, ast.ColumnRef):
+        if expr.table == old:
+            return ast.ColumnRef(new, expr.name)
+        return expr
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(
+            expr.op,
+            _substitute_table(expr.left, old, new),
+            _substitute_table(expr.right, old, new),
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, _substitute_table(expr.operand, old, new))
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(_substitute_table(expr.operand, old, new), expr.negated)
+    if isinstance(expr, ast.FuncCall):
+        return ast.FuncCall(
+            expr.name,
+            tuple(_substitute_table(arg, old, new) for arg in expr.args),
+            expr.star,
+            expr.distinct,
+        )
+    return expr
+
+
+def _delta_select(
+    select: ast.Select,
+    base: ast.TableRef,
+    transition: str,
+    items: Sequence[ast.SelectItem],
+) -> ast.Select:
+    """The view's FROM/WHERE with ``base`` replaced by a transition table,
+    projecting ``items`` (already rewritten)."""
+    tables = tuple(
+        ast.TableRef(transition, None) if ref is base else ref for ref in select.tables
+    )
+    where = (
+        _substitute_table(select.where, base.binding, transition)
+        if select.where is not None
+        else None
+    )
+    return ast.Select(items=tuple(items), tables=tables, where=where)
+
+
+def _analyze(select: ast.Select) -> dict:
+    """Classify the view and extract its pieces; raise if unsupported."""
+    if select.distinct or select.having is not None or select.order_by or select.limit:
+        raise UnsupportedViewError(
+            "materialized views cannot use DISTINCT/HAVING/ORDER BY/LIMIT"
+        )
+    group_items: list[tuple[ast.Expr, str]] = []
+    agg_items: list[tuple[ast.FuncCall, str]] = []
+    plain_items: list[tuple[ast.Expr, str]] = []
+    for index, item in enumerate(select.items):
+        if isinstance(item, ast.StarItem):
+            raise UnsupportedViewError("materialized views need explicit select items")
+        name = item.alias or (
+            item.expr.name if isinstance(item.expr, ast.ColumnRef) else f"col{index}"
+        )
+        expr = item.expr
+        if ast.contains_aggregate(expr):
+            if not (isinstance(expr, ast.FuncCall) and expr.name in ast.AGGREGATE_NAMES):
+                raise UnsupportedViewError(
+                    "aggregates must be top-level select items (e.g. SUM(e) AS a)"
+                )
+            agg_items.append((expr, name))
+        elif select.group_by and expr in select.group_by:
+            group_items.append((expr, name))
+        elif select.group_by:
+            raise UnsupportedViewError(
+                f"non-aggregated column {name!r} is not in GROUP BY"
+            )
+        else:
+            plain_items.append((expr, name))
+    if select.group_by or agg_items:
+        if not agg_items:
+            raise UnsupportedViewError("GROUP BY views need at least one aggregate")
+        for agg, name in agg_items:
+            if agg.name == "count" and agg.args and not agg.star:
+                raise UnsupportedViewError(
+                    f"{name!r}: COUNT(column) deltas are NULL-sensitive and not "
+                    "supported; use COUNT(*) or SUM(...) instead"
+                )
+        if {expr for expr, _n in group_items} != set(select.group_by):
+            # every group-by expression must be projected so the backing
+            # table rows can be addressed.
+            raise UnsupportedViewError("every GROUP BY expression must be selected")
+        return {"kind": "aggregate", "groups": group_items, "aggs": agg_items}
+    if not plain_items:
+        raise UnsupportedViewError("view selects nothing")
+    return {"kind": "projection", "items": plain_items}
+
+
+def _columns_of_table(exprs: Iterable[ast.Expr], binding: str, schema: Schema) -> set[str]:
+    """Columns of the base table ``binding`` referenced by ``exprs``."""
+    out: set[str] = set()
+    for expr in exprs:
+        for ref in ast.column_refs(expr):
+            if ref.table == binding and schema.has_column(ref.name):
+                out.add(ref.name)
+            elif ref.table is None and schema.has_column(ref.name):
+                out.add(ref.name)
+    return out
+
+
+# --------------------------------------------------------------------------
+# materialize
+# --------------------------------------------------------------------------
+
+
+def materialize(
+    db: "Database",
+    view_name: str,
+    unique: bool = False,
+    unique_on: Sequence[str] = (),
+    delay: float = 0.0,
+    key: Optional[Sequence[str]] = None,
+) -> MaintenancePlan:
+    """Turn the registered view into a maintained standard table.
+
+    ``unique`` / ``unique_on`` / ``delay`` configure the generated rules'
+    batching (the paper's two tuning knobs).  For projection views ``key``
+    names the output columns that identify a row (default: the first one).
+    """
+    view = db.catalog.view(view_name)
+    select = view.select
+    info = _analyze(select)
+
+    # Plan the view once to learn output names/types (also validates it).
+    from repro.sql.executor import select_plan
+
+    plan = select_plan(db, select, None)
+    out_columns = [(c.name, c.type) for c in plan.output.columns]
+
+    base_refs = list(select.tables)
+    for ref in base_refs:
+        if not db.catalog.has_table(ref.name):
+            raise UnsupportedViewError(
+                f"view {view_name!r} reads {ref.name!r}, which is not a standard table"
+            )
+
+    # Replace the view with its backing table.
+    view.bump()
+    db.catalog.drop_view(view_name)
+    columns = [Column(name, col_type) for name, col_type in out_columns]
+    if info["kind"] == "aggregate":
+        columns.append(Column(HIDDEN_COUNT, ColumnType.INT))
+    backing = db.catalog.create_table(view_name, Schema(columns))
+    view.backing_table = view_name
+    plan_record = MaintenancePlan(view, view_name, kind=info["kind"])
+
+    if info["kind"] == "aggregate":
+        _materialize_aggregate(db, view, info, plan_record, unique, unique_on, delay)
+    else:
+        key_columns = tuple(key) if key else (out_columns[0][0],)
+        for column in key_columns:
+            if column not in [name for name, _t in out_columns]:
+                raise UnsupportedViewError(f"key column {column!r} is not selected")
+        _materialize_projection(
+            db, view, info, plan_record, key_columns, unique, unique_on, delay
+        )
+
+    db.materialized_views[view_name] = plan_record
+    return plan_record
+
+
+def _group_key_names(info: dict) -> list[str]:
+    return [name for _expr, name in info["groups"]]
+
+
+def _populate_aggregate(db: "Database", view: ViewDefinition, info: dict) -> None:
+    select = view.select
+    groups = info["groups"]
+    aggs = info["aggs"]
+    items = [ast.SelectItem(expr, name) for expr, name in groups]
+    items.extend(ast.SelectItem(expr, name) for expr, name in aggs)
+    items.append(ast.SelectItem(ast.FuncCall("count", (), star=True), HIDDEN_COUNT))
+    populate = ast.Select(
+        items=tuple(items),
+        tables=select.tables,
+        where=select.where,
+        group_by=select.group_by,
+    )
+    txn = db.begin()
+    table = db.catalog.table(view.name)
+    for values in db.run_select(populate, txn).rows():
+        txn.insert_record(table, values)
+    txn.commit()
+
+
+def _materialize_aggregate(
+    db: "Database",
+    view: ViewDefinition,
+    info: dict,
+    plan_record: MaintenancePlan,
+    unique: bool,
+    unique_on: Sequence[str],
+    delay: float,
+) -> None:
+    select = view.select
+    groups: list[tuple[ast.Expr, str]] = info["groups"]
+    aggs: list[tuple[ast.FuncCall, str]] = info["aggs"]
+    incremental = all(agg.name in ("sum", "count", "avg") for agg, _n in aggs)
+    plan_record.incremental = incremental
+    function_name = f"maintain_{view.name}"
+    plan_record.function_name = function_name
+
+    _populate_aggregate(db, view, info)
+
+    group_names = _group_key_names(info)
+    agg_names = [name for _a, name in aggs]
+
+    # Per base table: one rule binding plus/minus delta rows.  The bound
+    # rows carry the group key plus the raw aggregate arguments.
+    def delta_items(base: ast.TableRef, transition: str) -> list[ast.SelectItem]:
+        items = []
+        for expr, name in groups:
+            items.append(
+                ast.SelectItem(_substitute_table(expr, base.binding, transition), name)
+            )
+        for agg, name in aggs:
+            if agg.star or not agg.args:
+                arg: ast.Expr = ast.Literal(1)
+            else:
+                arg = _substitute_table(agg.args[0], base.binding, transition)
+            items.append(ast.SelectItem(arg, f"arg_{name}"))
+        return items
+
+    for base in select.tables:
+        schema = db.catalog.table(base.name).schema
+        relevant = _columns_of_table(
+            [expr for expr, _n in groups]
+            + [arg for agg, _n in aggs for arg in agg.args]
+            + ([select.where] if select.where is not None else []),
+            base.binding,
+            schema,
+        )
+        events = (
+            ast.Event("inserted"),
+            ast.Event("deleted"),
+            ast.Event("updated", tuple(sorted(relevant))),
+        )
+        evaluate = (
+            ast.RuleQuery(_delta_select(select, base, "inserted", delta_items(base, "inserted")), "plus_rows"),
+            ast.RuleQuery(_delta_select(select, base, "new", delta_items(base, "new")), "plus_upd"),
+            ast.RuleQuery(_delta_select(select, base, "deleted", delta_items(base, "deleted")), "minus_rows"),
+            ast.RuleQuery(_delta_select(select, base, "old", delta_items(base, "old")), "minus_upd"),
+        )
+        rule = Rule(
+            name=f"maintain_{view.name}_{base.binding}",
+            table=base.name,
+            events=events,
+            condition=(),
+            evaluate=evaluate,
+            function=function_name,
+            unique=unique,
+            unique_on=tuple(unique_on),
+            after=delay,
+        )
+        db.create_rule(rule)
+        plan_record.rules.append(rule)
+
+    view_select = select  # captured for MIN/MAX group recomputation
+    group_exprs = [expr for expr, _n in groups]
+
+    def apply_deltas(ctx: "FunctionContext") -> None:
+        """Fold all four delta tables into the backing table."""
+        changes: dict[tuple, list] = {}
+        for bound_name, sign in (
+            ("plus_rows", 1),
+            ("plus_upd", 1),
+            ("minus_rows", -1),
+            ("minus_upd", -1),
+        ):
+            if not ctx.has_bound(bound_name):
+                continue
+            for row in ctx.rows(bound_name):
+                key = tuple(row[name] for name in group_names)
+                entry = changes.get(key)
+                if entry is None:
+                    entry = changes[key] = [0] + [0.0] * len(agg_names)
+                entry[0] += sign
+                for i, name in enumerate(agg_names):
+                    value = row[f"arg_{name}"]
+                    if value is not None:
+                        entry[1 + i] += sign * value
+        if not changes:
+            return
+        table = ctx.db.catalog.table(view.name)
+        schema = table.schema
+        key_offsets = [schema.offset(name) for name in group_names]
+        cnt_offset = schema.offset(HIDDEN_COUNT)
+        for key, entry in changes.items():
+            ctx.charge("cursor_fetch")
+            record = next(
+                (
+                    r
+                    for r in table.lookup(tuple(group_names), key if len(key) > 1 else key[0])
+                ),
+                None,
+            )
+            if not incremental:
+                _recompute_group(ctx, view_select, info, table, key, record)
+                continue
+            count_delta = entry[0]
+            if record is None:
+                if count_delta <= 0:
+                    continue  # deltas for a group that never materialized
+                values = [None] * len(schema)
+                for offset, value in zip(key_offsets, key):
+                    values[offset] = value
+                for i, name in enumerate(agg_names):
+                    agg_kind = aggs[i][0].name
+                    if agg_kind == "count":
+                        values[schema.offset(name)] = count_delta
+                    elif agg_kind == "avg":
+                        values[schema.offset(name)] = entry[1 + i] / count_delta
+                    else:
+                        values[schema.offset(name)] = entry[1 + i]
+                values[cnt_offset] = count_delta
+                ctx.txn.insert_record(table, values)
+                continue
+            new_count = record.values[cnt_offset] + count_delta
+            if new_count <= 0:
+                ctx.txn.delete_record(table, record)
+                continue
+            values = list(record.values)
+            values[cnt_offset] = new_count
+            for i, name in enumerate(agg_names):
+                agg_kind = aggs[i][0].name
+                offset = schema.offset(name)
+                if agg_kind == "count":
+                    values[offset] = (values[offset] or 0) + count_delta
+                elif agg_kind == "sum":
+                    values[offset] = (values[offset] or 0) + entry[1 + i]
+                elif agg_kind == "avg":
+                    old_sum = (values[offset] or 0.0) * record.values[cnt_offset]
+                    values[offset] = (old_sum + entry[1 + i]) / new_count
+            ctx.txn.update_record(table, record, values)
+
+    def _recompute_group(ctx, view_select, info, table, key, record):
+        """MIN/MAX (non-incremental): recompute one group from base tables."""
+        where = view_select.where
+        for expr, value in zip(group_exprs, key):
+            condition = ast.BinaryOp("=", expr, ast.Literal(value))
+            where = condition if where is None else ast.BinaryOp("and", where, condition)
+        items = [ast.SelectItem(expr, name) for expr, name in groups]
+        items.extend(ast.SelectItem(agg, name) for agg, name in aggs)
+        items.append(ast.SelectItem(ast.FuncCall("count", (), star=True), HIDDEN_COUNT))
+        fresh = ast.Select(
+            items=tuple(items),
+            tables=view_select.tables,
+            where=where,
+            group_by=view_select.group_by,
+        )
+        rows = ctx.db.run_select(fresh, ctx.txn).rows()
+        if record is not None:
+            ctx.txn.delete_record(table, record)
+        if rows:
+            ctx.txn.insert_record(table, rows[0])
+
+    db.register_function(function_name, apply_deltas, replace=True)
+
+
+def _materialize_projection(
+    db: "Database",
+    view: ViewDefinition,
+    info: dict,
+    plan_record: MaintenancePlan,
+    key_columns: tuple[str, ...],
+    unique: bool,
+    unique_on: Sequence[str],
+    delay: float,
+) -> None:
+    select = view.select
+    items: list[tuple[ast.Expr, str]] = info["items"]
+    function_name = f"maintain_{view.name}"
+    plan_record.function_name = function_name
+    plan_record.incremental = False
+
+    # Populate.
+    txn = db.begin()
+    table = db.catalog.table(view.name)
+    for values in db.run_select(select, txn).rows():
+        txn.insert_record(table, values)
+    txn.commit()
+
+    column_names = [name for _e, name in items]
+
+    def projected(base: ast.TableRef, transition: str) -> list[ast.SelectItem]:
+        return [
+            ast.SelectItem(_substitute_table(expr, base.binding, transition), name)
+            for expr, name in items
+        ]
+
+    for base in select.tables:
+        schema = db.catalog.table(base.name).schema
+        relevant = _columns_of_table(
+            [expr for expr, _n in items]
+            + ([select.where] if select.where is not None else []),
+            base.binding,
+            schema,
+        )
+        events = (
+            ast.Event("inserted"),
+            ast.Event("deleted"),
+            ast.Event("updated", tuple(sorted(relevant))),
+        )
+        evaluate = (
+            ast.RuleQuery(_delta_select(select, base, "inserted", projected(base, "inserted")), "added"),
+            ast.RuleQuery(_delta_select(select, base, "new", projected(base, "new")), "refreshed"),
+            ast.RuleQuery(_delta_select(select, base, "deleted", projected(base, "deleted")), "removed"),
+            # Old images of updates: their keys may have left the view (a
+            # key-column update), so they are deleted before the refreshed
+            # rows are applied.
+            ast.RuleQuery(_delta_select(select, base, "old", projected(base, "old")), "stale"),
+        )
+        rule = Rule(
+            name=f"maintain_{view.name}_{base.binding}",
+            table=base.name,
+            events=events,
+            condition=(),
+            evaluate=evaluate,
+            function=function_name,
+            unique=unique,
+            unique_on=tuple(unique_on),
+            after=delay,
+        )
+        db.create_rule(rule)
+        plan_record.rules.append(rule)
+
+    def apply_projection(ctx: "FunctionContext") -> None:
+        table = ctx.db.catalog.table(view.name)
+        schema = table.schema
+        key_offsets = [schema.offset(name) for name in key_columns]
+
+        def key_of(row: dict) -> tuple:
+            return tuple(row[name] for name in key_columns)
+
+        def find(key: tuple):
+            lookup_key = key if len(key) > 1 else key[0]
+            return next(iter(table.lookup(key_columns, lookup_key)), None)
+
+        for doomed in ("removed", "stale"):
+            if not ctx.has_bound(doomed):
+                continue
+            for row in ctx.rows(doomed):
+                record = find(key_of(row))
+                if record is not None:
+                    ctx.txn.delete_record(table, record)
+        latest: dict[tuple, dict] = {}
+        for bound_name in ("added", "refreshed"):
+            if not ctx.has_bound(bound_name):
+                continue
+            for row in ctx.rows(bound_name):
+                latest[key_of(row)] = row  # last write wins within the batch
+        for key, row in latest.items():
+            values = [row[name] for name in column_names]
+            record = find(key)
+            if record is None:
+                ctx.txn.insert_record(table, values)
+            else:
+                ctx.txn.update_record(table, record, values)
+
+    db.register_function(function_name, apply_projection, replace=True)

@@ -1,0 +1,158 @@
+"""Workload statistics for the batching advisor.
+
+The paper's conclusion: "by maintaining statistics such as join
+selectivities and how often tables are updated, it should be possible for
+a materialized view manager to derive not just the rules to maintain a
+view but the unit of batching and delay window size as well."  This module
+maintains exactly those statistics:
+
+* **update rates** from the tables' change counters and the virtual clock;
+* **join fan-out** (selectivity) by sampling: how many rows of a detail
+  table join to one row of the driving table;
+* **key cardinalities** for candidate units of batching.
+
+:func:`advise` packages them into a ready-to-run
+:class:`~repro.views.advisor.BatchingAdvisor` call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import StripError
+from repro.views.advisor import AdvisorReport, BatchingAdvisor, BatchingCandidate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.database import Database
+
+
+@dataclass(frozen=True)
+class TableActivity:
+    """Observed change rates of one table (per virtual second)."""
+
+    table: str
+    inserts_per_sec: float
+    updates_per_sec: float
+    deletes_per_sec: float
+
+    @property
+    def changes_per_sec(self) -> float:
+        return self.inserts_per_sec + self.updates_per_sec + self.deletes_per_sec
+
+
+def table_activity(db: "Database", table_name: str, since: float = 0.0) -> TableActivity:
+    """Change rates from the table's counters over the elapsed virtual time."""
+    elapsed = max(db.clock.base - since, 1e-9)
+    table = db.catalog.table(table_name)
+    return TableActivity(
+        table=table_name,
+        inserts_per_sec=table.insert_count / elapsed,
+        updates_per_sec=table.update_count / elapsed,
+        deletes_per_sec=table.delete_count / elapsed,
+    )
+
+
+def join_fan_out(
+    db: "Database",
+    driving_table: str,
+    detail_table: str,
+    driving_column: str,
+    detail_column: str,
+    sample: int = 200,
+) -> float:
+    """Mean number of ``detail_table`` rows joining one ``driving_table``
+    row (e.g. composites per stock ~12, options per stock ~7.6)."""
+    driver = db.catalog.table(driving_table)
+    detail = db.catalog.table(detail_table)
+    total_rows = len(driver)
+    if total_rows == 0:
+        raise StripError(f"cannot sample fan-out: {driving_table!r} is empty")
+    offset = driver.schema.offset(driving_column)
+    step = max(total_rows // sample, 1)
+    sampled = 0
+    matches = 0
+    for index, record in enumerate(driver.scan()):
+        if index % step:
+            continue
+        sampled += 1
+        matches += sum(1 for _ in detail.lookup((detail_column,), record.values[offset]))
+    return matches / sampled if sampled else 0.0
+
+
+def distinct_count(db: "Database", table_name: str, column: str) -> int:
+    """Cardinality of one column (the key count of a batching unit)."""
+    table = db.catalog.table(table_name)
+    offset = table.schema.offset(column)
+    return len({record.values[offset] for record in table.scan()})
+
+
+def advise(
+    db: "Database",
+    base_table: str,
+    detail_table: str,
+    join_column: str,
+    detail_join_column: str,
+    unit_column: str,
+    horizon: float,
+    task_overhead: Optional[float] = None,
+    row_cost: float = 120e-6,
+    max_delay: float = 3.0,
+    max_task_length: Optional[float] = None,
+    since: float = 0.0,
+) -> AdvisorReport:
+    """One-call advisory: observe the workload, recommend batching.
+
+    Args:
+        base_table: the rapidly changing table (``stocks``).
+        detail_table: the mapping the maintenance rule joins through
+            (``comps_list``); its fan-out sets rows-per-change.
+        join_column / detail_join_column: the join's two sides.
+        unit_column: the candidate fine batching unit (``comp``).
+        horizon: how long the workload will run (seconds).
+        task_overhead: per-recompute fixed cost; defaults to the cost
+            model's task + transaction + scheduling path.
+        row_cost: per-affected-row maintenance cost (seconds).
+    """
+    activity = table_activity(db, base_table, since)
+    if activity.changes_per_sec <= 0:
+        raise StripError(
+            f"no observed activity on {base_table!r}; run the workload first"
+        )
+    fan_out = join_fan_out(db, base_table, detail_table, join_column, detail_join_column)
+    n_keys = distinct_count(db, detail_table, unit_column)
+    if task_overhead is None:
+        model = db.cost_model
+        task_overhead = sum(
+            model.seconds(op)
+            for op in (
+                "begin_task",
+                "begin_txn",
+                "commit_txn",
+                "end_task",
+                "task_create",
+                "sched_enqueue",
+                "sched_dequeue",
+                "user_func_base",
+            )
+        )
+    advisor = BatchingAdvisor(
+        update_rate=activity.changes_per_sec,
+        horizon=horizon,
+        rows_per_change=max(fan_out, 1e-9),
+        task_overhead=task_overhead,
+        row_cost=row_cost,
+        max_delay=max_delay,
+        max_task_length=max_task_length,
+    )
+    candidates = [
+        BatchingCandidate("nonunique", unique=False, unique_on=(), n_keys=1),
+        BatchingCandidate("unique", unique=True, unique_on=(), n_keys=1),
+        BatchingCandidate(
+            f"on_{unit_column}",
+            unique=True,
+            unique_on=(unit_column,),
+            n_keys=max(n_keys, 1),
+        ),
+    ]
+    return advisor.recommend(candidates)

@@ -1,0 +1,138 @@
+"""Appendix A reference semantics, and conformance of the production
+UniqueManager against them (property-based)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import appendix_a
+from repro.database import Database
+from repro.errors import RuleError
+
+
+class TestReferenceSemantics:
+    COLUMNS = {"m": ("comp", "symbol", "delta"), "extra": ("note",)}
+
+    def rows(self):
+        return {
+            "m": [("C1", "S1", 1.0), ("C2", "S1", 2.0), ("C1", "S3", 3.0)],
+            "extra": [("hello",)],
+        }
+
+    def test_locate(self):
+        homes = appendix_a.locate_unique_columns(self.COLUMNS, ["comp"])
+        assert homes == [("comp", "m", 0)]
+
+    def test_locate_missing(self):
+        with pytest.raises(RuleError):
+            appendix_a.locate_unique_columns(self.COLUMNS, ["nope"])
+
+    def test_locate_ambiguous(self):
+        columns = {"a": ("x",), "b": ("x",)}
+        with pytest.raises(RuleError):
+            appendix_a.locate_unique_columns(columns, ["x"])
+
+    def test_t_u(self):
+        assert appendix_a.t_u(self.COLUMNS, ["comp"]) == ["m"]
+        assert appendix_a.t_u(self.COLUMNS, ["comp", "note"]) == ["m", "extra"]
+
+    def test_unique_cols_single_table(self):
+        combos = appendix_a.unique_cols_relation(self.rows(), self.COLUMNS, ["comp"])
+        assert combos == {("C1",), ("C2",)}
+
+    def test_unique_cols_two_columns_same_table(self):
+        combos = appendix_a.unique_cols_relation(
+            self.rows(), self.COLUMNS, ["comp", "symbol"]
+        )
+        assert combos == {("C1", "S1"), ("C2", "S1"), ("C1", "S3")}
+
+    def test_unique_cols_cross_table_product(self):
+        combos = appendix_a.unique_cols_relation(
+            self.rows(), self.COLUMNS, ["comp", "note"]
+        )
+        assert combos == {("C1", "hello"), ("C2", "hello")}
+
+    def test_partition_filters_tu_passes_others(self):
+        parts = appendix_a.partition(self.rows(), self.COLUMNS, ["comp"])
+        assert set(parts) == {("C1",), ("C2",)}
+        c1 = parts[("C1",)]
+        assert c1["m"] == [("C1", "S1", 1.0), ("C1", "S3", 3.0)]
+        assert c1["extra"] == [("hello",)]  # not in T^u: passed whole
+
+    def test_coarse_partition(self):
+        parts = appendix_a.coarse_partition(self.rows())
+        assert set(parts) == {()}
+        assert parts[()]["m"] == self.rows()["m"]
+
+
+# ---------------------------------------------------------------------------
+# Conformance: the engine's UniqueManager matches the formal spec.
+# ---------------------------------------------------------------------------
+
+
+def drive_engine(rows, unique_on):
+    """Insert ``rows`` into a table in one transaction under a rule that is
+    unique on ``unique_on``; return {key: bound-table rows} from the
+    pending tasks."""
+    db = Database()
+    db.execute("create table t (comp text, symbol text, delta real)")
+    db.register_function("f", lambda ctx: None)
+    clause = "unique on " + ", ".join(unique_on)
+    db.execute(
+        f"create rule r on t when inserted "
+        f"if select comp, symbol, delta from inserted bind as m "
+        f"then execute f {clause} after 100.0 seconds"
+    )
+    txn = db.begin()
+    for comp, symbol, delta in rows:
+        txn.insert("t", {"comp": comp, "symbol": symbol, "delta": delta})
+    txn.commit()
+    out = {}
+    for task in db.unique_manager.pending_tasks("f"):
+        bound = task.bound_tables["m"]
+        out[task.unique_key] = sorted(
+            tuple(bound.row_values(i)) for i in range(len(bound))
+        )
+    return out
+
+
+row_strategy = st.tuples(
+    st.sampled_from(["C1", "C2", "C3"]),
+    st.sampled_from(["S1", "S2"]),
+    st.sampled_from([1.0, 2.0]),
+)
+
+
+class TestEngineConformance:
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(rows=st.lists(row_strategy, min_size=1, max_size=12))
+    def test_unique_on_comp_matches_spec(self, rows):
+        engine = drive_engine(rows, ["comp"])
+        spec = appendix_a.partition(
+            {"m": rows}, {"m": ("comp", "symbol", "delta")}, ["comp"]
+        )
+        assert set(engine) == set(spec)
+        for key, bundle in spec.items():
+            assert engine[key] == sorted(bundle["m"])
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(rows=st.lists(row_strategy, min_size=1, max_size=10))
+    def test_unique_on_two_columns_matches_spec(self, rows):
+        engine = drive_engine(rows, ["comp", "symbol"])
+        spec = appendix_a.partition(
+            {"m": rows}, {"m": ("comp", "symbol", "delta")}, ["comp", "symbol"]
+        )
+        assert set(engine) == set(spec)
+        for key, bundle in spec.items():
+            assert engine[key] == sorted(bundle["m"])
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(rows=st.lists(row_strategy, min_size=1, max_size=12))
+    def test_partitions_cover_all_rows_exactly_once_per_key_membership(self, rows):
+        """Every bound row lands in exactly the partition of its own key."""
+        engine = drive_engine(rows, ["comp"])
+        total = sum(len(bundle) for bundle in engine.values())
+        assert total == len(rows)
+        for key, bundle in engine.items():
+            for row in bundle:
+                assert (row[0],) == key

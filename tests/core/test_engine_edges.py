@@ -1,0 +1,189 @@
+"""Edge-case rule-engine semantics: aborts, shared transition tables,
+multiple rules/functions, ALTER RULE, delays per rule."""
+
+import pytest
+
+from repro.database import Database
+from repro.txn.tasks import TaskState
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("create table t (k text, v real)")
+    database.execute("create index t_k on t (k)")
+    database.execute("create table u (k text)")
+    return database
+
+
+class TestAbortSemantics:
+    def test_aborted_txn_fires_no_rules(self, db):
+        """Event checking happens at commit; an aborted transaction must
+        not trigger anything."""
+        seen = []
+        db.register_function("f", lambda ctx: seen.append(1))
+        db.execute("create rule r on t when inserted then execute f")
+        txn = db.begin()
+        txn.insert("t", {"k": "a", "v": 1.0})
+        txn.abort()
+        db.drain()
+        assert seen == []
+        assert db.rule_engine.firing_count == 0
+
+    def test_empty_commit_fires_no_rules(self, db):
+        db.register_function("f", lambda ctx: pytest.fail("must not fire"))
+        db.execute("create rule r on t when inserted then execute f")
+        txn = db.begin()
+        txn.commit()
+        db.drain()
+
+
+class TestMultipleRules:
+    def test_two_rules_share_transition_tables(self, db):
+        """Transition tables are built once per (txn, table) and shared
+        (section 6.3)."""
+        seen = []
+        db.register_function("f1", lambda ctx: seen.append("f1"))
+        db.register_function("f2", lambda ctx: seen.append("f2"))
+        db.execute(
+            "create rule r1 on t when inserted "
+            "if select k from inserted bind as a then execute f1"
+        )
+        db.execute(
+            "create rule r2 on t when inserted "
+            "if select v from inserted bind as b then execute f2"
+        )
+        before = db.background_meter.ops.get("transition_row", 0)
+        db.execute("insert into t values ('x', 1.0)")
+        after = db.background_meter.ops.get("transition_row", 0)
+        db.drain()
+        assert sorted(seen) == ["f1", "f2"]
+        assert after - before == 1  # one transition row, not two
+
+    def test_rules_on_different_tables_independent(self, db):
+        seen = []
+        db.register_function("ft", lambda ctx: seen.append("t"))
+        db.register_function("fu", lambda ctx: seen.append("u"))
+        db.execute("create rule rt on t when inserted then execute ft")
+        db.execute("create rule ru on u when inserted then execute fu")
+        txn = db.begin()
+        txn.insert("t", {"k": "a", "v": 1.0})
+        txn.insert("u", {"k": "b"})
+        txn.commit()
+        db.drain()
+        assert sorted(seen) == ["t", "u"]
+
+    def test_two_rules_same_function_share_pending(self, db):
+        """Uniqueness is per user function, not per rule (section 2)."""
+        db.register_function("f", lambda ctx: None)
+        db.execute(
+            "create rule r1 on t when inserted "
+            "if select k from inserted bind as m then execute f unique after 5.0 seconds"
+        )
+        db.execute(
+            "create rule r2 on u when inserted "
+            "if select k from inserted bind as m then execute f unique after 5.0 seconds"
+        )
+        db.execute("insert into t values ('a', 1.0)")
+        db.execute("insert into u values ('b')")
+        assert db.unique_manager.pending_count("f") == 1
+        task = db.unique_manager.pending_tasks("f")[0]
+        assert len(task.bound_tables["m"]) == 2  # batched across tables
+        db.drain()
+
+    def test_delay_from_first_firing_rule(self, db):
+        """A later firing via a rule with a different delay still appends to
+        the pending task (release time set by the first firing)."""
+        db.register_function("f", lambda ctx: None)
+        db.execute(
+            "create rule r1 on t when inserted "
+            "if select k from inserted bind as m then execute f unique after 2.0 seconds"
+        )
+        db.execute(
+            "create rule r2 on u when inserted "
+            "if select k from inserted bind as m then execute f unique after 9.0 seconds"
+        )
+        db.execute("insert into t values ('a', 1.0)")
+        task = db.unique_manager.pending_tasks("f")[0]
+        assert task.release_time == pytest.approx(2.0, abs=1e-6)
+        db.execute("insert into u values ('b')")
+        assert db.unique_manager.pending_tasks("f")[0] is task
+        assert task.release_time == pytest.approx(2.0, abs=1e-6)
+        db.drain()
+
+
+class TestAlterRule:
+    def test_disable_enable_cycle(self, db):
+        seen = []
+        db.register_function("f", lambda ctx: seen.append(1))
+        db.execute("create rule r on t when inserted then execute f")
+        db.execute("alter rule r disable")
+        assert not db.catalog.rule("r").enabled
+        db.execute("insert into t values ('a', 1.0)")
+        db.drain()
+        assert seen == []
+        db.execute("alter rule r enable")
+        db.execute("insert into t values ('b', 2.0)")
+        db.drain()
+        assert seen == [1]
+
+    def test_alter_unknown_rule(self, db):
+        from repro.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            db.execute("alter rule nope disable")
+
+
+class TestUpdateColumnFilters:
+    def test_multi_column_event(self, db):
+        seen = []
+        db.register_function("f", lambda ctx: seen.append(1))
+        db.execute("create rule r on t when updated v, k then execute f")
+        db.execute("insert into t values ('a', 1.0)")
+        db.drain()
+        seen.clear()
+        db.execute("update t set v = 2.0 where k = 'a'")
+        db.drain()
+        assert seen == [1]
+        db.execute("update t set k = 'b' where k = 'a'")
+        db.drain()
+        assert seen == [1, 1]
+
+    def test_identity_update_not_a_change(self, db):
+        seen = []
+        db.register_function("f", lambda ctx: seen.append(1))
+        db.execute("create rule r on t when updated v then execute f")
+        db.execute("insert into t values ('a', 1.0)")
+        db.drain()
+        seen.clear()
+        db.execute("update t set v = 1.0 where k = 'a'")  # same value
+        db.drain()
+        assert seen == []
+
+
+class TestCascadeDepth:
+    def test_chain_of_three(self, db):
+        db.execute("create table audit1 (k text)")
+        db.execute("create table audit2 (k text)")
+        order = []
+
+        def step1(ctx):
+            order.append(1)
+            ctx.execute("insert into audit1 values ('x')")
+
+        def step2(ctx):
+            order.append(2)
+            ctx.execute("insert into audit2 values ('y')")
+
+        def step3(ctx):
+            order.append(3)
+
+        db.register_function("s1", step1)
+        db.register_function("s2", step2)
+        db.register_function("s3", step3)
+        db.execute("create rule r1 on t when inserted then execute s1")
+        db.execute("create rule r2 on audit1 when inserted then execute s2")
+        db.execute("create rule r3 on audit2 when inserted then execute s3")
+        db.execute("insert into t values ('go', 0.0)")
+        db.drain()
+        assert order == [1, 2, 3]

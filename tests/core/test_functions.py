@@ -1,0 +1,129 @@
+"""Tests for the user-function registry and FunctionContext."""
+
+import pytest
+
+from repro.core.functions import FunctionRegistry
+from repro.database import Database
+from repro.errors import FunctionError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("create table t (k text, v real)")
+    database.execute("create index t_k on t (k)")
+    return database
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = FunctionRegistry()
+        fn = lambda ctx: None
+        registry.register("f", fn)
+        assert registry.get("f") is fn
+        assert registry.has("f")
+        assert registry.names() == ["f"]
+
+    def test_duplicate_rejected(self):
+        registry = FunctionRegistry()
+        registry.register("f", lambda ctx: None)
+        with pytest.raises(FunctionError):
+            registry.register("f", lambda ctx: None)
+
+    def test_replace(self):
+        registry = FunctionRegistry()
+        registry.register("f", lambda ctx: 1)
+        fresh = lambda ctx: 2
+        registry.register("f", fresh, replace=True)
+        assert registry.get("f") is fresh
+
+    def test_missing(self):
+        with pytest.raises(FunctionError):
+            FunctionRegistry().get("nope")
+
+
+class TestContext:
+    def run_with_context(self, db, fn):
+        db.register_function("f", fn)
+        db.execute(
+            "create rule r on t when inserted "
+            "if select k, v from inserted bind as m then execute f"
+        )
+        db.execute("insert into t values ('a', 1.0)")
+        db.drain()
+
+    def test_bound_lookup(self, db):
+        seen = {}
+
+        def fn(ctx):
+            seen["has"] = ctx.has_bound("m")
+            seen["missing"] = ctx.has_bound("zzz")
+            seen["rows"] = ctx.bound("m").to_dicts()
+
+        self.run_with_context(db, fn)
+        assert seen == {"has": True, "missing": False, "rows": [{"k": "a", "v": 1.0}]}
+
+    def test_bound_missing_raises(self, db):
+        def fn(ctx):
+            ctx.bound("zzz")
+
+        with pytest.raises(FunctionError):
+            self.run_with_context(db, fn)
+
+    def test_query_sees_bound_table_by_name(self, db):
+        """Bound tables shadow catalog names for the running task (6.3)."""
+        seen = {}
+
+        def fn(ctx):
+            seen["v"] = ctx.query("select sum(v) as s from m").scalar()
+
+        self.run_with_context(db, fn)
+        assert seen["v"] == 1.0
+
+    def test_query_joins_bound_with_standard(self, db):
+        db.execute("create table factors (k text, f real)")
+        db.execute("insert into factors values ('a', 10.0)")
+        seen = {}
+
+        def fn(ctx):
+            seen["rows"] = ctx.query(
+                "select v * f as scaled from m, factors where m.k = factors.k"
+            ).rows()
+
+        self.run_with_context(db, fn)
+        assert seen["rows"] == [[10.0]]
+
+    def test_execute_writes_through_action_txn(self, db):
+        def fn(ctx):
+            ctx.execute("insert into t values ('made', 9.0)")
+
+        db.register_function("f", fn)
+        db.execute("create rule r on t when updated then execute f")
+        db.execute("insert into t values ('a', 1.0)")
+        db.execute("update t set v = 2.0 where k = 'a'")
+        db.drain()
+        assert db.query("select v from t where k = 'made'").scalar() == 9.0
+
+    def test_rows_charges_user_cost(self, db):
+        def fn(ctx):
+            list(ctx.rows("m"))
+
+        db.register_function("f", fn)
+        db.execute(
+            "create rule r on t when inserted "
+            "if select k, v from inserted bind as m then execute f"
+        )
+        db.execute("insert into t values ('a', 1.0)")
+        task = db.task_manager.ready.peek()
+        db.drain()
+        assert task.meter.ops["user_row"] == 1
+
+    def test_now_reflects_virtual_time(self, db):
+        seen = {}
+
+        def fn(ctx):
+            seen["now"] = ctx.now
+
+        db.advance(5.0)
+        self.run_with_context(db, fn)
+        assert seen["now"] >= 5.0

@@ -1,0 +1,235 @@
+"""Tests for the application-side net-effect calculation (section 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.net_effect import NetChange, net_effect
+from repro.database import Database
+from repro.errors import SchemaError
+from repro.storage.schema import Column, ColumnType, Schema
+from repro.storage.temptable import TempTable
+
+
+def make_table(rows, columns=("k", "v", "execute_order")):
+    types = {
+        "k": ColumnType.TEXT,
+        "v": ColumnType.REAL,
+        "execute_order": ColumnType.INT,
+        "commit_time": ColumnType.TIME,
+    }
+    schema = Schema([Column(name, types[name]) for name in columns])
+    table = TempTable("t", schema)
+    for row in rows:
+        table.append_values([row[name] for name in columns])
+    return table
+
+
+def change_map(changes):
+    return {change.key: change for change in changes}
+
+
+class TestCollapsing:
+    def test_insert_then_delete_vanishes(self):
+        changes = net_effect(
+            ["k"],
+            inserted=make_table([{"k": "a", "v": 1.0, "execute_order": 1}]),
+            deleted=make_table([{"k": "a", "v": 1.0, "execute_order": 2}]),
+        )
+        assert changes == []
+
+    def test_insert_then_updates_is_one_insert(self):
+        changes = net_effect(
+            ["k"],
+            inserted=make_table([{"k": "a", "v": 1.0, "execute_order": 1}]),
+            new=make_table([{"k": "a", "v": 3.0, "execute_order": 2}]),
+            old=make_table([{"k": "a", "v": 1.0, "execute_order": 2}]),
+        )
+        [change] = changes
+        assert change.kind == "insert"
+        assert change.new == {"k": "a", "v": 3.0}
+
+    def test_updates_collapse_first_old_last_new(self):
+        changes = net_effect(
+            ["k"],
+            new=make_table(
+                [
+                    {"k": "a", "v": 2.0, "execute_order": 1},
+                    {"k": "a", "v": 3.0, "execute_order": 2},
+                ]
+            ),
+            old=make_table(
+                [
+                    {"k": "a", "v": 1.0, "execute_order": 1},
+                    {"k": "a", "v": 2.0, "execute_order": 2},
+                ]
+            ),
+        )
+        [change] = changes
+        assert change.kind == "update"
+        assert change.old == {"k": "a", "v": 1.0}
+        assert change.new == {"k": "a", "v": 3.0}
+
+    def test_update_back_to_original_is_noop(self):
+        changes = net_effect(
+            ["k"],
+            new=make_table(
+                [
+                    {"k": "a", "v": 2.0, "execute_order": 1},
+                    {"k": "a", "v": 1.0, "execute_order": 2},
+                ]
+            ),
+            old=make_table(
+                [
+                    {"k": "a", "v": 1.0, "execute_order": 1},
+                    {"k": "a", "v": 2.0, "execute_order": 2},
+                ]
+            ),
+        )
+        assert changes == []
+
+    def test_noop_kept_when_requested(self):
+        changes = net_effect(
+            ["k"],
+            new=make_table([{"k": "a", "v": 1.0, "execute_order": 1}]),
+            old=make_table([{"k": "a", "v": 1.0, "execute_order": 1}]),
+            drop_noops=False,
+        )
+        assert changes[0].kind == "update"
+
+    def test_delete_then_reinsert_is_update(self):
+        changes = net_effect(
+            ["k"],
+            deleted=make_table([{"k": "a", "v": 1.0, "execute_order": 1}]),
+            inserted=make_table([{"k": "a", "v": 9.0, "execute_order": 2}]),
+        )
+        [change] = changes
+        assert change.kind == "update"
+        assert change.old == {"k": "a", "v": 1.0}
+        assert change.new == {"k": "a", "v": 9.0}
+
+    def test_execute_order_beats_list_position(self):
+        """Events interleave by execute_order even across tables."""
+        changes = net_effect(
+            ["k"],
+            inserted=make_table([{"k": "a", "v": 5.0, "execute_order": 3}]),
+            deleted=make_table([{"k": "a", "v": 4.0, "execute_order": 1}]),
+        )
+        [change] = changes
+        assert change.kind == "update"  # delete(1) then insert(3)
+        assert change.new == {"k": "a", "v": 5.0}
+
+    def test_independent_keys(self):
+        changes = net_effect(
+            ["k"],
+            inserted=make_table([{"k": "a", "v": 1.0, "execute_order": 1}]),
+            deleted=make_table([{"k": "b", "v": 2.0, "execute_order": 2}]),
+        )
+        by_key = change_map(changes)
+        assert by_key[("a",)].kind == "insert"
+        assert by_key[("b",)].kind == "delete"
+
+    def test_commit_time_orders_across_transactions(self):
+        columns = ("k", "v", "execute_order", "commit_time")
+        changes = net_effect(
+            ["k"],
+            new=make_table(
+                [
+                    {"k": "a", "v": 9.0, "execute_order": 1, "commit_time": 2.0},
+                    {"k": "a", "v": 5.0, "execute_order": 1, "commit_time": 1.0},
+                ],
+                columns,
+            ),
+            old=make_table(
+                [
+                    {"k": "a", "v": 5.0, "execute_order": 1, "commit_time": 2.0},
+                    {"k": "a", "v": 1.0, "execute_order": 1, "commit_time": 1.0},
+                ],
+                columns,
+            ),
+        )
+        [change] = changes
+        assert change.old == {"k": "a", "v": 1.0}
+        assert change.new == {"k": "a", "v": 9.0}
+
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            net_effect([], inserted=make_table([]))
+        with pytest.raises(SchemaError):
+            net_effect(
+                ["k"],
+                new=make_table([{"k": "a", "v": 1.0, "execute_order": 1}]),
+                old=make_table([]),
+            )
+        with pytest.raises(SchemaError):
+            net_effect(
+                ["missing"],
+                inserted=make_table([{"k": "a", "v": 1.0, "execute_order": 1}]),
+            )
+
+
+class TestAgainstEngine:
+    """Replaying the net effect must land on the same final table state as
+    the raw audit trail did."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "update", "delete"]),
+                st.sampled_from(["a", "b", "c"]),
+                st.floats(1.0, 9.0),
+            ),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    def test_net_effect_replay_matches(self, ops):
+        db = Database()
+        db.execute("create table t (k text, v real)")
+        db.execute("create index t_k on t (k)")
+        captured = {}
+
+        def capture(ctx):
+            captured["changes"] = net_effect(
+                ["k"],
+                inserted=ctx.bound("ins"),
+                deleted=ctx.bound("del_rows"),
+                new=ctx.bound("new_rows"),
+                old=ctx.bound("old_rows"),
+            )
+
+        db.register_function("capture", capture)
+        db.execute(
+            "create rule r on t when inserted deleted updated then evaluate "
+            "select k, v, execute_order from inserted bind as ins, "
+            "select k, v, execute_order from deleted bind as del_rows, "
+            "select k, v, execute_order from new bind as new_rows, "
+            "select k, v, execute_order from old bind as old_rows "
+            "execute capture"
+        )
+        table = db.catalog.table("t")
+        txn = db.begin()
+        for kind, key, value in ops:
+            record = table.get_one("k", key)
+            if kind == "insert" and record is None:
+                txn.insert("t", {"k": key, "v": value})
+            elif kind == "update" and record is not None:
+                txn.update_columns(table, record, {"v": value})
+            elif kind == "delete" and record is not None:
+                txn.delete_record(table, record)
+        txn.commit()
+        db.drain()
+
+        final = {row[0]: row[1] for row in db.query("select k, v from t").rows()}
+
+        # Replay the net changes onto the initial (empty) state.
+        replayed = {}
+        for change in captured.get("changes", []):
+            if change.kind == "insert":
+                replayed[change.key[0]] = change.new["v"]
+            elif change.kind == "update":
+                replayed[change.key[0]] = change.new["v"]
+            elif change.kind == "delete":
+                replayed.pop(change.key[0], None)
+        assert replayed == final

@@ -1,0 +1,233 @@
+"""Tests for unique transactions: coarse batching, unique on columns,
+Appendix A partitioning, fixed-once-running semantics."""
+
+import pytest
+
+from repro.database import Database
+from repro.txn.tasks import TaskState
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("create table t (k text, grp text, v real)")
+    database.execute("create index t_k on t (k)")
+    return database
+
+
+def install(db, clause, store, function="f", delay=1.0):
+    def fn(ctx):
+        store.append(ctx.bound("m").to_dicts())
+
+    db.register_function(function, fn)
+    db.execute(
+        f"create rule watch_{function} on t when inserted "
+        f"if select k, grp, v from inserted bind as m "
+        f"then execute {function} {clause} after {delay} seconds"
+    )
+
+
+class TestCoarseUnique:
+    def test_single_pending_task(self, db):
+        seen = []
+        install(db, "unique", seen)
+        db.execute("insert into t values ('a', 'g1', 1.0)")
+        db.execute("insert into t values ('b', 'g2', 2.0)")
+        assert db.unique_manager.pending_count("f") == 1
+        assert db.task_manager.pending == 1
+        db.drain()
+        # One task saw both firings' rows, in commit order.
+        assert seen == [
+            [
+                {"k": "a", "grp": "g1", "v": 1.0},
+                {"k": "b", "grp": "g2", "v": 2.0},
+            ]
+        ]
+
+    def test_batch_counter(self, db):
+        seen = []
+        install(db, "unique", seen)
+        for i in range(5):
+            db.execute(f"insert into t values ('x{i}', 'g', 0.0)")
+        assert db.unique_manager.batch_count == 4
+        assert db.unique_manager.task_count == 1
+
+    def test_release_time_set_by_first_firing(self, db):
+        seen = []
+        install(db, "unique", seen, delay=2.0)
+        db.advance(10.0)
+        db.execute("insert into t values ('a', 'g', 1.0)")
+        task = db.unique_manager.pending_tasks("f")[0]
+        assert task.release_time == 12.0
+        db.advance(1.0)
+        db.execute("insert into t values ('b', 'g', 2.0)")
+        # Later firings append rows but do not move the release time.
+        assert db.unique_manager.pending_tasks("f")[0].release_time == 12.0
+
+    def test_new_task_after_execution(self, db):
+        seen = []
+        install(db, "unique", seen)
+        db.execute("insert into t values ('a', 'g', 1.0)")
+        db.drain()
+        db.execute("insert into t values ('b', 'g', 2.0)")
+        assert db.unique_manager.pending_count("f") == 1
+        db.drain()
+        assert len(seen) == 2
+
+    def test_non_unique_rule_stacks_tasks(self, db):
+        seen = []
+        install(db, "", seen)
+        db.execute("insert into t values ('a', 'g', 1.0)")
+        db.execute("insert into t values ('b', 'g', 2.0)")
+        assert db.task_manager.pending == 2
+        db.drain()
+        assert len(seen) == 2
+
+
+class TestUniqueOnColumns:
+    def test_partition_by_column(self, db):
+        seen = []
+        install(db, "unique on grp", seen)
+        txn = db.begin()
+        txn.insert("t", {"k": "a", "grp": "g1", "v": 1.0})
+        txn.insert("t", {"k": "b", "grp": "g2", "v": 2.0})
+        txn.insert("t", {"k": "c", "grp": "g1", "v": 3.0})
+        txn.commit()
+        tasks = db.unique_manager.pending_tasks("f")
+        assert sorted(task.unique_key for task in tasks) == [("g1",), ("g2",)]
+        by_key = {task.unique_key: task.bound_rows for task in tasks}
+        assert by_key == {("g1",): 2, ("g2",): 1}
+        db.drain()
+        assert len(seen) == 2
+
+    def test_cross_transaction_batching_per_key(self, db):
+        seen = []
+        install(db, "unique on grp", seen)
+        db.execute("insert into t values ('a', 'g1', 1.0)")
+        db.execute("insert into t values ('b', 'g1', 2.0)")
+        db.execute("insert into t values ('c', 'g2', 3.0)")
+        assert db.unique_manager.pending_count("f") == 2
+        db.drain()
+        rows_by_first_key = {rows[0]["grp"]: rows for rows in seen}
+        assert [r["k"] for r in rows_by_first_key["g1"]] == ["a", "b"]
+        assert [r["k"] for r in rows_by_first_key["g2"]] == ["c"]
+
+    def test_multi_column_key(self, db):
+        seen = []
+        install(db, "unique on grp, k", seen)
+        db.execute("insert into t values ('a', 'g1', 1.0)")
+        db.execute("insert into t values ('a', 'g1', 2.0)")
+        db.execute("insert into t values ('b', 'g1', 3.0)")
+        keys = sorted(task.unique_key for task in db.unique_manager.pending_tasks("f"))
+        assert keys == [("g1", "a"), ("g1", "b")]
+        db.drain()
+
+    def test_once_running_new_firings_open_fresh_task(self, db):
+        """Once a unique transaction begins to execute its bound tables are
+        fixed; later firings start a new transaction (sections 2/6.3)."""
+        from repro.sim.simulator import execute_task
+
+        seen = []
+        install(db, "unique on grp", seen)
+        db.execute("insert into t values ('a', 'g1', 1.0)")
+        task = db.unique_manager.pending_tasks("f")[0]
+        db.clock.set_base(task.release_time)
+        execute_task(db, task)
+        assert task.state is TaskState.DONE
+        db.execute("insert into t values ('b', 'g1', 2.0)")
+        fresh = db.unique_manager.pending_tasks("f")
+        assert len(fresh) == 1 and fresh[0] is not task
+        db.drain()
+        assert len(seen) == 2
+
+    def test_rows_filtered_per_partition(self, db):
+        """Appendix A: each task sees only its key's rows of the T^u table."""
+        seen = []
+        install(db, "unique on grp", seen)
+        txn = db.begin()
+        for i in range(6):
+            txn.insert("t", {"k": f"x{i}", "grp": f"g{i % 3}", "v": float(i)})
+        txn.commit()
+        db.drain()
+        for rows in seen:
+            groups = {row["grp"] for row in rows}
+            assert len(groups) == 1  # single partition per task
+
+
+class TestAppendixAMultiTable:
+    """unique columns spread over two bound tables: the key space is the
+    product of the tables' distinct values, filtered tables per key."""
+
+    def test_product_partitioning(self, db):
+        db.execute("create table u (a text, n int)")
+        seen = []
+
+        def fn(ctx):
+            seen.append(
+                (
+                    ctx.bound("left_rows").to_dicts(),
+                    ctx.bound("right_rows").to_dicts(),
+                )
+            )
+
+        db.register_function("f2", fn)
+        db.execute(
+            "create rule r2 on u when inserted "
+            "if select a, n from inserted bind as left_rows, "
+            "select grp, v from t bind as right_rows "
+            "then execute f2 unique on a, grp after 1.0 seconds"
+        )
+        db.execute("insert into t values ('k1', 'gX', 1.0)")
+        db.execute("insert into t values ('k2', 'gY', 2.0)")
+        txn = db.begin()
+        txn.insert("u", {"a": "A", "n": 1})
+        txn.insert("u", {"a": "B", "n": 2})
+        txn.commit()
+        tasks = db.unique_manager.pending_tasks("f2")
+        keys = sorted(task.unique_key for task in tasks)
+        assert keys == [("A", "gX"), ("A", "gY"), ("B", "gX"), ("B", "gY")]
+        db.drain()
+        for left_rows, right_rows in seen:
+            assert len(left_rows) == 1
+            assert len(right_rows) == 1
+
+    def test_unique_column_missing_everywhere(self, db):
+        from repro.errors import RuleError
+
+        db.register_function("f3", lambda ctx: None)
+        db.execute(
+            "create rule r3 on t when inserted "
+            "if select k from inserted bind as m "
+            "then execute f3 unique on nonexistent"
+        )
+        with pytest.raises(Exception):
+            db.execute("insert into t values ('a', 'g', 1.0)")
+
+
+class TestPinning:
+    def test_absorbed_rows_keep_old_versions_alive(self, db):
+        seen = []
+
+        def fn(ctx):
+            seen.append(ctx.bound("m").to_dicts())
+
+        db.register_function("f", fn)
+        db.execute(
+            "create rule r on t when updated "
+            "if select k, old.v as before from old bind as m "
+            "then execute f unique after 1.0 seconds"
+        )
+        db.execute("insert into t values ('a', 'g', 1.0)")
+        db.execute("update t set v = 2.0 where k = 'a'")
+        db.execute("update t set v = 3.0 where k = 'a'")
+        db.drain()
+        # The batched bound table shows both superseded versions.
+        assert seen == [[{"k": "a", "before": 1.0}, {"k": "a", "before": 2.0}]]
+
+    def test_bound_tables_retired_after_task(self, db):
+        install(db, "unique", [])
+        db.execute("insert into t values ('a', 'g', 1.0)")
+        task = db.unique_manager.pending_tasks("f")[0]
+        table = task.bound_tables["m"]
+        db.drain()
+        assert table.retired

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "12"])
+        assert args.number == "12"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "15"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "172.0000" in out
+        assert "5814 TPS" in out
+
+    def test_trace_stats(self, capsys):
+        assert main(["trace", "--stats", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "active_stocks" in out
+
+    def test_trace_listing(self, capsys):
+        assert main(["trace", "--scale", "tiny", "--limit", "3"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 3
+
+    def test_experiment(self, capsys):
+        code = main(
+            [
+                "experiment",
+                "--view",
+                "comps",
+                "--variant",
+                "unique",
+                "--delay",
+                "1.0",
+                "--scale",
+                "tiny",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cpu_fraction" in out
+        assert "maintenance CPU" in out
+
+    def test_figure(self, capsys):
+        assert main(["figure", "10", "--scale", "tiny", "--delays", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+        assert "on_comp" in out
+
+    def test_sql(self, capsys):
+        assert main(["sql", "select 1 + 1 as two from t"]) == 0
+        assert "two" in capsys.readouterr().out
+
+    def test_bad_scale(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "--scale", "bogus"])

@@ -1,0 +1,135 @@
+"""Tests for the import/export system (Figure 15)."""
+
+import pytest
+
+from repro.database import Database
+from repro.errors import SimulationError
+from repro.io.export import ExportQueue, install_export_rule
+from repro.io.feed import FeedRecord, ImportFeed, quote_feed
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute_script(
+        """
+        create table stocks (symbol text, price real);
+        create index stocks_symbol on stocks (symbol);
+        insert into stocks values ('A', 10.0), ('B', 20.0);
+        """
+    )
+    return database
+
+
+class TestImportFeed:
+    def test_quote_feed_applies_updates(self, db):
+        feed = quote_feed(db)
+        records = [
+            FeedRecord(0.5, ("A", 11.0)),
+            FeedRecord(1.0, ("B", 21.0)),
+            FeedRecord(1.5, ("A", 12.0)),
+        ]
+        executed = feed.replay(records)
+        assert executed == 3
+        assert db.query("select price from stocks where symbol = 'A'").scalar() == 12.0
+        assert db.metrics.count("update") == 3
+        assert feed.records_seen == 3
+
+    def test_feed_triggers_rules(self, db):
+        seen = []
+        db.register_function("watch", lambda ctx: seen.append(len(ctx.bound("m"))))
+        db.execute(
+            "create rule r on stocks when updated price "
+            "if select symbol from new bind as m "
+            "then execute watch unique after 1.0 seconds"
+        )
+        feed = quote_feed(db)
+        feed.replay([FeedRecord(0.1, ("A", 11.0)), FeedRecord(0.2, ("A", 12.0))])
+        assert seen == [2]  # both quotes batched into one recompute
+
+    def test_unknown_symbol_fails_task(self, db):
+        feed = quote_feed(db)
+        with pytest.raises(SimulationError):
+            feed.replay([FeedRecord(0.0, ("ZZZ", 1.0))])
+
+    def test_custom_handler_and_deadline(self, db):
+        applied = []
+
+        def handler(txn, payload):
+            applied.append(payload)
+
+        feed = ImportFeed(db, handler, klass="sensor", deadline=0.5)
+        task = feed.task_for(FeedRecord(2.0, "hello"))
+        assert task.deadline == 2.5
+        assert task.klass == "sensor"
+        feed.replay([FeedRecord(0.0, "x")])
+        assert applied == ["x"]
+
+    def test_failed_record_aborts_its_txn(self, db):
+        def handler(txn, payload):
+            txn.insert("stocks", {"symbol": "tmp", "price": 1.0})
+            raise ValueError("bad record")
+
+        feed = ImportFeed(db, handler)
+        with pytest.raises(ValueError):
+            feed.replay([FeedRecord(0.0, None)])
+        assert db.query("select count(*) as n from stocks").scalar() == 2
+
+
+class TestExport:
+    def test_insert_export(self, db):
+        queue = install_export_rule(db, "stocks", ["symbol", "price"], events=["inserted"])
+        db.execute("insert into stocks values ('C', 30.0)")
+        db.drain()
+        messages = queue.drain()
+        assert len(messages) == 1
+        assert messages[0].kind == "inserted"
+        assert messages[0].rows == ({"symbol": "C", "price": 30.0},)
+        assert queue.drain() == []
+
+    def test_update_exports_new_image(self, db):
+        queue = install_export_rule(db, "stocks", ["symbol", "price"], events=["updated"])
+        db.execute("update stocks set price = 99.0 where symbol = 'A'")
+        db.drain()
+        [message] = queue.drain()
+        assert message.kind == "updated"
+        assert message.rows[0]["price"] == 99.0
+
+    def test_delete_export(self, db):
+        queue = install_export_rule(db, "stocks", ["symbol"], events=["deleted"])
+        db.execute("delete from stocks where symbol = 'B'")
+        db.drain()
+        [message] = queue.drain()
+        assert message.kind == "deleted"
+        assert message.rows == ({"symbol": "B"},)
+
+    def test_batched_export_throttles(self, db):
+        """A unique export with a window emits one message per window."""
+        queue = install_export_rule(
+            db, "stocks", ["symbol", "price"], events=["updated"], unique=True, delay=1.0
+        )
+        for price in (11.0, 12.0, 13.0):
+            db.execute("update stocks set price = :p where symbol = 'A'", {"p": price})
+        db.drain()
+        messages = queue.drain()
+        assert len(messages) == 1
+        assert [row["price"] for row in messages[0].rows] == [11.0, 12.0, 13.0]
+
+    def test_mixed_events_one_task(self, db):
+        queue = install_export_rule(db, "stocks", ["symbol"])
+        txn = db.begin()
+        txn.insert("stocks", {"symbol": "N", "price": 1.0})
+        table = db.catalog.table("stocks")
+        txn.delete_record(table, table.get_one("symbol", "B"))
+        txn.commit()
+        db.drain()
+        kinds = sorted(message.kind for message in queue.drain())
+        assert kinds == ["deleted", "inserted"]
+
+    def test_custom_queue_and_name(self, db):
+        shared = ExportQueue("shared")
+        install_export_rule(db, "stocks", ["symbol"], queue=shared, name="my_export")
+        db.execute("insert into stocks values ('Q', 1.0)")
+        db.drain()
+        assert shared.peek()[0].export == "my_export"
+        assert len(shared) == 1

@@ -1,0 +1,193 @@
+"""The paper's worked example (Figures 4-7) as an executable test.
+
+Tables populated exactly as in Figure 4; transactions T1 and T2 change
+S1/S2 and S2/S3; the three rule styles must produce the pending-task
+layouts of Figure 5(a)-(c) and the correct final composite prices.
+"""
+
+import pytest
+
+from repro.database import Database
+
+SETUP = """
+create table stocks (symbol text, price real);
+create index stocks_sym on stocks (symbol);
+create table comps_list (comp text, symbol text, weight real);
+create index comps_sym on comps_list (symbol);
+create table comp_prices (comp text, price real);
+create index compp on comp_prices (comp);
+insert into stocks values ('S1', 30.0), ('S2', 40.0), ('S3', 50.0);
+insert into comps_list values
+    ('C1', 'S1', 0.5), ('C1', 'S3', 0.5), ('C2', 'S1', 0.3), ('C2', 'S2', 0.7);
+insert into comp_prices values ('C1', 40.0), ('C2', 37.0);
+"""
+
+CONDITION = """
+    select comp, comps_list.symbol as symbol, weight,
+        old.price as old_price, new.price as new_price
+    from comps_list, new, old
+    where comps_list.symbol = new.symbol
+        and new.execute_order = old.execute_order
+    bind as matches
+"""
+
+
+def compute_comps1(ctx):
+    """Figure 3."""
+    for row in ctx.rows("matches"):
+        change = row["weight"] * (row["new_price"] - row["old_price"])
+        ctx.execute(
+            "update comp_prices set price += :d where comp = :c",
+            {"d": change, "c": row["comp"]},
+        )
+
+
+def compute_comps2(ctx):
+    """Figure 6."""
+    for row in ctx.query(
+        "select comp, sum((new_price - old_price) * weight) as diff "
+        "from matches group by comp"
+    ):
+        ctx.execute(
+            "update comp_prices set price += :d where comp = :c",
+            {"d": row["diff"], "c": row["comp"]},
+        )
+
+
+def compute_comps3(ctx):
+    """Figure 7."""
+    total = 0.0
+    comp = None
+    for row in ctx.rows("matches"):
+        comp = row["comp"]
+        total += row["weight"] * (row["new_price"] - row["old_price"])
+    if comp is not None:
+        ctx.execute(
+            "update comp_prices set price += :d where comp = :c",
+            {"d": total, "c": comp},
+        )
+
+
+def make_db(function_name, fn, clause):
+    db = Database()
+    db.execute_script(SETUP)
+    db.register_function(function_name, fn)
+    db.execute(
+        f"create rule r on stocks when updated price if {CONDITION} "
+        f"then execute {function_name} {clause}"
+    )
+    return db
+
+
+def run_t1(db):
+    txn = db.begin()
+    txn.execute("update stocks set price = 31.0 where symbol = 'S1'")
+    txn.execute("update stocks set price = 39.0 where symbol = 'S2'")
+    txn.commit()
+
+
+def run_t2(db):
+    txn = db.begin()
+    txn.execute("update stocks set price = 38.0 where symbol = 'S2'")
+    txn.execute("update stocks set price = 51.0 where symbol = 'S3'")
+    txn.commit()
+
+
+def final_prices(db):
+    return dict(db.query("select comp, price from comp_prices").rows())
+
+
+#: C1 = 40 + 0.5*(31-30) + 0.5*(51-50);  C2 = 37 + 0.3*1 + 0.7*(-1) + 0.7*(-1)
+EXPECTED = {"C1": 41.0, "C2": pytest.approx(35.9)}
+
+
+class TestFigure5a:
+    """Non-unique rule: two distinct transactions, each with its own
+    matches table (3 rows from T1, 2 rows from T2)."""
+
+    def test_two_tasks_with_own_tables(self):
+        db = make_db("compute_comps1", compute_comps1, "")
+        run_t1(db)
+        run_t2(db)
+        assert db.task_manager.pending == 2
+        sizes = sorted(
+            task.bound_tables["matches"] and len(task.bound_tables["matches"])
+            for task in list(db.task_manager.ready)
+        )
+        assert sizes == [2, 3]
+        db.drain()
+        assert final_prices(db) == EXPECTED
+
+    def test_t1_matches_content(self):
+        """The exact matches table of Figure 4 (transaction T1)."""
+        db = make_db("compute_comps1", compute_comps1, "")
+        run_t1(db)
+        task = db.task_manager.ready.peek()
+        rows = {
+            (r["comp"], r["symbol"]): (r["weight"], r["old_price"], r["new_price"])
+            for r in task.bound_tables["matches"].to_dicts()
+        }
+        assert rows == {
+            ("C1", "S1"): (0.5, 30.0, 31.0),
+            ("C2", "S1"): (0.3, 30.0, 31.0),
+            ("C2", "S2"): (0.7, 40.0, 39.0),
+        }
+        db.drain()
+
+
+class TestFigure5b:
+    """Coarse unique: T2's rows are appended to T1's pending task."""
+
+    def test_one_task_with_five_rows(self):
+        db = make_db("compute_comps2", compute_comps2, "unique after 1.0 seconds")
+        run_t1(db)
+        assert db.unique_manager.pending_count("compute_comps2") == 1
+        task = db.unique_manager.pending_tasks("compute_comps2")[0]
+        assert len(task.bound_tables["matches"]) == 3
+        run_t2(db)
+        assert db.unique_manager.pending_count("compute_comps2") == 1
+        assert len(task.bound_tables["matches"]) == 5
+        assert db.unique_manager.batch_count == 1
+        db.drain()
+        assert final_prices(db) == EXPECTED
+
+
+class TestFigure5c:
+    """unique on comp: one pending task per composite; after T2, C1 holds
+    2 rows and C2 holds 3."""
+
+    def test_partitioned_tasks(self):
+        db = make_db("compute_comps3", compute_comps3, "unique on comp after 1.0 seconds")
+        run_t1(db)
+        by_key = {
+            task.unique_key: task
+            for task in db.unique_manager.pending_tasks("compute_comps3")
+        }
+        assert set(by_key) == {("C1",), ("C2",)}
+        assert len(by_key[("C1",)].bound_tables["matches"]) == 1
+        assert len(by_key[("C2",)].bound_tables["matches"]) == 2
+        run_t2(db)
+        assert set(by_key) == {("C1",), ("C2",)}
+        assert len(by_key[("C1",)].bound_tables["matches"]) == 2
+        assert len(by_key[("C2",)].bound_tables["matches"]) == 3
+        db.drain()
+        assert final_prices(db) == EXPECTED
+
+
+class TestAllVariantsAgree:
+    """All three maintenance styles converge to the same composite prices."""
+
+    @pytest.mark.parametrize(
+        "function_name,fn,clause",
+        [
+            ("compute_comps1", compute_comps1, ""),
+            ("compute_comps2", compute_comps2, "unique after 1.0 seconds"),
+            ("compute_comps3", compute_comps3, "unique on comp after 1.0 seconds"),
+        ],
+    )
+    def test_final_state(self, function_name, fn, clause):
+        db = make_db(function_name, fn, clause)
+        run_t1(db)
+        run_t2(db)
+        db.drain()
+        assert final_prices(db) == EXPECTED

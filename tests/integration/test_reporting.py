@@ -1,0 +1,40 @@
+"""Tests for benchmark reporting persistence (emit -> results files)."""
+
+import os
+
+import pytest
+
+from repro.bench import reporting
+from repro.bench.reporting import RESULTS_DIR, emit, format_table
+
+
+class TestEmit:
+    def test_writes_results_file(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(reporting, "RESULTS_DIR", str(tmp_path))
+        emit("hello table", "unit_test_artifact")
+        path = tmp_path / "unit_test_artifact.txt"
+        assert path.read_text() == "hello table\n"
+
+    def test_overwrites_previous_run(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(reporting, "RESULTS_DIR", str(tmp_path))
+        emit("first", "artifact")
+        emit("second", "artifact")
+        assert (tmp_path / "artifact.txt").read_text() == "second\n"
+
+    def test_unwritable_dir_does_not_raise(self, monkeypatch):
+        monkeypatch.setattr(reporting, "RESULTS_DIR", "/proc/definitely/not/writable")
+        emit("text", "artifact")  # must not raise
+
+    def test_results_dir_points_into_benchmarks(self):
+        assert RESULTS_DIR.endswith(os.path.join("benchmarks", "results"))
+
+
+class TestFormatTableEdges:
+    def test_mixed_types(self):
+        text = format_table([{"a": 1.23456, "b": None, "c": "x"}])
+        assert "1.2346" in text
+        assert "None" in text
+
+    def test_missing_keys_render_as_none(self):
+        text = format_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert "None" in text

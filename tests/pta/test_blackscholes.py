@@ -1,0 +1,86 @@
+"""Tests for the Black-Scholes pricing model (paper Appendix B)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pta.blackscholes import call_price, composite_price, std_normal_cdf
+
+
+class TestNormalCdf:
+    def test_symmetry(self):
+        assert std_normal_cdf(0.0) == pytest.approx(0.5)
+        assert std_normal_cdf(1.0) + std_normal_cdf(-1.0) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        assert std_normal_cdf(1.96) == pytest.approx(0.975, abs=1e-3)
+
+
+class TestCallPrice:
+    def test_textbook_value(self):
+        """Classic example: S=42, K=40, r=0.1, sigma=0.2, t=0.5 -> ~4.76."""
+        price = call_price(42.0, 40.0, 0.5, 0.2, rate=0.1)
+        assert price == pytest.approx(4.76, abs=0.01)
+
+    def test_deep_in_the_money(self):
+        price = call_price(200.0, 50.0, 0.25, 0.3, rate=0.05)
+        intrinsic_discounted = 200.0 - 50.0 * math.exp(-0.05 * 0.25)
+        assert price == pytest.approx(intrinsic_discounted, rel=1e-4)
+
+    def test_deep_out_of_the_money(self):
+        assert call_price(10.0, 500.0, 0.1, 0.2) == pytest.approx(0.0, abs=1e-8)
+
+    def test_expired_option_is_intrinsic(self):
+        assert call_price(50.0, 40.0, 0.0, 0.3) == 10.0
+        assert call_price(30.0, 40.0, 0.0, 0.3) == 0.0
+
+    def test_zero_volatility_is_intrinsic(self):
+        assert call_price(50.0, 40.0, 1.0, 0.0) == 10.0
+
+    def test_worthless_stock(self):
+        assert call_price(0.0, 40.0, 1.0, 0.3) == 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        s=st.floats(1.0, 500.0),
+        k=st.floats(1.0, 500.0),
+        t=st.floats(0.01, 2.0),
+        sigma=st.floats(0.01, 1.5),
+    )
+    def test_bounds(self, s, k, t, sigma):
+        """0 <= C <= S, and C >= discounted intrinsic value (no-arbitrage)."""
+        price = call_price(s, k, t, sigma)
+        assert 0.0 <= price <= s + 1e-9
+        lower = max(s - k * math.exp(-0.05 * t), 0.0)
+        assert price >= lower - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        s=st.floats(10.0, 100.0),
+        k=st.floats(10.0, 100.0),
+        t=st.floats(0.05, 1.0),
+    )
+    def test_monotone_in_volatility(self, s, k, t):
+        low = call_price(s, k, t, 0.1)
+        high = call_price(s, k, t, 0.6)
+        assert high >= low - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        k=st.floats(10.0, 100.0),
+        t=st.floats(0.05, 1.0),
+        sigma=st.floats(0.05, 0.8),
+    )
+    def test_monotone_in_stock_price(self, k, t, sigma):
+        prices = [call_price(s, k, t, sigma) for s in (20.0, 50.0, 90.0)]
+        assert prices == sorted(prices)
+
+
+class TestComposite:
+    def test_weighted_sum(self):
+        assert composite_price([(10.0, 0.5), (20.0, 0.25)]) == pytest.approx(10.0)
+
+    def test_empty(self):
+        assert composite_price([]) == 0.0

@@ -1,0 +1,110 @@
+"""Tests for the synthetic TAQ trace generator."""
+
+import pytest
+
+from repro.pta.trace import QuoteEvent, TaqTraceGenerator, zipf_weights
+
+
+def make_generator(**kwargs):
+    defaults = dict(n_stocks=50, duration=60.0, target_updates=2000, seed=7)
+    defaults.update(kwargs)
+    return TaqTraceGenerator(**defaults)
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        weights = zipf_weights(100)
+        assert sum(weights) == pytest.approx(1.0)
+
+    def test_decreasing(self):
+        weights = zipf_weights(10)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_skew_parameter(self):
+        flat = zipf_weights(10, 0.0)
+        steep = zipf_weights(10, 2.0)
+        assert flat[0] == pytest.approx(0.1)
+        assert steep[0] > 0.5
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = make_generator().generate()
+        b = make_generator().generate()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = make_generator(seed=1).generate()
+        b = make_generator(seed=2).generate()
+        assert a != b
+
+    def test_sorted_by_time_within_duration(self):
+        events = make_generator().generate()
+        times = [event.time for event in events]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 60.0 for t in times)
+
+    def test_total_roughly_target(self):
+        events = make_generator(target_updates=2000).generate()
+        assert 1400 <= len(events) <= 2600
+
+    def test_prices_move_in_eighths(self):
+        for event in make_generator().generate():
+            assert (event.price * 8) == pytest.approx(round(event.price * 8))
+            assert event.price > 0
+
+    def test_every_quote_changes_price(self):
+        """An unchanged price would not trigger `updated price` rules."""
+        generator = make_generator()
+        events = generator.generate()
+        last = dict(generator.initial_prices)
+        for event in events:
+            assert event.price != last[event.symbol]
+            last[event.symbol] = event.price
+
+    def test_activity_skew(self):
+        generator = make_generator(n_stocks=100, target_updates=5000)
+        events = generator.generate()
+        counts = generator.activity(events)
+        busiest = max(counts.values())
+        median = sorted(counts.values())[len(counts) // 2]
+        assert busiest > 4 * median  # heavy skew
+
+    def test_burstiness(self):
+        """Most consecutive same-stock gaps are short (within a burst),
+        while the mean gap is much longer — the temporal locality that
+        unique-on-symbol batching exploits."""
+        generator = make_generator(n_stocks=20, duration=300.0, target_updates=3000)
+        events = generator.generate()
+        by_symbol: dict[str, list[float]] = {}
+        for event in events:
+            by_symbol.setdefault(event.symbol, []).append(event.time)
+        gaps = []
+        for times in by_symbol.values():
+            gaps.extend(b - a for a, b in zip(times, times[1:]))
+        gaps.sort()
+        assert gaps, "expected repeated quotes per stock"
+        median_gap = gaps[len(gaps) // 2]
+        mean_gap = sum(gaps) / len(gaps)
+        assert median_gap < generator.burst_spread  # intra-burst
+        assert mean_gap > 2 * median_gap  # long idle tails
+
+    def test_describe(self):
+        generator = make_generator()
+        events = generator.generate()
+        stats = generator.describe(events)
+        assert stats["events"] == len(events)
+        assert stats["active_stocks"] <= 50
+        assert stats["rate_per_sec"] == pytest.approx(len(events) / 60.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaqTraceGenerator(n_stocks=0, duration=10.0, target_updates=10)
+        with pytest.raises(ValueError):
+            TaqTraceGenerator(n_stocks=1, duration=10.0, target_updates=10, burst_mean=0.5)
+
+    def test_initial_prices_in_range_and_eighths(self):
+        generator = make_generator(initial_price_range=(20.0, 30.0))
+        for price in generator.initial_prices.values():
+            assert 19.8 <= price <= 30.2
+            assert (price * 8) == pytest.approx(round(price * 8))

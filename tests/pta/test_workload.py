@@ -1,0 +1,117 @@
+"""Tests for the experiment driver itself."""
+
+import pytest
+
+from repro.pta.tables import Scale
+from repro.pta.workload import (
+    ExperimentResult,
+    clear_caches,
+    get_trace,
+    run_experiment,
+    sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    return run_experiment(Scale.tiny(), "comps", "unique", 1.0)
+
+
+class TestTraceCache:
+    def test_same_scale_seed_shares_trace(self):
+        first = get_trace(Scale.tiny(), 0)
+        second = get_trace(Scale.tiny(), 0)
+        assert first is second
+
+    def test_different_seed_different_trace(self):
+        first = get_trace(Scale.tiny(), 0)
+        second = get_trace(Scale.tiny(), 1)
+        assert first is not second
+
+    def test_trace_kwargs_key(self):
+        first = get_trace(Scale.tiny(), 0, {"burst_mean": 2.0})
+        second = get_trace(Scale.tiny(), 0, {"burst_mean": 8.0})
+        assert first is not second
+
+    def test_clear(self):
+        first = get_trace(Scale.tiny(), 0)
+        clear_caches()
+        second = get_trace(Scale.tiny(), 0)
+        assert first is not second
+
+
+class TestExperimentResult:
+    def test_accounting_identities(self, tiny_result):
+        result = tiny_result
+        assert result.n_updates > 0
+        assert result.cpu_update >= result.cpu_baseline_update * 0.999
+        assert result.maintenance_cpu >= result.cpu_recompute
+        assert 0.0 < result.cpu_fraction < 1.0
+        assert result.end_time >= result.duration * 0.5
+
+    def test_deterministic(self):
+        first = run_experiment(Scale.tiny(), "comps", "on_comp", 1.0)
+        second = run_experiment(Scale.tiny(), "comps", "on_comp", 1.0)
+        assert first.cpu_fraction == second.cpu_fraction
+        assert first.n_recomputes == second.n_recomputes
+
+    def test_row_shape(self, tiny_result):
+        row = tiny_result.row()
+        assert set(row) == {
+            "view",
+            "variant",
+            "delay_s",
+            "cpu_fraction",
+            "n_recomputes",
+            "mean_length_ms",
+            "batched_firings",
+            "n_updates",
+        }
+
+    def test_bad_view(self):
+        with pytest.raises(ValueError):
+            run_experiment(Scale.tiny(), "bogus", "unique", 1.0)
+
+    def test_db_out(self):
+        out = []
+        run_experiment(Scale.tiny(), "comps", "unique", 1.0, db_out=out)
+        assert len(out) == 1
+        assert out[0].catalog.has_table("comp_prices")
+
+
+class TestSweep:
+    def test_grid_shape(self):
+        results = sweep(Scale.tiny(), "comps", ["nonunique", "unique"], [0.5, 1.0])
+        variants = [(r.variant, r.delay) for r in results]
+        assert variants == [("nonunique", 0.0), ("unique", 0.5), ("unique", 1.0)]
+
+    def test_paper_orderings_hold_at_tiny(self):
+        """Even at smoke scale, the headline orderings survive."""
+        results = sweep(
+            Scale.tiny(), "comps", ["nonunique", "unique", "on_comp"], [1.0, 3.0]
+        )
+        by_key = {(r.variant, r.delay): r for r in results}
+        nonunique = by_key[("nonunique", 0.0)]
+        assert by_key[("unique", 3.0)].cpu_fraction < nonunique.cpu_fraction
+        assert by_key[("on_comp", 3.0)].cpu_fraction < nonunique.cpu_fraction
+        assert (
+            by_key[("on_comp", 3.0)].mean_recompute_length
+            < by_key[("unique", 3.0)].mean_recompute_length
+        )
+
+    def test_batching_monotone_in_delay(self):
+        results = sweep(Scale.tiny(), "comps", ["unique"], [0.5, 1.5, 3.0])
+        counts = [r.n_recomputes for r in results]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestMaintenanceOverheadAttribution:
+    def test_update_cpu_exceeds_baseline_when_rules_installed(self):
+        result = run_experiment(Scale.tiny(), "comps", "nonunique", 0.0)
+        # Condition evaluation + binding runs inside update transactions.
+        assert result.cpu_update > result.cpu_baseline_update
+
+    def test_baseline_shared_across_variants(self):
+        a = run_experiment(Scale.tiny(), "comps", "unique", 1.0)
+        b = run_experiment(Scale.tiny(), "comps", "on_comp", 1.0)
+        assert a.cpu_baseline_update == b.cpu_baseline_update

@@ -1,0 +1,95 @@
+"""Tests that the virtual-time cost accounting charges what the paper's
+model says it should, where it should."""
+
+import pytest
+
+from repro.database import Database
+from repro.sim.costmodel import CostModel
+from repro.sim.simulator import execute_task
+from repro.txn.tasks import Task
+
+
+class TestRuleProcessingCharges:
+    def make_db(self):
+        db = Database()
+        db.execute("create table t (k text, v real)")
+        db.register_function("f", lambda ctx: None)
+        db.execute(
+            "create rule r on t when inserted "
+            "if select k, v from inserted bind as m "
+            "then execute f unique after 5.0 seconds"
+        )
+        return db
+
+    def run_inserts(self, db, count):
+        def body(task):
+            txn = db.begin(task)
+            for i in range(count):
+                txn.insert("t", {"k": f"k{i}", "v": float(i)})
+            txn.commit()
+
+        task = Task(body=body, klass="update")
+        db.submit(task)
+        execute_task(db, task)
+        return task.meter.ops
+
+    def test_transition_and_bind_rows_counted(self):
+        db = self.make_db()
+        ops = self.run_inserts(db, 3)
+        assert ops["transition_row"] == 3
+        assert ops["bind_row"] == 3
+        assert ops["rule_log_scan"] == 3  # one per log entry for one rule
+        assert ops["condition_base"] == 1
+        assert ops["unique_lookup"] == 1
+        assert ops["task_create"] == 1
+
+    def test_absorb_charges_append(self):
+        db = self.make_db()
+        self.run_inserts(db, 2)
+        ops = self.run_inserts(db, 2)  # batched onto the pending task
+        assert ops["unique_append_row"] >= 2
+        assert ops.get("task_create", 0) == 0
+
+    def test_action_task_charges_function_entry(self):
+        db = self.make_db()
+        self.run_inserts(db, 1)
+        pending = db.unique_manager.pending_tasks("f")[0]
+        db.clock.set_base(pending.release_time)
+        record = execute_task(db, pending)
+        assert pending.meter.ops["user_func_base"] == 1
+        assert pending.meter.ops["begin_txn"] == 1
+        assert record.cpu_time > 0
+
+
+class TestCostModelRouting:
+    def test_disabled_preemption(self):
+        model = CostModel(preempt_quantum=float("inf"))
+        db = Database(cost_model=model)
+
+        def body(task):
+            db.charge("arith", 100_000)  # 50 ms of work
+
+        task = Task(body=body)
+        record = execute_task(db, task)
+        assert record.context_switches == 0
+
+    def test_scaled_model_scales_task_time(self):
+        base = Database()
+        doubled = Database(cost_model=CostModel().scaled(2.0))
+
+        def body_for(db):
+            def body(task):
+                db.charge("arith", 1000)
+
+            return body
+
+        a = execute_task(base, Task(body=body_for(base)))
+        b = execute_task(doubled, Task(body=body_for(doubled)))
+        assert b.cpu_time == pytest.approx(a.cpu_time * 2.0)
+
+    def test_background_charges_do_not_move_clock(self):
+        db = Database()
+        before = db.clock.base
+        db.charge("f_bs", 1000)
+        assert db.clock.base == before
+        assert db.background_meter.total > 0

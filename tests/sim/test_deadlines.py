@@ -1,0 +1,115 @@
+"""Tests for deadline-miss accounting and the firm-deadline drop policy."""
+
+import pytest
+
+from repro.database import Database
+from repro.sim.simulator import Simulator
+from repro.txn.tasks import Task, TaskState
+
+
+def burner(db, micros):
+    def body(task):
+        db.charge("arith", int(micros / 0.5))
+
+    return body
+
+
+class TestMissAccounting:
+    def test_met_deadline(self):
+        db = Database()
+        task = Task(body=burner(db, 100.0), deadline=1.0)
+        db.submit(task)
+        Simulator(db).run()
+        assert db.metrics.deadline_misses() == 0
+
+    def test_missed_deadline_counted(self):
+        db = Database()
+        task = Task(body=burner(db, 5000.0), deadline=0.001, klass="tight")
+        db.submit(task)
+        Simulator(db).run()
+        assert db.metrics.deadline_misses("tight") == 1
+        assert db.metrics.by_class["tight"].dropped == 0  # ran, just late
+
+    def test_no_deadline_never_misses(self):
+        db = Database()
+        db.submit(Task(body=burner(db, 5000.0)))
+        Simulator(db).run()
+        assert db.metrics.deadline_misses() == 0
+
+    def test_queueing_induced_miss(self):
+        db = Database()
+        blocker = Task(body=burner(db, 20_000.0), release_time=0.0)
+        tight = Task(body=burner(db, 10.0), release_time=0.0, deadline=0.01)
+        db.submit(blocker)
+        db.submit(tight)
+        Simulator(db).run()
+        assert db.metrics.deadline_misses() == 1
+
+
+class TestDropPolicy:
+    def test_late_task_dropped(self):
+        db = Database()
+        blocker = Task(body=burner(db, 20_000.0), release_time=0.0)
+        doomed = Task(body=burner(db, 10.0), release_time=0.0, deadline=0.005, klass="firm")
+        db.submit(blocker)
+        db.submit(doomed)
+        simulator = Simulator(db, drop_late=True)
+        simulator.run()
+        assert simulator.dropped == 1
+        assert doomed.state is TaskState.ABORTED
+        summary = db.metrics.by_class["firm"]
+        assert summary.dropped == 1
+        assert summary.deadline_misses == 1
+        assert summary.total_cpu == 0.0
+
+    def test_drop_releases_bound_tables_and_pending_entry(self):
+        db = Database()
+        db.execute("create table t (k text)")
+        db.register_function("f", lambda ctx: None)
+        db.execute(
+            "create rule r on t when inserted "
+            "if select k from inserted bind as m "
+            "then execute f unique after 0.001 seconds"
+        )
+        # A long task hogs the server past the rule task's firm deadline.
+        db.submit(Task(body=burner(db, 50_000.0), release_time=0.0))
+        db.execute("insert into t values ('x')")
+        pending = db.unique_manager.pending_tasks("f")[0]
+        pending.deadline = 0.002
+        table = pending.bound_tables["m"]
+        Simulator(db, drop_late=True).run()
+        assert pending.state is TaskState.ABORTED
+        assert table.retired
+        assert db.unique_manager.pending_count("f") == 0
+
+    def test_on_time_not_dropped(self):
+        db = Database()
+        task = Task(body=burner(db, 10.0), deadline=5.0)
+        db.submit(task)
+        simulator = Simulator(db, drop_late=True)
+        simulator.run()
+        assert simulator.dropped == 0
+        assert task.state is TaskState.DONE
+
+    def test_edf_reduces_misses_under_load(self):
+        """EDF meets more tight deadlines than FIFO when a deadline-free
+        batch job competes with deadline-bearing work."""
+
+        def build(policy):
+            db = Database(policy=policy)
+            for i in range(5):
+                db.submit(Task(body=burner(db, 3000.0), release_time=0.0))
+            for i in range(5):
+                db.submit(
+                    Task(
+                        body=burner(db, 50.0),
+                        release_time=0.0,
+                        deadline=0.004,
+                        klass="tight",
+                    )
+                )
+            Simulator(db).run()
+            return db.metrics.by_class["tight"].deadline_misses
+
+        assert build("edf") <= build("fifo")
+        assert build("edf") == 0

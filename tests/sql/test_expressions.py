@@ -1,0 +1,122 @@
+"""Unit tests for expression compilation and SQL NULL semantics."""
+
+import pytest
+
+from repro.errors import ExecutionError, PlanError
+from repro.sql.expressions import compile_expr, truthy
+from repro.sql.parser import parse_expression
+
+
+class _StubResolution:
+    """Columns resolve to entries of env[1] (a dict); no subqueries."""
+
+    def __init__(self, functions=None):
+        self.functions = functions or {}
+
+    def resolve_column(self, table, name):
+        return lambda env, n=name: env[1][n]
+
+    def resolve_param(self, name):
+        return lambda env, n=name: env[0][n]
+
+    def resolve_function(self, name):
+        try:
+            fn = self.functions[name]
+        except KeyError:
+            raise PlanError(f"unknown function {name!r}") from None
+        return fn, lambda: None
+
+    def resolve_subquery(self, select):
+        raise PlanError("no subqueries in stub")
+
+
+def evaluate(sql, row=None, params=None, functions=None):
+    expr = parse_expression(sql)
+    getter = compile_expr(expr, _StubResolution(functions))
+    return getter([params or {}, row or {}])
+
+
+class TestArithmetic:
+    def test_basic(self):
+        assert evaluate("1 + 2 * 3") == 7
+        assert evaluate("(1 + 2) * 3") == 9
+        assert evaluate("7 / 2") == 3.5
+        assert evaluate("7 % 3") == 1
+        assert evaluate("-(2 + 3)") == -5
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError):
+            evaluate("1 / 0")
+        with pytest.raises(ExecutionError):
+            evaluate("1 % 0")
+
+    def test_null_propagation(self):
+        assert evaluate("a + 1", {"a": None}) is None
+        assert evaluate("a * 0", {"a": None}) is None
+        assert evaluate("-a", {"a": None}) is None
+        assert evaluate("null / 0") is None  # null short-circuits the check
+
+
+class TestComparisons:
+    def test_basic(self):
+        assert evaluate("2 < 3") is True
+        assert evaluate("2 >= 3") is False
+        assert evaluate("'a' != 'b'") is True
+
+    def test_null_yields_unknown(self):
+        assert evaluate("a = 1", {"a": None}) is None
+        assert evaluate("a < 1", {"a": None}) is None
+        assert evaluate("null = null") is None
+
+    def test_is_null(self):
+        assert evaluate("a is null", {"a": None}) is True
+        assert evaluate("a is not null", {"a": None}) is False
+        assert evaluate("1 is null") is False
+
+
+class TestBooleanLogic:
+    def test_kleene_and(self):
+        assert evaluate("true and null") is None
+        assert evaluate("false and null") is False
+        assert evaluate("true and true") is True
+
+    def test_kleene_or(self):
+        assert evaluate("true or null") is True
+        assert evaluate("false or null") is None
+        assert evaluate("false or false") is False
+
+    def test_not(self):
+        assert evaluate("not true") is False
+        assert evaluate("not null") is None
+
+    def test_truthy_filter_semantics(self):
+        assert truthy(True)
+        assert not truthy(False)
+        assert not truthy(None)
+        assert not truthy(0)
+
+
+class TestFunctionsAndParams:
+    def test_scalar_function(self):
+        assert evaluate("double(21)", functions={"double": lambda x: x * 2}) == 42
+
+    def test_function_error_wrapped(self):
+        def boom(_x):
+            raise ValueError("bad")
+
+        with pytest.raises(ExecutionError):
+            evaluate("boom(1)", functions={"boom": boom})
+
+    def test_unknown_function(self):
+        with pytest.raises(PlanError):
+            evaluate("mystery(1)")
+
+    def test_params(self):
+        assert evaluate(":x + :y", params={"x": 1, "y": 2}) == 3
+
+    def test_aggregate_outside_select_rejected(self):
+        with pytest.raises(PlanError):
+            evaluate("sum(a)", {"a": 1})
+
+    def test_columns(self):
+        assert evaluate("price * qty", {"price": 2.5, "qty": 4}) == 10.0

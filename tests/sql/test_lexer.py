@@ -1,0 +1,89 @@
+"""Tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.lexer import EOF, IDENT, NUMBER, PARAM, STRING, SYMBOL, tokenize
+
+
+def kinds(sql):
+    return [(t.type, t.value) for t in tokenize(sql) if t.type != EOF]
+
+
+class TestTokens:
+    def test_idents_and_symbols(self):
+        assert kinds("select a.b from t") == [
+            (IDENT, "select"),
+            (IDENT, "a"),
+            (SYMBOL, "."),
+            (IDENT, "b"),
+            (IDENT, "from"),
+            (IDENT, "t"),
+        ]
+
+    def test_integers_and_floats(self):
+        assert kinds("1 2.5 .5 1e3 2.5e-2") == [
+            (NUMBER, 1),
+            (NUMBER, 2.5),
+            (NUMBER, 0.5),
+            (NUMBER, 1000.0),
+            (NUMBER, 0.025),
+        ]
+        assert isinstance(tokenize("7")[0].value, int)
+        assert isinstance(tokenize("7.0")[0].value, float)
+
+    def test_strings(self):
+        assert kinds("'hello'") == [(STRING, "hello")]
+
+    def test_string_escape(self):
+        assert kinds("'don''t'") == [(STRING, "don't")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_params(self):
+        assert kinds("where a = :val") == [
+            (IDENT, "where"),
+            (IDENT, "a"),
+            (SYMBOL, "="),
+            (PARAM, "val"),
+        ]
+
+    def test_multichar_symbols(self):
+        assert [v for _t, v in kinds("<= >= != <> += -=")] == [
+            "<=",
+            ">=",
+            "!=",
+            "<>",
+            "+=",
+            "-=",
+        ]
+
+    def test_line_comment(self):
+        assert kinds("a -- comment\n b") == [(IDENT, "a"), (IDENT, "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* hi\nthere */ b") == [(IDENT, "a"), (IDENT, "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("a /* oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("a @ b")
+
+    def test_eof_token(self):
+        tokens = tokenize("a")
+        assert tokens[-1].type == EOF
+
+    def test_positions(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].pos == 0
+        assert tokens[1].pos == 3
+
+    def test_matches_word_case_insensitive(self):
+        token = tokenize("SELECT")[0]
+        assert token.matches_word("select")
+        assert not token.matches_word("update")

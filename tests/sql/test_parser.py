@@ -1,0 +1,282 @@
+"""Tests for the SQL / rule-grammar parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast
+from repro.sql.parser import parse_expression, parse_script, parse_statement
+
+
+class TestSelect:
+    def test_simple(self):
+        stmt = parse_statement("select a, b from t")
+        assert isinstance(stmt, ast.Select)
+        assert len(stmt.items) == 2
+        assert stmt.tables == (ast.TableRef("t", None),)
+
+    def test_star(self):
+        stmt = parse_statement("select * from t")
+        assert stmt.items == (ast.StarItem(None),)
+
+    def test_qualified_star(self):
+        stmt = parse_statement("select t.* from t")
+        assert stmt.items == (ast.StarItem("t"),)
+
+    def test_aliases(self):
+        stmt = parse_statement("select a as x, b y from t")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+
+    def test_table_alias(self):
+        stmt = parse_statement("select c.a from t as c")
+        assert stmt.tables[0].alias == "c"
+        stmt = parse_statement("select c.a from t c")
+        assert stmt.tables[0].alias == "c"
+
+    def test_where(self):
+        stmt = parse_statement("select a from t where a > 3 and b = 'x'")
+        assert isinstance(stmt.where, ast.BinaryOp)
+        assert stmt.where.op == "and"
+
+    def test_group_by(self):
+        stmt = parse_statement("select a, sum(b) as s from t group by a")
+        assert stmt.group_by == (ast.ColumnRef(None, "a"),)
+
+    def test_paper_groupby_spelling(self):
+        """The paper's figures write 'groupby' as one word."""
+        stmt = parse_statement("select comp, sum(d) as diff from matches groupby comp")
+        assert stmt.group_by == (ast.ColumnRef(None, "comp"),)
+
+    def test_having_order_limit(self):
+        stmt = parse_statement(
+            "select a, count(*) as n from t group by a having n > 1 "
+            "order by n desc, a limit 5"
+        )
+        assert stmt.having is not None
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+        assert stmt.limit == 5
+
+    def test_distinct(self):
+        assert parse_statement("select distinct a from t").distinct
+
+    def test_multiple_tables(self):
+        stmt = parse_statement("select * from a, b, c")
+        assert [t.name for t in stmt.tables] == ["a", "b", "c"]
+
+    def test_aggregate_star(self):
+        stmt = parse_statement("select count(*) from t")
+        call = stmt.items[0].expr
+        assert call.name == "count" and call.star
+
+
+class TestExpressions:
+    def test_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr == ast.BinaryOp(
+            "+", ast.Literal(1), ast.BinaryOp("*", ast.Literal(2), ast.Literal(3))
+        )
+
+    def test_parens(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_comparison_chain(self):
+        expr = parse_expression("a = 1 and not b < 2 or c >= 3")
+        assert expr.op == "or"
+
+    def test_unary_minus(self):
+        assert parse_expression("-a") == ast.UnaryOp("-", ast.ColumnRef(None, "a"))
+        assert parse_expression("+a") == ast.ColumnRef(None, "a")
+
+    def test_is_null(self):
+        assert parse_expression("a is null") == ast.IsNull(ast.ColumnRef(None, "a"))
+        assert parse_expression("a is not null") == ast.IsNull(
+            ast.ColumnRef(None, "a"), negated=True
+        )
+
+    def test_in_list_desugars_to_ors(self):
+        expr = parse_expression("a in (1, 2)")
+        assert expr.op == "or"
+
+    def test_literals(self):
+        assert parse_expression("null") == ast.Literal(None)
+        assert parse_expression("true") == ast.Literal(True)
+        assert parse_expression("false") == ast.Literal(False)
+
+    def test_function_call(self):
+        expr = parse_expression("sqrt(a + 1)")
+        assert isinstance(expr, ast.FuncCall)
+        assert expr.name == "sqrt"
+
+    def test_neq_spellings(self):
+        assert parse_expression("a != 1") == parse_expression("a <> 1")
+
+    def test_param(self):
+        assert parse_expression(":x + 1").left == ast.Param("x")
+
+
+class TestDml:
+    def test_insert_values(self):
+        stmt = parse_statement("insert into t values (1, 'a'), (2, 'b')")
+        assert isinstance(stmt, ast.Insert)
+        assert len(stmt.rows) == 2
+
+    def test_insert_columns(self):
+        stmt = parse_statement("insert into t (a, b) values (1, 2)")
+        assert stmt.columns == ("a", "b")
+
+    def test_insert_select(self):
+        stmt = parse_statement("insert into t select a from s")
+        assert stmt.select is not None
+
+    def test_update(self):
+        stmt = parse_statement("update t set a = 1, b = b + 1 where c = 2")
+        assert isinstance(stmt, ast.Update)
+        assert len(stmt.assignments) == 2
+        assert stmt.where is not None
+
+    def test_update_increment(self):
+        stmt = parse_statement("update t set a += 2")
+        assert stmt.assignments[0].increment
+
+    def test_update_decrement(self):
+        stmt = parse_statement("update t set a -= 2")
+        assert stmt.assignments[0].decrement
+
+    def test_delete(self):
+        stmt = parse_statement("delete from t where a = 1")
+        assert isinstance(stmt, ast.Delete)
+
+
+class TestDdl:
+    def test_create_table(self):
+        stmt = parse_statement("create table t (a int, b real, c text)")
+        assert isinstance(stmt, ast.CreateTable)
+        assert [c.name for c in stmt.columns] == ["a", "b", "c"]
+
+    def test_create_index(self):
+        stmt = parse_statement("create index i on t (a, b) using rbtree")
+        assert stmt.kind == "rbtree"
+        assert stmt.columns == ("a", "b")
+
+    def test_create_view(self):
+        stmt = parse_statement("create view v as select a from t")
+        assert isinstance(stmt, ast.CreateView)
+        assert not stmt.materialized
+
+    def test_create_materialized_view(self):
+        stmt = parse_statement("create materialized view v as select a from t")
+        assert stmt.materialized
+
+    def test_drop(self):
+        assert parse_statement("drop table t").kind == "table"
+        assert parse_statement("drop rule r").kind == "rule"
+        stmt = parse_statement("drop index i on t")
+        assert stmt.kind == "index" and stmt.table == "t"
+
+
+class TestRuleGrammar:
+    """The Figure 2 grammar."""
+
+    def test_figure2_minimal(self):
+        stmt = parse_statement(
+            "create rule foo on table1 when inserted "
+            "then evaluate select * from inserted bind as my_inserted "
+            "execute my_function"
+        )
+        assert isinstance(stmt, ast.CreateRule)
+        assert stmt.table == "table1"
+        assert stmt.events == (ast.Event("inserted"),)
+        assert stmt.evaluate[0].bind_as == "my_inserted"
+        assert stmt.function == "my_function"
+        assert not stmt.unique
+        assert stmt.after == 0.0
+
+    def test_do_comps2_full(self):
+        """The paper's Figure 6 rule parses end to end."""
+        stmt = parse_statement(
+            """
+            create rule do_comps2 on stocks
+            when updated price
+            if
+                select comp, comps_list.symbol as symbol, weight,
+                    old.price as old_price, new.price as new_price
+                from comps_list, new, old
+                where comps_list.symbol = new.symbol
+                    and new.execute_order = old.execute_order
+                bind as matches
+            then
+                execute compute_comps2
+                unique
+                after 1.0 seconds
+            end rule
+            """
+        )
+        assert stmt.events == (ast.Event("updated", ("price",)),)
+        assert stmt.condition[0].bind_as == "matches"
+        assert stmt.function == "compute_comps2"
+        assert stmt.unique and stmt.unique_on == ()
+        assert stmt.after == 1.0
+
+    def test_unique_on_columns(self):
+        stmt = parse_statement(
+            "create rule r on t when updated then execute f unique on comp, symbol"
+        )
+        assert stmt.unique_on == ("comp", "symbol")
+
+    def test_multiple_events(self):
+        stmt = parse_statement(
+            "create rule r on t when inserted deleted updated a, b then execute f"
+        )
+        assert stmt.events == (
+            ast.Event("inserted"),
+            ast.Event("deleted"),
+            ast.Event("updated", ("a", "b")),
+        )
+
+    def test_too_many_events(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement(
+                "create rule r on t when inserted deleted updated inserted then execute f"
+            )
+
+    def test_multiple_condition_queries(self):
+        stmt = parse_statement(
+            "create rule r on t when inserted "
+            "if select * from inserted bind as a, select * from t "
+            "then execute f"
+        )
+        assert len(stmt.condition) == 2
+        assert stmt.condition[0].bind_as == "a"
+        assert stmt.condition[1].bind_as is None
+
+    def test_time_units(self):
+        base = "create rule r on t when inserted then execute f after "
+        assert parse_statement(base + "500 ms").after == 0.5
+        assert parse_statement(base + "2 seconds").after == 2.0
+        assert parse_statement(base + "1 minute").after == 60.0
+        assert parse_statement(base + "0.25").after == 0.25  # bare number = seconds
+
+    def test_missing_execute(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("create rule r on t when inserted then unique")
+
+    def test_missing_events(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("create rule r on t when then execute f")
+
+
+class TestScripts:
+    def test_multiple_statements(self):
+        statements = parse_script(
+            "create table t (a int); insert into t values (1); select * from t;"
+        )
+        assert len(statements) == 3
+
+    def test_empty_statements_skipped(self):
+        assert parse_script(";;") == []
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("select a from t extra stuff ,")

@@ -1,0 +1,224 @@
+"""White-box tests of planning decisions: join strategies, ordering, the
+plan cache, and provenance through binding."""
+
+import pytest
+
+from repro.database import Database
+from repro.errors import PlanError
+from repro.sql.executor import select_plan
+from repro.sql.planner import (
+    _HashJoinStep,
+    _IndexJoinStep,
+    _NestedJoinStep,
+    _ScanStep,
+    plan_select,
+)
+from repro.storage.temptable import TempTable
+from repro.storage.schema import ColumnType, Schema
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute_script(
+        """
+        create table big (k text, payload real);
+        create index big_k on big (k);
+        create table small (k text, tag text);
+        """
+    )
+    return database
+
+
+def plan_for(db, sql, namespace=None):
+    return plan_select(db, db.parse(sql), namespace)
+
+
+def bound_table(rows):
+    schema = Schema.of(("k", ColumnType.TEXT), ("x", ColumnType.REAL))
+    table = TempTable("m", schema)
+    for row in rows:
+        table.append_values(row)
+    return table
+
+
+class TestJoinStrategy:
+    def test_indexed_join_uses_index(self, db):
+        plan = plan_for(db, "select payload from big, small where big.k = small.k")
+        kinds = [type(step) for step in plan.steps]
+        assert kinds[0] is _ScanStep
+        assert _IndexJoinStep in kinds
+
+    def test_unindexed_join_uses_hash(self, db):
+        plan = plan_for(
+            db, "select tag from big, small where small.k = big.k and payload > 0"
+        )
+        # small has no index on k; joining small INTO big's pipeline hashes.
+        assert any(isinstance(step, (_HashJoinStep, _IndexJoinStep)) for step in plan.steps)
+
+    def test_cartesian_uses_nested(self, db):
+        plan = plan_for(db, "select payload from big, small")
+        assert any(isinstance(step, _NestedJoinStep) for step in plan.steps)
+
+    def test_temp_table_drives_the_pipeline(self, db):
+        """Bound/transition tables (small) are scanned first; the standard
+        table is probed via its index — the shape that makes rule-condition
+        evaluation cheap (section 6.3)."""
+        namespace = {"m": bound_table([["a", 1.0]])}
+        plan = plan_for(
+            db, "select payload from m, big where big.k = m.k", namespace
+        )
+        assert isinstance(plan.steps[0], _ScanStep)
+        assert plan.steps[0].desc.name == "m"
+        assert isinstance(plan.steps[1], _IndexJoinStep)
+        assert plan.steps[1].desc.name == "big"
+
+    def test_single_table_eq_probe(self, db):
+        plan = plan_for(db, "select payload from big where k = 'x'")
+        scan = plan.steps[0]
+        assert isinstance(scan, _ScanStep)
+        assert scan.eq_columns == ("k",)
+
+    def test_duplicate_alias_rejected(self, db):
+        with pytest.raises(PlanError):
+            plan_for(db, "select 1 as one from big b, small b")
+
+
+class TestPlanCache:
+    def test_same_sql_same_plan(self, db):
+        first = select_plan(db, db.parse("select payload from big"))
+        second = select_plan(db, db.parse("select payload from big"))
+        assert first is second
+
+    def test_index_ddl_invalidates(self, db):
+        first = select_plan(db, db.parse("select tag from small where k = 'x'"))
+        db.execute("create index small_k on small (k)")
+        second = select_plan(db, db.parse("select tag from small where k = 'x'"))
+        assert first is not second
+
+    def test_bound_tables_share_plan_across_firings(self, db):
+        """Different TempTable instances with the same schema/static-map
+        objects (as successive rule firings produce) reuse the plan."""
+        schema = Schema.of(("k", ColumnType.TEXT), ("x", ColumnType.REAL))
+        first_table = TempTable("m", schema)
+        second_table = TempTable("m", schema, first_table.static_map)
+        sql = "select x from m"
+        first = select_plan(db, db.parse(sql), {"m": first_table})
+        second = select_plan(db, db.parse(sql), {"m": second_table})
+        assert first is second
+
+    def test_different_schema_different_plan(self, db):
+        first = select_plan(
+            db, db.parse("select k from m"), {"m": bound_table([])}
+        )
+        second = select_plan(
+            db, db.parse("select k from m"), {"m": bound_table([])}
+        )
+        assert first is not second  # fresh Schema objects => fresh plans
+
+
+class TestBindingProvenance:
+    def test_rule_binding_reuses_schema_across_firings(self, db):
+        """BindSpec sharing: two firings of one rule produce bound tables
+        with identical Schema objects, keeping downstream plans cached."""
+        db.register_function("f", lambda ctx: None)
+        db.execute(
+            "create rule r on big when inserted "
+            "if select k, payload from inserted bind as m "
+            "then execute f unique after 50.0 seconds"
+        )
+        db.execute("insert into big values ('a', 1.0)")
+        task = db.unique_manager.pending_tasks("f")[0]
+        first_schema = task.bound_tables["m"].schema
+        db.drain()
+        db.execute("insert into big values ('b', 2.0)")
+        second = db.unique_manager.pending_tasks("f")[0]
+        assert second.bound_tables["m"].schema is first_schema
+
+    def test_transitive_pointers_reach_base_records(self, db):
+        """Binding from a transition table points straight at the standard
+        record — no copies at any hop (section 6.1)."""
+        db.register_function("f", lambda ctx: None)
+        db.execute(
+            "create rule r on big when inserted "
+            "if select k, payload from inserted bind as m "
+            "then execute f unique after 50.0 seconds"
+        )
+        db.execute("insert into big values ('a', 1.0)")
+        task = db.unique_manager.pending_tasks("f")[0]
+        bound = task.bound_tables["m"]
+        (ptrs, _mats) = next(bound.scan_raw())
+        base_record = db.catalog.table("big").get_one("k", "a")
+        assert ptrs[0] is base_record
+        db.drain()
+
+
+class TestOrderingEdges:
+    def test_order_by_nulls_last(self, db):
+        db.execute("insert into big values ('a', 2.0), ('b', null), ('c', 1.0)")
+        rows = db.query("select k from big order by payload").rows()
+        assert rows == [["c"], ["a"], ["b"]]
+
+    def test_order_by_mixed_directions(self, db):
+        db.execute("insert into big values ('a', 1.0), ('b', 1.0), ('c', 2.0)")
+        rows = db.query("select k, payload from big order by payload desc, k").rows()
+        assert rows == [["c", 2.0], ["a", 1.0], ["b", 1.0]]
+
+    def test_limit_zero(self, db):
+        db.execute("insert into big values ('a', 1.0)")
+        assert db.query("select k from big limit 0").rows() == []
+
+
+class TestRangeScans:
+    @pytest.fixture
+    def rdb(self):
+        database = Database()
+        database.execute("create table series (k int, v text)")
+        database.execute("create index series_k on series (k) using rbtree")
+        for i in range(50):
+            database.execute(f"insert into series values ({i}, 'v{i}')")
+        return database
+
+    def _scan_rows(self, database, sql):
+        before = database.background_meter.ops.get("row_scan", 0)
+        rows = database.query(sql).rows()
+        after = database.background_meter.ops.get("row_scan", 0)
+        return rows, after - before
+
+    def test_between_style_range_uses_index(self, rdb):
+        rows, scanned = self._scan_rows(
+            rdb, "select k from series where k >= 10 and k <= 12 order by k"
+        )
+        assert rows == [[10], [11], [12]]
+        assert scanned == 0  # no full scan
+
+    def test_exclusive_bounds(self, rdb):
+        rows, _ = self._scan_rows(
+            rdb, "select k from series where k > 10 and k < 13 order by k"
+        )
+        assert rows == [[11], [12]]
+
+    def test_one_sided_range(self, rdb):
+        rows, scanned = self._scan_rows(rdb, "select k from series where k >= 48 order by k")
+        assert rows == [[48], [49]]
+        assert scanned == 0
+
+    def test_flipped_literal_side(self, rdb):
+        rows, scanned = self._scan_rows(rdb, "select k from series where 47 < k order by k")
+        assert rows == [[48], [49]]
+        assert scanned == 0
+
+    def test_hash_index_cannot_range(self, rdb):
+        rdb.execute("create table h (k int)")
+        rdb.execute("create index h_k on h (k)")  # hash
+        rdb.execute("insert into h values (1), (2), (3)")
+        rows, scanned = self._scan_rows(rdb, "select k from h where k > 1 order by k")
+        assert rows == [[2], [3]]
+        assert scanned >= 3  # fell back to a full scan
+
+    def test_range_with_extra_residual(self, rdb):
+        rows, _ = self._scan_rows(
+            rdb,
+            "select k from series where k >= 10 and k <= 14 and v != 'v12' order by k",
+        )
+        assert rows == [[10], [11], [13], [14]]

@@ -1,0 +1,163 @@
+"""Tests for the red-black tree, including hypothesis invariant checks."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.rbtree import RedBlackTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = RedBlackTree()
+        assert len(tree) == 0
+        assert tree.get(1) is None
+        assert 1 not in tree
+        assert tree.minimum() is None
+        assert tree.maximum() is None
+        assert list(tree.items()) == []
+
+    def test_insert_and_get(self):
+        tree = RedBlackTree()
+        assert tree.insert(5, "a") is True
+        assert tree.get(5) == "a"
+        assert 5 in tree
+        assert len(tree) == 1
+
+    def test_insert_replaces(self):
+        tree = RedBlackTree()
+        tree.insert(5, "a")
+        assert tree.insert(5, "b") is False
+        assert tree.get(5) == "b"
+        assert len(tree) == 1
+
+    def test_delete(self):
+        tree = RedBlackTree()
+        tree.insert(5, "a")
+        assert tree.delete(5) is True
+        assert tree.get(5) is None
+        assert len(tree) == 0
+
+    def test_delete_missing(self):
+        tree = RedBlackTree()
+        assert tree.delete(42) is False
+
+    def test_sorted_iteration(self):
+        tree = RedBlackTree()
+        keys = [5, 1, 9, 3, 7, 2, 8]
+        for key in keys:
+            tree.insert(key, key * 10)
+        assert [k for k, _v in tree.items()] == sorted(keys)
+        assert list(tree.keys()) == sorted(keys)
+
+    def test_min_max(self):
+        tree = RedBlackTree()
+        for key in [5, 1, 9]:
+            tree.insert(key, None)
+        assert tree.minimum() == (1, None)
+        assert tree.maximum() == (9, None)
+
+    def test_string_keys(self):
+        tree = RedBlackTree()
+        for key in ["pear", "apple", "mango"]:
+            tree.insert(key, key.upper())
+        assert [k for k, _v in tree.items()] == ["apple", "mango", "pear"]
+
+
+class TestRange:
+    def make(self):
+        tree = RedBlackTree()
+        for key in range(0, 100, 10):
+            tree.insert(key, key)
+        return tree
+
+    def test_full_range(self):
+        assert [k for k, _ in self.make().range()] == list(range(0, 100, 10))
+
+    def test_low_bound(self):
+        assert [k for k, _ in self.make().range(low=35)] == [40, 50, 60, 70, 80, 90]
+
+    def test_high_bound(self):
+        assert [k for k, _ in self.make().range(high=25)] == [0, 10, 20]
+
+    def test_both_bounds(self):
+        assert [k for k, _ in self.make().range(low=20, high=50)] == [20, 30, 40, 50]
+
+    def test_exclusive_bounds(self):
+        keys = [
+            k
+            for k, _ in self.make().range(low=20, high=50, include_low=False, include_high=False)
+        ]
+        assert keys == [30, 40]
+
+    def test_empty_range(self):
+        assert list(self.make().range(low=91, high=99)) == []
+
+
+class TestInvariants:
+    def test_sequential_inserts_hold_invariants(self):
+        tree = RedBlackTree()
+        for key in range(200):
+            tree.insert(key, key)
+            tree.check_invariants()
+        assert len(tree) == 200
+
+    def test_random_workload_invariants(self):
+        rng = random.Random(7)
+        tree = RedBlackTree()
+        shadow = {}
+        for _ in range(2000):
+            key = rng.randrange(300)
+            if rng.random() < 0.6:
+                tree.insert(key, key)
+                shadow[key] = key
+            else:
+                assert tree.delete(key) == (key in shadow)
+                shadow.pop(key, None)
+        tree.check_invariants()
+        assert sorted(shadow) == [k for k, _v in tree.items()]
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000)))
+    def test_insert_matches_sorted_set(self, keys):
+        tree = RedBlackTree()
+        for key in keys:
+            tree.insert(key, key)
+        tree.check_invariants()
+        assert [k for k, _v in tree.items()] == sorted(set(keys))
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(0, 50)),
+            max_size=200,
+        )
+    )
+    def test_mixed_ops_match_dict(self, ops):
+        tree = RedBlackTree()
+        shadow = {}
+        for is_insert, key in ops:
+            if is_insert:
+                tree.insert(key, key * 2)
+                shadow[key] = key * 2
+            else:
+                assert tree.delete(key) == (key in shadow)
+                shadow.pop(key, None)
+        tree.check_invariants()
+        assert dict(tree.items()) == shadow
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(0, 100), min_size=1),
+        st.integers(0, 100),
+        st.integers(0, 100),
+    )
+    def test_range_matches_filter(self, keys, a, b):
+        low, high = min(a, b), max(a, b)
+        tree = RedBlackTree()
+        for key in keys:
+            tree.insert(key, key)
+        expected = sorted(k for k in set(keys) if low <= k <= high)
+        assert [k for k, _v in tree.range(low=low, high=high)] == expected

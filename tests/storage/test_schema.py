@@ -1,0 +1,150 @@
+"""Tests for repro.storage.schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.schema import Column, ColumnType, Schema
+
+
+class TestColumnType:
+    def test_int_accepts_int(self):
+        assert ColumnType.INT.validate(5) == 5
+
+    def test_int_accepts_integral_float(self):
+        assert ColumnType.INT.validate(5.0) == 5
+
+    def test_int_rejects_fractional_float(self):
+        with pytest.raises(SchemaError):
+            ColumnType.INT.validate(5.5)
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            ColumnType.INT.validate(True)
+
+    def test_real_accepts_int(self):
+        assert ColumnType.REAL.validate(3) == 3.0
+        assert isinstance(ColumnType.REAL.validate(3), float)
+
+    def test_real_rejects_nan(self):
+        with pytest.raises(SchemaError):
+            ColumnType.REAL.validate(float("nan"))
+
+    def test_real_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            ColumnType.REAL.validate(False)
+
+    def test_text_accepts_str(self):
+        assert ColumnType.TEXT.validate("hi") == "hi"
+
+    def test_text_rejects_number(self):
+        with pytest.raises(SchemaError):
+            ColumnType.TEXT.validate(42)
+
+    def test_bool_accepts_bool(self):
+        assert ColumnType.BOOL.validate(True) is True
+
+    def test_bool_rejects_int(self):
+        with pytest.raises(SchemaError):
+            ColumnType.BOOL.validate(1)
+
+    def test_time_accepts_float(self):
+        assert ColumnType.TIME.validate(1.5) == 1.5
+
+    def test_null_allowed_everywhere(self):
+        for column_type in ColumnType:
+            assert column_type.validate(None) is None
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("integer", ColumnType.INT),
+            ("INT", ColumnType.INT),
+            ("float", ColumnType.REAL),
+            ("double", ColumnType.REAL),
+            ("varchar", ColumnType.TEXT),
+            ("text", ColumnType.TEXT),
+            ("boolean", ColumnType.BOOL),
+            ("timestamp", ColumnType.TIME),
+        ],
+    )
+    def test_from_sql(self, name, expected):
+        assert ColumnType.from_sql(name) is expected
+
+    def test_from_sql_unknown(self):
+        with pytest.raises(SchemaError):
+            ColumnType.from_sql("blob")
+
+
+class TestColumn:
+    def test_valid_name(self):
+        Column("price_usd", ColumnType.REAL)
+
+    def test_invalid_name(self):
+        with pytest.raises(SchemaError):
+            Column("price-usd", ColumnType.REAL)
+
+    def test_empty_name(self):
+        with pytest.raises(SchemaError):
+            Column("", ColumnType.REAL)
+
+
+class TestSchema:
+    def make(self):
+        return Schema.of(("symbol", ColumnType.TEXT), ("price", ColumnType.REAL))
+
+    def test_offsets(self):
+        schema = self.make()
+        assert schema.offset("symbol") == 0
+        assert schema.offset("price") == 1
+
+    def test_unknown_offset(self):
+        with pytest.raises(SchemaError):
+            self.make().offset("volume")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(("a", ColumnType.INT), ("a", ColumnType.INT))
+
+    def test_names(self):
+        assert self.make().names() == ("symbol", "price")
+
+    def test_validate_row_coerces(self):
+        row = self.make().validate_row(["IBM", 100])
+        assert row == ["IBM", 100.0]
+        assert isinstance(row[1], float)
+
+    def test_validate_row_arity(self):
+        with pytest.raises(SchemaError):
+            self.make().validate_row(["IBM"])
+
+    def test_row_from_mapping(self):
+        row = self.make().row_from_mapping({"price": 1.0, "symbol": "X"})
+        assert row == ["X", 1.0]
+
+    def test_row_from_mapping_missing(self):
+        with pytest.raises(SchemaError):
+            self.make().row_from_mapping({"symbol": "X"})
+
+    def test_row_from_mapping_unknown(self):
+        with pytest.raises(SchemaError):
+            self.make().row_from_mapping({"symbol": "X", "price": 1.0, "oops": 2})
+
+    def test_extended(self):
+        extended = self.make().extended(Column("ts", ColumnType.TIME))
+        assert extended.names() == ("symbol", "price", "ts")
+        assert len(self.make()) == 2  # original untouched
+
+    def test_equality_and_hash(self):
+        assert self.make() == self.make()
+        assert hash(self.make()) == hash(self.make())
+        other = Schema.of(("symbol", ColumnType.TEXT))
+        assert self.make() != other
+
+    def test_iteration(self):
+        names = [column.name for column in self.make()]
+        assert names == ["symbol", "price"]
+
+    def test_has_column(self):
+        schema = self.make()
+        assert schema.has_column("price")
+        assert not schema.has_column("volume")

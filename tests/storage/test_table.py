@@ -1,0 +1,218 @@
+"""Tests for standard tables, records, versioning and indexes."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.index import HashIndex, RBTreeIndex
+from repro.storage.schema import ColumnType, Schema
+from repro.storage.table import Table
+from repro.storage.tuples import Record, RecordList
+
+
+def make_table(name="stocks"):
+    return Table(name, Schema.of(("symbol", ColumnType.TEXT), ("price", ColumnType.REAL)))
+
+
+class TestRecordList:
+    def test_append_and_iterate(self):
+        records = RecordList()
+        a, b = Record(["a"]), Record(["b"])
+        records.append(a)
+        records.append(b)
+        assert [r.values[0] for r in records] == ["a", "b"]
+        assert len(records) == 2
+
+    def test_unlink_middle(self):
+        records = RecordList()
+        a, b, c = Record([1]), Record([2]), Record([3])
+        for record in (a, b, c):
+            records.append(record)
+        records.unlink(b)
+        assert [r.values[0] for r in records] == [1, 3]
+        assert not b.in_table
+
+    def test_unlink_head_and_tail(self):
+        records = RecordList()
+        a, b = Record([1]), Record([2])
+        records.append(a)
+        records.append(b)
+        records.unlink(a)
+        assert records.head is b
+        records.unlink(b)
+        assert records.head is None and records.tail is None
+        assert len(records) == 0
+
+    def test_safe_iteration_while_unlinking(self):
+        records = RecordList()
+        for i in range(5):
+            records.append(Record([i]))
+        for record in records:
+            records.unlink(record)
+        assert len(records) == 0
+
+    def test_double_append_rejected(self):
+        records = RecordList()
+        a = Record([1])
+        records.append(a)
+        with pytest.raises(RuntimeError):
+            records.append(a)
+
+    def test_unlink_not_linked(self):
+        with pytest.raises(RuntimeError):
+            RecordList().unlink(Record([1]))
+
+
+class TestTable:
+    def test_insert_validates(self):
+        table = make_table()
+        record = table.insert(["IBM", 100])
+        assert record.values == ["IBM", 100.0]
+        assert record.in_table
+        assert len(table) == 1
+
+    def test_insert_bad_type(self):
+        with pytest.raises(SchemaError):
+            make_table().insert([42, 100.0])
+
+    def test_update_creates_new_record(self):
+        """Section 6.1: records are never changed in place."""
+        table = make_table()
+        old = table.insert(["IBM", 100.0])
+        new = table.update(old, ["IBM", 101.0])
+        assert new is not old
+        assert old.values == ["IBM", 100.0]  # old image preserved
+        assert not old.in_table
+        assert new.in_table
+        assert len(table) == 1
+
+    def test_delete_unlinks(self):
+        table = make_table()
+        record = table.insert(["IBM", 100.0])
+        table.delete(record)
+        assert len(table) == 0
+        assert not record.in_table
+
+    def test_update_columns(self):
+        table = make_table()
+        record = table.insert(["IBM", 100.0])
+        fresh = table.update_columns(record, {"price": 105.0})
+        assert fresh.values == ["IBM", 105.0]
+
+    def test_pinned_old_version_survives(self):
+        """The reference-counting scheme for bound tables (section 6.1)."""
+        table = make_table()
+        old = table.insert(["IBM", 100.0])
+        old.pin()
+        table.update(old, ["IBM", 101.0])
+        assert not old.reclaimable  # pinned: must survive
+        assert old.values == ["IBM", 100.0]
+        assert old.unpin() is True  # now reclaimable
+        assert old.reclaimable
+        assert table.retired_pinned == 1
+
+    def test_unpin_without_pin(self):
+        record = Record([1])
+        with pytest.raises(RuntimeError):
+            record.unpin()
+
+    def test_scan_order(self):
+        table = make_table()
+        for i in range(3):
+            table.insert([f"S{i}", float(i)])
+        assert [r.values[0] for r in table.scan()] == ["S0", "S1", "S2"]
+
+    def test_lookup_without_index_scans(self):
+        table = make_table()
+        table.insert(["A", 1.0])
+        table.insert(["B", 2.0])
+        assert [r.values[1] for r in table.lookup(("symbol",), "B")] == [2.0]
+
+    def test_get_one(self):
+        table = make_table()
+        table.insert(["A", 1.0])
+        assert table.get_one("symbol", "A").values == ["A", 1.0]
+        assert table.get_one("symbol", "Z") is None
+
+    def test_stats_counters(self):
+        table = make_table()
+        a = table.insert(["A", 1.0])
+        b = table.update(a, ["A", 2.0])
+        table.delete(b)
+        assert (table.insert_count, table.update_count, table.delete_count) == (1, 1, 1)
+
+
+class TestIndexMaintenance:
+    @pytest.mark.parametrize("kind", ["hash", "rbtree"])
+    def test_index_backfill(self, kind):
+        table = make_table()
+        table.insert(["A", 1.0])
+        table.insert(["B", 2.0])
+        index = table.create_index("by_symbol", ["symbol"], kind)
+        assert [r.values[1] for r in index.lookup("A")] == [1.0]
+
+    @pytest.mark.parametrize("kind", ["hash", "rbtree"])
+    def test_index_tracks_updates(self, kind):
+        table = make_table()
+        record = table.insert(["A", 1.0])
+        table.create_index("by_symbol", ["symbol"], kind)
+        table.update(record, ["A2", 1.0])
+        assert list(table.lookup(("symbol",), "A")) == []
+        assert len(list(table.lookup(("symbol",), "A2"))) == 1
+
+    @pytest.mark.parametrize("kind", ["hash", "rbtree"])
+    def test_index_tracks_deletes(self, kind):
+        table = make_table()
+        record = table.insert(["A", 1.0])
+        table.create_index("by_symbol", ["symbol"], kind)
+        table.delete(record)
+        assert list(table.lookup(("symbol",), "A")) == []
+
+    def test_duplicate_keys(self):
+        table = Table("t", Schema.of(("k", ColumnType.INT), ("v", ColumnType.INT)))
+        table.create_index("by_k", ["k"])
+        for v in range(3):
+            table.insert([7, v])
+        assert sorted(r.values[1] for r in table.lookup(("k",), 7)) == [0, 1, 2]
+
+    def test_composite_key_index(self):
+        table = Table(
+            "t", Schema.of(("a", ColumnType.INT), ("b", ColumnType.INT), ("v", ColumnType.INT))
+        )
+        table.create_index("by_ab", ["a", "b"])
+        table.insert([1, 2, 10])
+        table.insert([1, 3, 20])
+        assert [r.values[2] for r in table.lookup(("a", "b"), (1, 3))] == [20]
+
+    def test_rbtree_range(self):
+        table = Table("t", Schema.of(("k", ColumnType.INT),))
+        index = table.create_index("by_k", ["k"], "rbtree")
+        for k in (5, 1, 9, 3):
+            table.insert([k])
+        assert isinstance(index, RBTreeIndex)
+        assert [r.values[0] for r in index.range(2, 6)] == [3, 5]
+
+    def test_duplicate_index_name(self):
+        table = make_table()
+        table.create_index("i", ["symbol"])
+        with pytest.raises(SchemaError):
+            table.create_index("i", ["price"])
+
+    def test_unknown_index_kind(self):
+        with pytest.raises(SchemaError):
+            make_table().create_index("i", ["symbol"], "btree")
+
+    def test_drop_index(self):
+        table = make_table()
+        table.create_index("i", ["symbol"])
+        table.drop_index("i")
+        assert table.index_on(("symbol",)) is None
+        with pytest.raises(SchemaError):
+            table.drop_index("i")
+
+    def test_index_version_bumps(self):
+        table = make_table()
+        v0 = table.index_version
+        table.create_index("i", ["symbol"])
+        assert table.index_version == v0 + 1
+        table.drop_index("i")
+        assert table.index_version == v0 + 2

@@ -1,0 +1,100 @@
+"""Property-based tests of record versioning + pinning (section 6.1)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.schema import ColumnType, Schema
+from repro.storage.table import Table
+from repro.storage.temptable import TempTable
+from repro.core.transition import transition_schema, transition_static_map
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["update", "pin", "unpin_all", "delete", "insert"]),
+        st.integers(0, 4),  # logical row slot
+    ),
+    max_size=80,
+)
+
+
+class TestVersioningInvariants:
+    @settings(max_examples=100, deadline=None)
+    @given(ops=operations)
+    def test_pins_and_versions(self, ops):
+        """Invariants across a random workload:
+
+        * a pinned record is never reclaimable;
+        * every superseded version keeps its original values forever;
+        * retiring all temp tables makes every superseded version
+          reclaimable;
+        * the table always holds exactly the live rows.
+        """
+        table = Table("t", Schema.of(("slot", ColumnType.INT), ("version", ColumnType.INT)))
+        schema = transition_schema(table.schema)
+        static_map = transition_static_map(table.schema, "t")
+        current: dict[int, object] = {}
+        versions: dict[int, int] = {}
+        snapshots: list[tuple[object, list]] = []  # (record, frozen values)
+        temps: list[TempTable] = []
+
+        for action, slot in ops:
+            record = current.get(slot)
+            if action == "insert" and record is None:
+                versions[slot] = 0
+                current[slot] = table.insert([slot, 0])
+            elif action == "update" and record is not None:
+                versions[slot] += 1
+                snapshots.append((record, list(record.values)))
+                current[slot] = table.update(record, [slot, versions[slot]])
+            elif action == "delete" and record is not None:
+                snapshots.append((record, list(record.values)))
+                table.delete(record)
+                del current[slot]
+            elif action == "pin" and record is not None:
+                temp = TempTable("m", schema, static_map)
+                temp.append_row((record,), (1,))
+                temps.append(temp)
+            elif action == "unpin_all":
+                for temp in temps:
+                    temp.retire()
+                temps.clear()
+
+            # Invariants after every step:
+            for record_obj, frozen in snapshots:
+                assert record_obj.values == frozen  # immutable history
+                if record_obj.pins > 0:
+                    assert not record_obj.reclaimable
+            assert len(table) == len(current)
+            for slot_id, live in current.items():
+                assert live.in_table
+                assert live.values[1] == versions[slot_id]
+
+        for temp in temps:
+            temp.retire()
+        for record_obj, _frozen in snapshots:
+            if not record_obj.in_table:
+                assert record_obj.reclaimable
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n_pins=st.integers(1, 5),
+        n_updates=st.integers(1, 5),
+    )
+    def test_pin_counts_balance(self, n_pins, n_updates):
+        table = Table("t", Schema.of(("v", ColumnType.INT),))
+        record = table.insert([0])
+        schema = transition_schema(table.schema)
+        static_map = transition_static_map(table.schema, "t")
+        temps = []
+        for _ in range(n_pins):
+            temp = TempTable("m", schema, static_map)
+            temp.append_row((record,), (1,))
+            temps.append(temp)
+        assert record.pins == n_pins
+        for i in range(n_updates):
+            record_new = table.update(table.get_one("v", i), [i + 1])
+        for temp in temps:
+            temp.retire()
+        assert record.pins == 0
+        assert record.reclaimable

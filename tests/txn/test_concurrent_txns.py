@@ -1,0 +1,79 @@
+"""Interleaved transactions through the engine (single-threaded engine:
+conflicts surface as immediate LockError rather than blocking)."""
+
+import pytest
+
+from repro.database import Database
+from repro.errors import LockError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("create table t (k text, v real)")
+    database.execute("create index t_k on t (k)")
+    database.execute("insert into t values ('a', 1.0), ('b', 2.0)")
+    return database
+
+
+class TestInterleaving:
+    def test_disjoint_rows_interleave_fine(self, db):
+        table = db.catalog.table("t")
+        txn1 = db.begin()
+        txn2 = db.begin()
+        txn1.update_columns(table, table.get_one("k", "a"), {"v": 10.0})
+        txn2.update_columns(table, table.get_one("k", "b"), {"v": 20.0})
+        txn1.commit()
+        txn2.commit()
+        assert sorted(db.query("select v from t").rows()) == [[10.0], [20.0]]
+
+    def test_write_write_conflict_raises(self, db):
+        table = db.catalog.table("t")
+        txn1 = db.begin()
+        record = table.get_one("k", "a")
+        txn1.update_columns(table, record, {"v": 10.0})
+        txn2 = db.begin()
+        fresh = table.get_one("k", "a")
+        with pytest.raises(LockError):
+            txn2.update_columns(table, fresh, {"v": 99.0})
+        txn2.abort()
+        txn1.commit()
+        assert db.query("select v from t where k = 'a'").scalar() == 10.0
+
+    def test_read_lock_blocks_writer(self, db):
+        txn1 = db.begin()
+        txn1.query("select v from t")  # takes the shared table lock
+        txn2 = db.begin()
+        table = db.catalog.table("t")
+        with pytest.raises(LockError):
+            txn2.update_columns(table, table.get_one("k", "a"), {"v": 9.0})
+        txn2.abort()
+        txn1.commit()
+
+    def test_readers_share(self, db):
+        txn1 = db.begin()
+        txn2 = db.begin()
+        assert txn1.query("select count(*) as n from t").scalar() == 2
+        assert txn2.query("select count(*) as n from t").scalar() == 2
+        txn1.commit()
+        txn2.commit()
+
+    def test_conflict_clears_after_commit(self, db):
+        table = db.catalog.table("t")
+        txn1 = db.begin()
+        txn1.update_columns(table, table.get_one("k", "a"), {"v": 10.0})
+        txn1.commit()
+        txn2 = db.begin()
+        txn2.update_columns(table, table.get_one("k", "a"), {"v": 11.0})
+        txn2.commit()
+        assert db.query("select v from t where k = 'a'").scalar() == 11.0
+
+    def test_aborted_txn_releases_locks(self, db):
+        table = db.catalog.table("t")
+        txn1 = db.begin()
+        txn1.update_columns(table, table.get_one("k", "a"), {"v": 10.0})
+        txn1.abort()
+        txn2 = db.begin()
+        txn2.update_columns(table, table.get_one("k", "a"), {"v": 12.0})
+        txn2.commit()
+        assert db.query("select v from t where k = 'a'").scalar() == 12.0

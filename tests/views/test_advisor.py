@@ -1,0 +1,100 @@
+"""Tests for the batching advisor (the paper's future-work extension)."""
+
+import pytest
+
+from repro.views.advisor import AdvisorReport, BatchingAdvisor, BatchingCandidate
+
+
+def make_advisor(**kwargs):
+    defaults = dict(
+        update_rate=33.0,  # quotes per second (paper-ish)
+        horizon=1800.0,
+        rows_per_change=12.0,  # composites per stock change
+        task_overhead=170e-6,  # the Table 1 task path
+        row_cost=60e-6,
+        max_delay=3.0,
+    )
+    defaults.update(kwargs)
+    return BatchingAdvisor(**defaults)
+
+
+NONUNIQUE = BatchingCandidate("nonunique", unique=False, unique_on=(), n_keys=1)
+COARSE = BatchingCandidate("unique", unique=True, unique_on=(), n_keys=1)
+ON_COMP = BatchingCandidate("on_comp", unique=True, unique_on=("comp",), n_keys=400)
+
+
+class TestModel:
+    def test_nonunique_one_task_per_update(self):
+        advisor = make_advisor()
+        assert advisor.recomputes(NONUNIQUE, 1.0) == pytest.approx(33.0 * 1800.0)
+
+    def test_batching_reduces_recomputes(self):
+        advisor = make_advisor()
+        assert advisor.recomputes(COARSE, 1.0) < advisor.recomputes(NONUNIQUE, 1.0)
+        assert advisor.recomputes(COARSE, 2.0) < advisor.recomputes(COARSE, 1.0)
+
+    def test_finer_unit_means_more_recomputes(self):
+        advisor = make_advisor()
+        assert advisor.recomputes(ON_COMP, 1.0) > advisor.recomputes(COARSE, 1.0)
+
+    def test_cpu_decreases_with_delay(self):
+        advisor = make_advisor()
+        cpus = [advisor.cpu(ON_COMP, d) for d in (0.5, 1.0, 2.0, 3.0)]
+        assert cpus == sorted(cpus, reverse=True)
+
+    def test_row_work_is_delay_invariant(self):
+        """Batching saves task overhead, not per-row work (section 5.1)."""
+        advisor = make_advisor()
+        saving = advisor.cpu(COARSE, 0.5) - advisor.cpu(COARSE, 3.0)
+        n_r_drop = advisor.recomputes(COARSE, 0.5) - advisor.recomputes(COARSE, 3.0)
+        assert saving == pytest.approx(n_r_drop * advisor.task_overhead)
+
+    def test_task_length_grows_with_batching(self):
+        advisor = make_advisor()
+        assert advisor.task_length(COARSE, 3.0) > advisor.task_length(COARSE, 0.5)
+        assert advisor.task_length(ON_COMP, 3.0) < advisor.task_length(COARSE, 3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_advisor(update_rate=0.0)
+
+
+class TestRecommend:
+    def test_prefers_batching_over_baseline(self):
+        advisor = make_advisor()
+        report = advisor.recommend([NONUNIQUE, COARSE, ON_COMP])
+        assert isinstance(report, AdvisorReport)
+        assert report.candidate.unique
+        assert 0 < report.delay <= 3.0
+        assert report.predicted_cpu < advisor.cpu(NONUNIQUE, 0.0)
+
+    def test_schedulability_bound_steers_to_finer_unit(self):
+        """Bounding task length rules out coarse batching (section 5.1's
+        schedulability argument) and picks the per-key unit."""
+        advisor = make_advisor(max_task_length=2e-3)
+        report = advisor.recommend([COARSE, ON_COMP])
+        assert report.candidate is ON_COMP
+
+    def test_impossible_bound_raises(self):
+        advisor = make_advisor(max_task_length=1e-9)
+        with pytest.raises(ValueError):
+            advisor.recommend([COARSE])
+
+    def test_no_candidates(self):
+        with pytest.raises(ValueError):
+            make_advisor().recommend([])
+
+    def test_curves_and_rationale(self):
+        report = make_advisor().recommend([NONUNIQUE, COARSE])
+        assert set(report.curves) == {"nonunique", "unique"}
+        assert "window" in report.rationale
+
+    def test_knee_respects_diminishing_returns(self):
+        """A high threshold keeps the window short."""
+        eager = make_advisor(diminishing_returns=0.9).recommend([COARSE])
+        patient = make_advisor(diminishing_returns=0.0001).recommend([COARSE])
+        assert eager.delay <= patient.delay
+
+    def test_custom_delays(self):
+        report = make_advisor().recommend([COARSE], delays=[0.25, 0.75])
+        assert report.delay in (0.25, 0.75)

@@ -1,0 +1,105 @@
+"""Tests for workload statistics feeding the advisor."""
+
+import pytest
+
+from repro.database import Database
+from repro.errors import StripError
+from repro.views.stats import (
+    advise,
+    distinct_count,
+    join_fan_out,
+    table_activity,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute_script(
+        """
+        create table stocks (symbol text, price real);
+        create index stocks_symbol on stocks (symbol);
+        create table comps_list (comp text, symbol text, weight real);
+        create index comps_list_symbol on comps_list (symbol);
+        """
+    )
+    txn = database.begin()
+    for i in range(10):
+        txn.insert("stocks", {"symbol": f"S{i}", "price": 10.0})
+    for comp_index in range(4):
+        for i in range(5):  # each comp holds 5 stocks; each stock in 2 comps
+            symbol = f"S{(comp_index * 5 + i) % 10}"
+            txn.insert(
+                "comps_list",
+                {"comp": f"C{comp_index}", "symbol": symbol, "weight": 0.2},
+            )
+    txn.commit()
+    return database
+
+
+class TestActivity:
+    def test_rates_from_counters(self, db):
+        db.advance(10.0)
+        for i in range(5):
+            db.execute(f"update stocks set price = {11.0 + i} where symbol = 'S0'")
+        activity = table_activity(db, "stocks")
+        assert activity.updates_per_sec == pytest.approx(0.5)
+        assert activity.inserts_per_sec == pytest.approx(1.0)  # 10 over 10s
+
+    def test_since_window(self, db):
+        db.advance(100.0)
+        activity = table_activity(db, "stocks", since=90.0)
+        assert activity.inserts_per_sec == pytest.approx(1.0)
+
+
+class TestFanOut:
+    def test_mean_fan_out(self, db):
+        fan_out = join_fan_out(db, "stocks", "comps_list", "symbol", "symbol")
+        assert fan_out == pytest.approx(2.0)
+
+    def test_empty_driver(self, db):
+        db.execute("create table empty (symbol text)")
+        with pytest.raises(StripError):
+            join_fan_out(db, "empty", "comps_list", "symbol", "symbol")
+
+    def test_distinct_count(self, db):
+        assert distinct_count(db, "comps_list", "comp") == 4
+        assert distinct_count(db, "comps_list", "symbol") == 10
+
+
+class TestAdvise:
+    def test_end_to_end(self, db):
+        db.advance(10.0)
+        for i in range(40):
+            db.execute(
+                "update stocks set price = :p where symbol = :s",
+                {"p": 10.0 + i, "s": f"S{i % 10}"},
+            )
+        report = advise(
+            db,
+            base_table="stocks",
+            detail_table="comps_list",
+            join_column="symbol",
+            detail_join_column="symbol",
+            unit_column="comp",
+            horizon=600.0,
+        )
+        assert report.candidate.unique  # batching beats the baseline
+        assert 0 < report.delay <= 3.0
+        assert set(report.curves) == {"nonunique", "unique", "on_comp"}
+
+    def test_requires_activity(self, db):
+        db.advance(5.0)
+        db.catalog.table("stocks").insert_count = 0  # wipe the only signal
+        db.catalog.table("stocks").update_count = 0
+        db.catalog.table("stocks").delete_count = 0
+        with pytest.raises(StripError):
+            advise(
+                db,
+                base_table="stocks",
+                detail_table="comps_list",
+                join_column="symbol",
+                detail_join_column="symbol",
+                unit_column="comp",
+                horizon=60.0,
+            )
