@@ -6,9 +6,28 @@ import os
 import sys
 from typing import Any, Sequence
 
+def _default_results_dir() -> str:
+    """``<repo root>/benchmarks/results``, with the repo root discovered by
+    walking up from this file to the directory holding ``pyproject.toml``
+    (robust to the package moving or being installed elsewhere)."""
+    path = os.path.dirname(os.path.abspath(__file__))
+    while True:
+        if os.path.exists(os.path.join(path, "pyproject.toml")):
+            return os.path.join(path, "benchmarks", "results")
+        parent = os.path.dirname(path)
+        if parent == path:  # filesystem root: no repo checkout around us
+            return os.path.join(os.getcwd(), "benchmarks", "results")
+        path = parent
+
+
 #: Where emit() persists benchmark tables (one file per artifact).
-RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
-    os.path.dirname(os.path.abspath(__file__))))), "benchmarks", "results")
+RESULTS_DIR = _default_results_dir()
+
+
+def results_dir() -> str:
+    """The active results directory: the ``REPRO_RESULTS_DIR`` environment
+    override when set, else the pyproject-anchored :data:`RESULTS_DIR`."""
+    return os.environ.get("REPRO_RESULTS_DIR") or RESULTS_DIR
 
 
 def emit(text: str, artifact: str) -> None:
@@ -18,8 +37,9 @@ def emit(text: str, artifact: str) -> None:
     stream.write("\n" + text + "\n")
     stream.flush()
     try:
-        os.makedirs(RESULTS_DIR, exist_ok=True)
-        path = os.path.join(RESULTS_DIR, f"{artifact}.txt")
+        target = results_dir()
+        os.makedirs(target, exist_ok=True)
+        path = os.path.join(target, f"{artifact}.txt")
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
     except OSError:

@@ -12,10 +12,12 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
 from repro.bench.reporting import format_series, format_table
+from repro.obs import TraceCollector, stats_report, write_chrome_trace, write_jsonl
 from repro.pta.tables import Scale
 from repro.pta.workload import run_experiment
 from repro.sim.costmodel import SIMPLE_UPDATE_PATH, TABLE1_US, CostModel
@@ -49,8 +51,42 @@ def _cmd_table1(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_collector(args: argparse.Namespace) -> Optional[TraceCollector]:
+    if getattr(args, "trace_out", None) or getattr(args, "stats_out", None):
+        return TraceCollector()
+    return None
+
+
+def _ensure_parent(path: str) -> None:
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+
+
+def _write_trace(collector: TraceCollector, path: str) -> None:
+    """Chrome trace_event JSON by default; JSONL when the path ends .jsonl."""
+    _ensure_parent(path)
+    if path.endswith(".jsonl"):
+        count = write_jsonl(collector, path)
+    else:
+        count = write_chrome_trace(collector, path)
+    print(f"trace: {count} events -> {path}")
+
+
+def _write_stats(collector: TraceCollector, path: str, title: str) -> None:
+    text = stats_report(collector, title)
+    if path == "-":
+        print(text)
+        return
+    _ensure_parent(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(f"stats report -> {path}")
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     scale = _scale_of(args.scale)
+    collector = _make_collector(args)
     result = run_experiment(
         scale,
         view=args.view,
@@ -58,6 +94,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         delay=args.delay,
         seed=args.seed,
         policy=args.policy,
+        processors=args.processors,
+        drop_late=args.drop_late,
+        update_deadline=args.update_deadline,
+        tracer=collector,
     )
     print(format_table([result.row()], "Experiment result"))
     print(
@@ -65,7 +105,23 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         f"(recompute {result.cpu_recompute:.3f}s + rule overhead in updates "
         f"{max(result.cpu_update - result.cpu_baseline_update, 0.0):.3f}s)"
     )
+    if args.drop_late:
+        print(f"dropped (firm deadline): {result.dropped_tasks}")
+    if collector is not None:
+        if args.trace_out:
+            _write_trace(collector, args.trace_out)
+        if args.stats_out:
+            _write_stats(
+                collector,
+                args.stats_out,
+                f"Trace statistics ({args.view}/{args.variant}, delay {args.delay}s)",
+            )
     return 0
+
+
+def _suffixed(path: str, tag: str) -> str:
+    root, ext = os.path.splitext(path)
+    return f"{root}-{tag}{ext or '.json'}"
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -78,12 +134,31 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     )
     delays = args.delays or [0.5, 1.0, 1.5, 2.0, 2.5, 3.0]
     series: dict[str, list[tuple[float, float]]] = {}
+    stats_sections: list[str] = []
     for variant in variants:
         for delay in [0.0] if variant == "nonunique" else delays:
-            result = run_experiment(scale, view, variant, delay, seed=args.seed)
+            collector = _make_collector(args)
+            result = run_experiment(
+                scale, view, variant, delay, seed=args.seed, tracer=collector
+            )
             series.setdefault(variant, []).append(
                 (delay, float(getattr(result, metric)))
             )
+            if collector is not None:
+                tag = f"{variant}-{delay:g}"
+                if args.trace_out:
+                    _write_trace(collector, _suffixed(args.trace_out, tag))
+                if args.stats_out:
+                    stats_sections.append(
+                        stats_report(collector, f"Trace statistics ({tag})")
+                    )
+    if stats_sections and args.stats_out:
+        if args.stats_out == "-":
+            print("\n\n".join(stats_sections))
+        else:
+            with open(args.stats_out, "w", encoding="utf-8") as handle:
+                handle.write("\n\n".join(stats_sections) + "\n")
+            print(f"stats report -> {args.stats_out}")
     print(format_series(series, "delay_s", label, f"Figure {args.number}"))
     return 0
 
@@ -138,6 +213,27 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", default="tiny")
     experiment.add_argument("--seed", type=int, default=0)
     experiment.add_argument("--policy", choices=["fifo", "edf", "vdf"], default="fifo")
+    experiment.add_argument(
+        "--processors", type=int, default=1,
+        help="simulated server-pool size (default 1, the paper's setup)",
+    )
+    experiment.add_argument(
+        "--drop-late", action="store_true",
+        help="firm-deadline policy: drop tasks already past their deadline",
+    )
+    experiment.add_argument(
+        "--update-deadline", type=float, default=None, metavar="SECONDS",
+        help="give each update task a relative deadline (for edf/--drop-late)",
+    )
+    experiment.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write a trace of the run: Chrome trace_event JSON "
+        "(open in Perfetto), or JSONL when PATH ends in .jsonl",
+    )
+    experiment.add_argument(
+        "--stats-out", metavar="PATH",
+        help="write a plain-text stats report ('-' for stdout)",
+    )
     experiment.set_defaults(fn=_cmd_experiment)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
@@ -145,6 +241,14 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--scale", default="tiny")
     figure.add_argument("--seed", type=int, default=0)
     figure.add_argument("--delays", type=float, nargs="*")
+    figure.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write one trace per run, suffixed -<variant>-<delay>",
+    )
+    figure.add_argument(
+        "--stats-out", metavar="PATH",
+        help="write per-run stats reports to one file ('-' for stdout)",
+    )
     figure.set_defaults(fn=_cmd_figure)
 
     trace = sub.add_parser("trace", help="generate / inspect a synthetic TAQ trace")

@@ -85,6 +85,8 @@ class RuleEngine:
                     if not rule.matches(entries, table.schema):
                         continue
                     self.check_count += 1
+                    if db.tracer.enabled:
+                        db.tracer.rule_check(rule.name, txn.txn_id, db.clock.now())
                     if transitions is None:
                         transitions = TransitionTables(db, table, entries)
                     tasks = self._fire(rule, txn, transitions)
@@ -148,7 +150,10 @@ class RuleEngine:
             if query.bind_as is not None:
                 bound[query.bind_as] = result.bind(query.bind_as, charge=db.charge)
         self.firing_count += 1
-        return db.unique_manager.dispatch(rule, bound, txn.commit_time)
+        tasks = db.unique_manager.dispatch(rule, bound, txn.commit_time)
+        if db.tracer.enabled:
+            db.tracer.rule_fire(rule.name, txn.txn_id, len(tasks), db.clock.now())
+        return tasks
 
     # ----------------------------------------------------- action bodies
 

@@ -200,11 +200,15 @@ class UniqueManager:
                 f"function {task.function_name!r}: bound tables differ across rules "
                 f"({sorted(bound)} vs {sorted(task.bound_tables)})"
             )
+        appended = 0
         for name, fresh in bound.items():
             added = task.bound_tables[name].absorb(fresh)
+            appended += added
             charge("unique_append_row", max(added, 1))
             fresh.retire()
         self.batch_count += 1
+        if self.db.tracer.enabled:
+            self.db.tracer.unique_append(task, appended, self.db.clock.now())
 
     def _new_task(
         self,
@@ -230,6 +234,8 @@ class UniqueManager:
             estimated_cpu=estimated,
         )
         self.task_count += 1
+        if self.db.tracer.enabled:
+            self.db.tracer.unique_new(task, self.db.clock.now())
         return task
 
     # ----------------------------------------------------------- lifecycle

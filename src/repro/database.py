@@ -32,6 +32,7 @@ from repro.core.functions import FunctionRegistry, UserFunction
 from repro.core.rules import Rule
 from repro.core.unique import UniqueManager
 from repro.errors import BindingError, CatalogError, ExecutionError
+from repro.obs.tracer import NullTracer, Tracer
 from repro.sim.clock import Meter, VirtualClock
 from repro.sim.costmodel import CostModel
 from repro.sim.metrics import MetricsCollector
@@ -81,16 +82,23 @@ class TaskManager:
             self.ready.push(task)
         else:
             self.delay.push(task)
+        if db.tracer.enabled:
+            db.tracer.task_enqueue(
+                task, len(self.delay), len(self.ready), db.clock.now()
+            )
 
     def release_due(self, now: float) -> int:
         due = self.delay.pop_due(now)
         released = 0
+        tracer = self.db.tracer
         for task in due:
             if task.state in (TaskState.DONE, TaskState.ABORTED):
                 continue  # executed out of band (tests / direct calls)
             self.db.charge("sched_enqueue")
             self.ready.push(task)
             released += 1
+            if tracer.enabled:
+                tracer.task_release(task, len(self.ready), now)
         return released
 
     def next_release_time(self) -> Optional[float]:
@@ -113,9 +121,15 @@ class Database:
         cost_model: Optional[CostModel] = None,
         policy: str = "fifo",
         start_time: float = 0.0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.cost_model = cost_model or CostModel()
         self._cost_seconds = self.cost_model._seconds
+        # The observability hook point, next to charge(): instrumentation
+        # sites test `tracer.enabled` so the NullTracer default costs one
+        # attribute load per site (see docs/OBSERVABILITY.md).
+        self.tracer: Tracer = tracer if tracer is not None else NullTracer()
+        self.tracer.bind(self)
         self.clock = VirtualClock(start_time)
         self.catalog = Catalog()
         self.lock_manager = LockManager()

@@ -1,0 +1,35 @@
+"""Observability: structured tracing, metrics, and exporters.
+
+The engine's single hook point is ``db.tracer`` (a :class:`Tracer`, default
+:class:`NullTracer`).  Attach a :class:`TraceCollector` to record
+virtual-clock-stamped events and aggregate histograms, then export with
+:func:`write_chrome_trace` (Perfetto), :func:`write_jsonl`, or
+:func:`stats_report`.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.exporters import (
+    chrome_trace_events,
+    read_jsonl,
+    stats_report,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, log_bounds
+from repro.obs.tracer import NullTracer, TraceCollector, TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "TraceCollector",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace_events",
+    "log_bounds",
+    "read_jsonl",
+    "stats_report",
+    "write_chrome_trace",
+    "write_jsonl",
+]

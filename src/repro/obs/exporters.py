@@ -1,0 +1,209 @@
+"""Trace/metrics exporters: JSONL, Chrome ``trace_event`` JSON, text stats.
+
+Three output formats, all derived from a :class:`~repro.obs.tracer.TraceCollector`
+(or any iterable of :class:`~repro.obs.tracer.TraceEvent`):
+
+* :func:`write_jsonl` / :func:`read_jsonl` — one JSON object per line,
+  lossless round-trip of the event stream (grep/jq-friendly);
+* :func:`write_chrome_trace` / :func:`chrome_trace_events` — the Chrome
+  ``trace_event`` format (the ``{"traceEvents": [...]}`` flavour), loadable
+  in Perfetto / ``chrome://tracing``, with one track per server and per
+  engine subsystem (txn / rules / unique / sched / locks) plus a queue-depth
+  counter track;
+* :func:`stats_report` — a plain-text report (counters, histograms,
+  per-charge-kind CPU) rendered with :mod:`repro.bench.reporting` tables.
+
+Timestamps in Chrome output are **microseconds of virtual time**.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Iterable, Union
+
+from repro.obs.tracer import TraceCollector, TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
+
+EventSource = Union[TraceCollector, Iterable[TraceEvent]]
+
+#: Synthetic process id for the whole virtual-time simulation.
+TRACE_PID = 1
+
+
+def _events_of(source: EventSource) -> list[TraceEvent]:
+    if isinstance(source, TraceCollector):
+        return source.events
+    return list(source)
+
+
+# ------------------------------------------------------------------- JSONL
+
+
+def event_to_dict(event: TraceEvent) -> dict[str, Any]:
+    data: dict[str, Any] = {
+        "ts": event.ts,
+        "kind": event.kind,
+        "name": event.name,
+        "track": event.track,
+    }
+    if event.dur is not None:
+        data["dur"] = event.dur
+    if event.args:
+        data["args"] = event.args
+    return data
+
+
+def event_from_dict(data: dict[str, Any]) -> TraceEvent:
+    return TraceEvent(
+        ts=data["ts"],
+        kind=data["kind"],
+        name=data["name"],
+        track=data.get("track", "engine"),
+        dur=data.get("dur"),
+        args=data.get("args", {}),
+    )
+
+
+def write_jsonl(source: EventSource, path: str) -> int:
+    """One event per line; returns the number of events written."""
+    events = _events_of(source)
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event_to_dict(event)) + "\n")
+    return len(events)
+
+
+def read_jsonl(path: str) -> list[TraceEvent]:
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(event_from_dict(json.loads(line)))
+    return events
+
+
+# ----------------------------------------------------------- Chrome format
+
+
+def chrome_trace_events(source: EventSource) -> list[dict[str, Any]]:
+    """The ``traceEvents`` array: metadata + one entry per trace event.
+
+    Spans (events with a duration) become complete ``"X"`` events, queue
+    counters become ``"C"`` events, everything else an instant ``"i"``.
+    Tracks map to thread ids within one synthetic process.
+    """
+    events = _events_of(source)
+    tids: dict[str, int] = {}
+    out: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"name": "strip-sim"},
+        }
+    ]
+
+    def tid_of(track: str) -> int:
+        tid = tids.get(track)
+        if tid is None:
+            tid = tids[track] = len(tids) + 1
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": TRACE_PID,
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+        return tid
+
+    for event in events:
+        entry: dict[str, Any] = {
+            "name": event.name,
+            "cat": event.kind,
+            "ts": event.ts * 1e6,
+            "pid": TRACE_PID,
+            "tid": tid_of(event.track),
+        }
+        if event.kind.startswith("counter."):
+            entry["ph"] = "C"
+            entry["args"] = dict(event.args)
+        elif event.dur is not None:
+            entry["ph"] = "X"
+            entry["dur"] = event.dur * 1e6
+            if event.args:
+                entry["args"] = dict(event.args)
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "t"  # thread-scoped instant
+            if event.args:
+                entry["args"] = dict(event.args)
+        out.append(entry)
+    return out
+
+
+def write_chrome_trace(source: EventSource, path: str) -> int:
+    """Write ``{"traceEvents": [...]}`` JSON; returns the event count
+    (excluding metadata records)."""
+    events = _events_of(source)
+    document = {
+        "traceEvents": chrome_trace_events(events),
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "virtual-seconds", "source": "repro.obs"},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    return len(events)
+
+
+# ------------------------------------------------------------ text report
+
+
+def _histogram_section(name: str, registry: "MetricsRegistry") -> str:
+    # Imported here, not at module level: repro.bench's package __init__
+    # pulls in the experiment harness, which imports repro.database, which
+    # imports this package — a cycle at import time but not at call time.
+    from repro.bench.reporting import format_table
+
+    histogram = registry.histograms[name]
+    if histogram.count == 0:
+        return f"histogram {name}: (empty)"
+    rows = histogram.bucket_rows()
+    header = (
+        f"histogram {name}: n={histogram.count} mean={histogram.mean:.6g} "
+        f"min={histogram.min:.6g} max={histogram.max:.6g} "
+        f"p50<={histogram.percentile(0.5):.6g} p99<={histogram.percentile(0.99):.6g}"
+    )
+    return format_table(rows, header)
+
+
+def stats_report(collector: TraceCollector, title: str = "Trace statistics") -> str:
+    """Counters, histograms, and the CPU breakdown as one text report."""
+    from repro.bench.reporting import format_table
+
+    registry = collector.metrics
+    sections = [f"{title}\n{'=' * len(title)}"]
+    counter_rows = [
+        {"counter": name, "value": counter.value}
+        for name, counter in sorted(registry.counters.items())
+    ]
+    if counter_rows:
+        sections.append(format_table(counter_rows, "Event counters"))
+    gauge_rows = [
+        {"gauge": name, "value": gauge.value, "max": gauge.max}
+        for name, gauge in sorted(registry.gauges.items())
+    ]
+    if gauge_rows:
+        sections.append(format_table(gauge_rows, "Gauges"))
+    for name in sorted(registry.histograms):
+        sections.append(_histogram_section(name, registry))
+    cpu_rows = collector.cpu_rows()
+    if cpu_rows:
+        sections.append(format_table(cpu_rows, "CPU by charge kind (finished tasks)"))
+    sections.append(f"events recorded: {len(collector.events)}")
+    return "\n\n".join(sections)

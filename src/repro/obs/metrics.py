@@ -1,0 +1,192 @@
+"""Counters, gauges, and log-scale histograms for the observability layer.
+
+The registry is the numeric side of tracing: instrumentation points bump
+counters and feed histograms while the tracer records the event stream.
+Histograms use **fixed log-scale buckets** (geometric bucket bounds chosen
+at construction) so that recording stays O(log buckets) with bounded
+memory, which is what per-operator statistics need on hot paths — the same
+shape DBToaster/Bleach-style engines use for their operator stats.
+
+Everything here is dependency-free and usable standalone::
+
+    registry = MetricsRegistry()
+    registry.counter("rule_firings").inc()
+    registry.histogram("batch_size_rows", lo=1, factor=2).record(17)
+    registry.snapshot()   # plain dicts, JSON-serialisable
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Any, Optional, Sequence
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value; remembers the maximum ever set."""
+
+    __slots__ = ("name", "value", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max:
+            self.max = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value}, max={self.max})"
+
+
+def log_bounds(lo: float, hi: float, factor: float) -> tuple[float, ...]:
+    """Geometric bucket bounds ``lo, lo*factor, ...`` up to and including
+    the first bound >= ``hi``."""
+    if lo <= 0 or hi < lo or factor <= 1.0:
+        raise ValueError("need 0 < lo <= hi and factor > 1")
+    bounds = []
+    bound = lo
+    while True:
+        bounds.append(bound)
+        if bound >= hi:
+            break
+        bound *= factor
+    return tuple(bounds)
+
+
+class Histogram:
+    """Fixed log-scale-bucket histogram.
+
+    Bucket ``i`` counts values ``bounds[i-1] < v <= bounds[i]``; one
+    overflow bucket catches everything above the last bound.  Values at or
+    below zero land in the first bucket.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        lo: float = 1e-6,
+        hi: float = 1e4,
+        factor: float = 10.0,
+        bounds: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.name = name
+        self.bounds = tuple(bounds) if bounds is not None else log_bounds(lo, hi, factor)
+        self.counts = [0] * (len(self.bounds) + 1)  # +1 overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def record(self, value: float, n: int = 1) -> None:
+        self.counts[bisect_left(self.bounds, value)] += n
+        self.count += n
+        self.total += value * n
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Upper bucket bound below which at least ``p`` (0..1) of the
+        recorded values fall (the usual histogram-quantile estimate)."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("percentile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = p * self.count
+        seen = 0
+        for i, bucket in enumerate(self.counts):
+            seen += bucket
+            if seen >= target:
+                return self.bounds[i] if i < len(self.bounds) else self.max
+        return self.max
+
+    def bucket_rows(self) -> list[dict[str, Any]]:
+        """Non-empty buckets as ``{"le": bound, "count": n}`` rows."""
+        rows = []
+        for i, bucket in enumerate(self.counts):
+            if not bucket:
+                continue
+            le: Any = self.bounds[i] if i < len(self.bounds) else "+inf"
+            rows.append({"le": le, "count": bucket})
+        return rows
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.percentile(0.50),
+            "p99": self.percentile(0.99),
+            "buckets": self.bucket_rows(),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.4g})"
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms; get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(self, name: str, **kwargs: Any) -> Histogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(name, **kwargs)
+        return histogram
+
+    def snapshot(self) -> dict[str, Any]:
+        """Everything as plain (JSON-serialisable) dicts."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self.counters.items())},
+            "gauges": {
+                name: {"value": g.value, "max": g.max}
+                for name, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: h.snapshot() for name, h in sorted(self.histograms.items())
+            },
+        }

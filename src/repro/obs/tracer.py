@@ -1,0 +1,286 @@
+"""Span/event tracing for the rule engine and simulator.
+
+The engine carries a single hook point, ``db.tracer``, sitting next to
+``db.charge``: instrumentation sites test ``tracer.enabled`` (one attribute
+load and a branch — the :class:`NullTracer` default keeps tracing strictly
+pay-for-what-you-use) and, when tracing is on, call a named hook.  The
+recording implementation, :class:`TraceCollector`, appends virtual-clock-
+stamped :class:`TraceEvent` records and feeds the metrics registry
+(queue-depth, batch-size, and task/transaction-length histograms, plus the
+per-charge-kind CPU breakdown derived from each finished task's meter).
+
+Event taxonomy (``TraceEvent.kind``):
+
+========================  ====================================================
+``txn.begin/commit/abort``  transaction lifecycle (commit/abort carry the
+                            transaction's duration as a span)
+``rule.check``              a rule's events matched; its condition ran
+``rule.fire``               a condition held; bound tables were dispatched
+``unique.new``              dispatch created a fresh pending task
+``unique.append``           dispatch coalesced a firing onto a pending task
+``task.enqueue``            a task entered the delay or ready queue
+``task.release``            the delay queue released a task at its time
+``task``                    one task execution (a span: start .. end)
+``task.preempt``            quantum preemption charged to a long task
+``task.abort``              a task body raised; the task was aborted
+``task.drop``               firm-deadline policy discarded a late task
+``lock.wait``               a lock request could not be granted immediately
+``counter.queues``          delay/ready queue depths (a Chrome counter track)
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.database import Database
+    from repro.sim.metrics import TaskRecord
+    from repro.txn.tasks import Task
+    from repro.txn.transaction import Transaction
+
+
+@dataclass
+class TraceEvent:
+    """One trace record; ``ts``/``dur`` are virtual seconds."""
+
+    ts: float
+    kind: str
+    name: str
+    track: str = "engine"
+    dur: Optional[float] = None
+    args: dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """The hook protocol.  Every method is a no-op; ``enabled`` gates the
+    call sites so a disabled tracer costs one attribute load per site."""
+
+    enabled = False
+
+    def bind(self, db: "Database") -> None:
+        """Called once when the tracer is attached to a database."""
+
+    # ------------------------------------------------------- transactions
+    def txn_begin(self, txn: "Transaction", now: float) -> None: ...
+    def txn_commit(self, txn: "Transaction", now: float) -> None: ...
+    def txn_abort(self, txn: "Transaction", now: float) -> None: ...
+    def lock_wait(self, txn: "Transaction", resource: tuple, now: float) -> None: ...
+
+    # -------------------------------------------------------------- rules
+    def rule_check(self, rule_name: str, txn_id: int, now: float) -> None: ...
+    def rule_fire(
+        self, rule_name: str, txn_id: int, new_tasks: int, now: float
+    ) -> None: ...
+
+    # ----------------------------------------------------- unique manager
+    def unique_new(self, task: "Task", now: float) -> None: ...
+    def unique_append(self, task: "Task", rows: int, now: float) -> None: ...
+
+    # -------------------------------------------------------------- tasks
+    def task_enqueue(
+        self, task: "Task", delay_depth: int, ready_depth: int, now: float
+    ) -> None: ...
+    def task_release(self, task: "Task", ready_depth: int, now: float) -> None: ...
+    def task_start(self, task: "Task", now: float) -> None: ...
+    def task_preempt(self, task: "Task", switches: int, now: float) -> None: ...
+    def task_done(self, task: "Task", record: "TaskRecord", server: int = 0) -> None: ...
+    def task_abort(self, task: "Task", now: float, server: int = 0) -> None: ...
+    def task_drop(self, task: "Task", now: float) -> None: ...
+
+
+class NullTracer(Tracer):
+    """The zero-overhead default: ``db.tracer`` when nobody is watching."""
+
+
+class TraceCollector(Tracer):
+    """Records events in memory and aggregates them into a registry."""
+
+    enabled = True
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.events: list[TraceEvent] = []
+        self.metrics = metrics or MetricsRegistry()
+        self.cpu_by_op: dict[str, float] = {}
+        self._cost_seconds: Optional[dict[str, float]] = None
+        # task_id -> number of rule firings coalesced into the pending task
+        self._batch_firings: dict[int, int] = {}
+        # Pre-create the headline histograms so reports and snapshots have
+        # stable names even when a run never touches one of them.
+        metrics_ = self.metrics
+        self._h_queue = metrics_.histogram("queue_depth", lo=1, hi=1 << 20, factor=2)
+        self._h_batch_rows = metrics_.histogram(
+            "batch_size_rows", lo=1, hi=1 << 20, factor=2
+        )
+        self._h_batch_firings = metrics_.histogram(
+            "batch_firings", lo=1, hi=1 << 20, factor=2
+        )
+        self._h_task_len = metrics_.histogram("task_length_s", lo=1e-6, hi=1e4)
+        self._h_txn_len = metrics_.histogram("txn_length_s", lo=1e-6, hi=1e4)
+
+    def bind(self, db: "Database") -> None:
+        self._cost_seconds = dict(db.cost_model._seconds)
+
+    # ----------------------------------------------------------- plumbing
+
+    def _emit(
+        self,
+        ts: float,
+        kind: str,
+        name: str,
+        track: str = "engine",
+        dur: Optional[float] = None,
+        **args: Any,
+    ) -> None:
+        self.events.append(TraceEvent(ts, kind, name, track, dur, args))
+
+    def count(self, kind: str) -> int:
+        """Number of recorded events of one kind (test/report convenience)."""
+        return sum(1 for event in self.events if event.kind == kind)
+
+    # ------------------------------------------------------- transactions
+
+    def txn_begin(self, txn: "Transaction", now: float) -> None:
+        self.metrics.counter("txn_begin").inc()
+        self._emit(now, "txn.begin", f"txn#{txn.txn_id}", track="txn")
+
+    def txn_commit(self, txn: "Transaction", now: float) -> None:
+        self.metrics.counter("txn_commit").inc()
+        dur = max(now - txn.begin_time, 0.0)
+        self._h_txn_len.record(dur)
+        self._emit(
+            txn.begin_time, "txn.commit", f"txn#{txn.txn_id}", track="txn",
+            dur=dur, ops=len(txn.log),
+        )
+
+    def txn_abort(self, txn: "Transaction", now: float) -> None:
+        self.metrics.counter("txn_abort").inc()
+        dur = max(now - txn.begin_time, 0.0)
+        self._emit(
+            txn.begin_time, "txn.abort", f"txn#{txn.txn_id}", track="txn", dur=dur
+        )
+
+    def lock_wait(self, txn: "Transaction", resource: tuple, now: float) -> None:
+        self.metrics.counter("lock_waits").inc()
+        self._emit(
+            now, "lock.wait", f"txn#{txn.txn_id}", track="locks",
+            resource=repr(resource),
+        )
+
+    # -------------------------------------------------------------- rules
+
+    def rule_check(self, rule_name: str, txn_id: int, now: float) -> None:
+        self.metrics.counter("rule_checks").inc()
+        self._emit(now, "rule.check", rule_name, track="rules", txn=txn_id)
+
+    def rule_fire(
+        self, rule_name: str, txn_id: int, new_tasks: int, now: float
+    ) -> None:
+        self.metrics.counter("rule_firings").inc()
+        self._emit(
+            now, "rule.fire", rule_name, track="rules", txn=txn_id,
+            new_tasks=new_tasks,
+        )
+
+    # ----------------------------------------------------- unique manager
+
+    def unique_new(self, task: "Task", now: float) -> None:
+        self.metrics.counter("unique_new_tasks").inc()
+        self._batch_firings[task.task_id] = 1
+        self._emit(
+            now, "unique.new", task.function_name or task.klass, track="unique",
+            task_id=task.task_id, key=repr(task.unique_key),
+        )
+
+    def unique_append(self, task: "Task", rows: int, now: float) -> None:
+        self.metrics.counter("unique_appends").inc()
+        if task.task_id in self._batch_firings:
+            self._batch_firings[task.task_id] += 1
+        self._emit(
+            now, "unique.append", task.function_name or task.klass, track="unique",
+            task_id=task.task_id, rows=rows, key=repr(task.unique_key),
+        )
+
+    # -------------------------------------------------------------- tasks
+
+    def _queue_counter(self, now: float, delay_depth: int, ready_depth: int) -> None:
+        self._h_queue.record(delay_depth + ready_depth)
+        self.metrics.gauge("queue_depth").set(delay_depth + ready_depth)
+        self._emit(
+            now, "counter.queues", "queues", track="queues",
+            delay=delay_depth, ready=ready_depth,
+        )
+
+    def task_enqueue(
+        self, task: "Task", delay_depth: int, ready_depth: int, now: float
+    ) -> None:
+        self.metrics.counter("task_enqueues").inc()
+        self._emit(
+            now, "task.enqueue", task.klass, track="sched",
+            task_id=task.task_id, release=task.release_time,
+        )
+        self._queue_counter(now, delay_depth, ready_depth)
+
+    def task_release(self, task: "Task", ready_depth: int, now: float) -> None:
+        self.metrics.counter("task_releases").inc()
+        self._emit(
+            now, "task.release", task.klass, track="sched",
+            task_id=task.task_id, ready=ready_depth,
+        )
+
+    def task_start(self, task: "Task", now: float) -> None:
+        self.metrics.counter("task_starts").inc()
+        firings = self._batch_firings.pop(task.task_id, None)
+        if firings is not None:
+            self._h_batch_firings.record(firings)
+            self._h_batch_rows.record(task.bound_rows)
+
+    def task_preempt(self, task: "Task", switches: int, now: float) -> None:
+        self.metrics.counter("context_switches").inc(switches)
+        self._emit(
+            now, "task.preempt", task.klass, track="sched",
+            task_id=task.task_id, switches=switches,
+        )
+
+    def task_done(self, task: "Task", record: "TaskRecord", server: int = 0) -> None:
+        self.metrics.counter("task_done").inc()
+        self._h_task_len.record(record.length)
+        self._emit(
+            record.start_time, "task", task.klass, track=f"server-{server}",
+            dur=record.length, task_id=task.task_id, cpu=record.cpu_time,
+            queueing=record.queueing, bound_rows=record.bound_rows,
+            context_switches=record.context_switches,
+        )
+        if self._cost_seconds is not None:
+            cpu_by_op = self.cpu_by_op
+            seconds = self._cost_seconds
+            for op, n in task.meter.ops.items():
+                cpu_by_op[op] = cpu_by_op.get(op, 0.0) + n * seconds.get(op, 0.0)
+
+    def task_abort(self, task: "Task", now: float, server: int = 0) -> None:
+        self.metrics.counter("task_aborts").inc()
+        start = task.start_time if task.start_time is not None else now
+        self._emit(
+            start, "task.abort", task.klass, track=f"server-{server}",
+            dur=max(now - start, 0.0), task_id=task.task_id,
+        )
+
+    def task_drop(self, task: "Task", now: float) -> None:
+        self.metrics.counter("task_drops").inc()
+        self._emit(
+            now, "task.drop", task.klass, track="sched",
+            task_id=task.task_id, deadline=task.deadline,
+        )
+
+    # ------------------------------------------------------------ results
+
+    def cpu_rows(self) -> list[dict[str, Any]]:
+        """Per-charge-kind CPU of all finished tasks, largest first."""
+        total = sum(self.cpu_by_op.values()) or 1.0
+        return [
+            {"op": op, "cpu_s": sec, "fraction": sec / total}
+            for op, sec in sorted(self.cpu_by_op.items(), key=lambda kv: -kv[1])
+        ]

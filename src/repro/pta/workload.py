@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.database import Database
+from repro.obs.tracer import TraceCollector, Tracer
 from repro.pta.rules import install_comp_rule, install_option_rule
 from repro.pta.tables import Scale, populate
 from repro.pta.trace import QuoteEvent, TaqTraceGenerator
@@ -72,6 +73,11 @@ class ExperimentResult:
     total_bound_rows: int
     context_switches: int
     end_time: float  # virtual time when the last task finished
+    dropped_tasks: int = 0  # firm-deadline drops (only with drop_late)
+    #: Histogram snapshots from the trace collector (None without tracing):
+    #: rows per recompute batch at start, and queue depth at each enqueue.
+    batch_size_hist: Optional[dict] = None
+    queue_depth_hist: Optional[dict] = None
 
     @property
     def duration(self) -> float:
@@ -176,10 +182,12 @@ def run_experiment(
     cost_model: Optional[CostModel] = None,
     policy: str = "fifo",
     processors: int = 1,
+    drop_late: bool = False,
     keep_records: bool = False,
     db_out: Optional[list] = None,
     trace_kwargs: Optional[dict] = None,
     update_deadline: Optional[float] = None,
+    tracer: Optional[Tracer] = None,
 ) -> ExperimentResult:
     """Run one full PTA experiment and collect the paper's metrics.
 
@@ -191,12 +199,18 @@ def run_experiment(
         delay: the ``after`` window in seconds (ignored for ``nonunique``).
         cost_model: override the Table-1-calibrated defaults (ablations).
         policy: task scheduling policy (``fifo`` / ``edf`` / ``vdf``).
+        processors: simulated server-pool size (start-time assignment).
+        drop_late: firm-deadline policy — drop tasks already past their
+            deadline instead of running them.
         keep_records: retain per-task records (large runs: keep False).
         db_out: if given, the Database is appended for post-hoc inspection.
+        tracer: an observability hook (e.g. a
+            :class:`~repro.obs.tracer.TraceCollector`); when it is a
+            collector, the result carries batch/queue histogram snapshots.
     """
     if view not in ("comps", "options"):
         raise ValueError(f"view must be 'comps' or 'options', got {view!r}")
-    db = Database(cost_model=cost_model, policy=policy)
+    db = Database(cost_model=cost_model, policy=policy, tracer=tracer)
     db.metrics.set_keep_records(keep_records)
     trace, events = get_trace(scale, seed, trace_kwargs)
     populate(db, scale, trace, events, seed)
@@ -204,9 +218,8 @@ def run_experiment(
         function_name = install_comp_rule(db, variant, delay)
     else:
         function_name = install_option_rule(db, variant, delay)
-    Simulator(db, processors).run(
-        arrivals=_trace_tasks(db, events, update_deadline)
-    )
+    simulator = Simulator(db, processors, drop_late=drop_late)
+    simulator.run(arrivals=_trace_tasks(db, events, update_deadline))
 
     prefix = f"recompute:{function_name}"
     metrics = db.metrics
@@ -229,6 +242,17 @@ def run_experiment(
         total_bound_rows=summary.total_bound_rows if summary else 0,
         context_switches=summary.total_context_switches if summary else 0,
         end_time=db.clock.base,
+        dropped_tasks=simulator.dropped,
+        batch_size_hist=(
+            tracer.metrics.histograms["batch_size_rows"].snapshot()
+            if isinstance(tracer, TraceCollector)
+            else None
+        ),
+        queue_depth_hist=(
+            tracer.metrics.histograms["queue_depth"].snapshot()
+            if isinstance(tracer, TraceCollector)
+            else None
+        ),
     )
     if db_out is not None:
         db_out.append(db)

@@ -25,8 +25,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.database import Database
 
 
-def execute_task(db: "Database", task: Task, start: Optional[float] = None) -> TaskRecord:
-    """Run one task to completion at virtual time ``start`` (default: now)."""
+def execute_task(
+    db: "Database", task: Task, start: Optional[float] = None, server: int = 0
+) -> TaskRecord:
+    """Run one task to completion at virtual time ``start`` (default: now).
+
+    ``server`` only labels the task's trace span (one Perfetto track per
+    server); it does not change execution."""
     if task.state in (TaskState.DONE, TaskState.ABORTED):
         raise SimulationError(f"task {task.task_id} already finished")
     db.unique_manager.on_task_start(task)
@@ -36,6 +41,8 @@ def execute_task(db: "Database", task: Task, start: Optional[float] = None) -> T
     else:
         start = max(start, task.release_time)
     task.start_time = start
+    if db.tracer.enabled:
+        db.tracer.task_start(task, start)
     bound_rows = task.bound_rows
     meter = task.meter
     charged_before = meter.total
@@ -49,6 +56,8 @@ def execute_task(db: "Database", task: Task, start: Optional[float] = None) -> T
         end = db.clock.deactivate()
         task.end_time = end
         task.retire_bound_tables()
+        if db.tracer.enabled:
+            db.tracer.task_abort(task, end, server)
         raise
     db.charge("end_task")
     cpu = meter.total - charged_before
@@ -75,6 +84,10 @@ def execute_task(db: "Database", task: Task, start: Optional[float] = None) -> T
         deadline=task.deadline,
     )
     db.metrics.record(record)
+    if db.tracer.enabled:
+        if switches:
+            db.tracer.task_preempt(task, switches, end)
+        db.tracer.task_done(task, record, server)
     return record
 
 
@@ -101,6 +114,8 @@ def drop_task(db: "Database", task: Task, now: float) -> TaskRecord:
         dropped=True,
     )
     db.metrics.record(record)
+    if db.tracer.enabled:
+        db.tracer.task_drop(task, now)
     return record
 
 
@@ -189,7 +204,7 @@ class Simulator:
                 drop_task(db, task, start)
                 self.dropped += 1
                 continue
-            record = execute_task(db, task, start)
+            record = execute_task(db, task, start, server)
             free_at[server] = record.end_time
             executed += 1
             if max_tasks is not None and executed >= max_tasks:

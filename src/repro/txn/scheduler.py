@@ -31,7 +31,7 @@ class FifoPolicy(SchedulingPolicy):
     name = "fifo"
 
     def key(self, task: Task) -> tuple:
-        return (task.release_time,)
+        return (task.release_time, task.task_id)
 
 
 class EarliestDeadlinePolicy(SchedulingPolicy):
@@ -41,7 +41,7 @@ class EarliestDeadlinePolicy(SchedulingPolicy):
 
     def key(self, task: Task) -> tuple:
         deadline = task.deadline if task.deadline is not None else math.inf
-        return (deadline, task.release_time)
+        return (deadline, task.release_time, task.task_id)
 
 
 class ValueDensityPolicy(SchedulingPolicy):
@@ -55,7 +55,7 @@ class ValueDensityPolicy(SchedulingPolicy):
 
     def key(self, task: Task) -> tuple:
         density = task.value / max(task.estimated_cpu, 1e-9)
-        return (-density, task.release_time)
+        return (-density, task.release_time, task.task_id)
 
 
 _POLICIES = {

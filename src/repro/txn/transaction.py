@@ -47,9 +47,12 @@ class Transaction:
         self.state = TransactionState.ACTIVE
         self.log = TransactionLog()
         self.commit_time: Optional[float] = None
+        self.begin_time = db.clock.now()
         self._read_locked_tables: set[str] = set()
         self._ix_locked_tables: set[str] = set()
         db.charge("begin_txn")
+        if db.tracer.enabled:
+            db.tracer.txn_begin(self, self.begin_time)
 
     # ----------------------------------------------------------- DML (core)
 
@@ -112,6 +115,8 @@ class Transaction:
             self.txn_id, (table_name, None), LockMode.SHARED
         )
         if not granted:
+            if self.db.tracer.enabled:
+                self.db.tracer.lock_wait(self, (table_name, None), self.db.clock.now())
             raise LockError(
                 f"transaction {self.txn_id} blocked on table {table_name!r}; "
                 "the serial engine cannot wait (see DESIGN.md)"
@@ -127,6 +132,10 @@ class Transaction:
                 self.txn_id, (table_name, None), LockMode.INTENTION_EXCLUSIVE
             )
             if not granted:
+                if self.db.tracer.enabled:
+                    self.db.tracer.lock_wait(
+                        self, (table_name, None), self.db.clock.now()
+                    )
                 raise LockError(
                     f"transaction {self.txn_id} blocked on table {table_name!r} "
                     "(held by a reader)"
@@ -137,6 +146,10 @@ class Transaction:
             self.txn_id, (table_name, record.rid), LockMode.EXCLUSIVE
         )
         if not granted:
+            if self.db.tracer.enabled:
+                self.db.tracer.lock_wait(
+                    self, (table_name, record.rid), self.db.clock.now()
+                )
             raise LockError(
                 f"transaction {self.txn_id} blocked on row {table_name}:{record.rid}"
             )
@@ -165,6 +178,8 @@ class Transaction:
         self._release_locks()
         self.state = TransactionState.COMMITTED
         self.db.on_txn_finished(self)
+        if self.db.tracer.enabled:
+            self.db.tracer.txn_commit(self, self.db.clock.now())
 
     def abort(self) -> None:
         """Undo every logged change in reverse order and free locks."""
@@ -190,6 +205,8 @@ class Transaction:
         self._release_locks()
         self.state = TransactionState.ABORTED
         self.db.on_txn_finished(self)
+        if self.db.tracer.enabled:
+            self.db.tracer.txn_abort(self, self.db.clock.now())
 
     def _release_locks(self) -> None:
         held = self.db.lock_manager.held_resources(self.txn_id)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -66,3 +68,59 @@ class TestCommands:
     def test_bad_scale(self):
         with pytest.raises(SystemExit):
             main(["experiment", "--scale", "bogus"])
+
+
+class TestObservabilityOptions:
+    ARGS = ["experiment", "--scale", "tiny", "--variant", "unique", "--delay", "1.0"]
+
+    def test_trace_out_chrome(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(self.ARGS + ["--trace-out", str(trace)]) == 0
+        assert "trace:" in capsys.readouterr().out
+        document = json.loads(trace.read_text())
+        events = document["traceEvents"]
+        categories = {e.get("cat") for e in events}
+        # Transaction, rule-firing, unique-append, and task spans all there.
+        assert {"txn.commit", "rule.fire", "unique.append", "task"} <= categories
+
+    def test_trace_out_jsonl(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(self.ARGS + ["--trace-out", str(trace)]) == 0
+        lines = trace.read_text().strip().splitlines()
+        assert lines and all(json.loads(line)["kind"] for line in lines)
+
+    def test_stats_out_stdout(self, capsys):
+        assert main(self.ARGS + ["--stats-out", "-"]) == 0
+        out = capsys.readouterr().out
+        assert "batch_size_rows" in out
+        assert "queue_depth" in out
+        assert "CPU by charge kind" in out
+
+    def test_stats_out_file(self, tmp_path):
+        stats = tmp_path / "stats.txt"
+        assert main(self.ARGS + ["--stats-out", str(stats)]) == 0
+        assert "Event counters" in stats.read_text()
+
+    def test_processors_and_drop_late(self, capsys):
+        code = main(
+            self.ARGS
+            + ["--processors", "2", "--drop-late", "--update-deadline", "0.001"]
+        )
+        assert code == 0
+        assert "dropped (firm deadline):" in capsys.readouterr().out
+
+    def test_figure_trace_out(self, tmp_path, capsys):
+        trace = tmp_path / "fig.json"
+        stats = tmp_path / "fig-stats.txt"
+        code = main(
+            [
+                "figure", "10", "--scale", "tiny", "--delays", "1.0",
+                "--trace-out", str(trace), "--stats-out", str(stats),
+            ]
+        )
+        assert code == 0
+        produced = sorted(p.name for p in tmp_path.glob("fig-*.json"))
+        assert "fig-unique-1.json" in produced
+        document = json.loads((tmp_path / "fig-unique-1.json").read_text())
+        assert document["traceEvents"]
+        assert "Trace statistics (unique-1)" in stats.read_text()

@@ -28,6 +28,23 @@ class TestEmit:
     def test_results_dir_points_into_benchmarks(self):
         assert RESULTS_DIR.endswith(os.path.join("benchmarks", "results"))
 
+    def test_results_dir_anchored_on_pyproject_root(self):
+        # Walk up from the computed dir: its parent-of-parent must hold the
+        # pyproject.toml that anchors the repo root.
+        root = os.path.dirname(os.path.dirname(RESULTS_DIR))
+        assert os.path.exists(os.path.join(root, "pyproject.toml"))
+
+    def test_env_override(self, tmp_path, monkeypatch):
+        override = tmp_path / "custom-results"
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(override))
+        assert reporting.results_dir() == str(override)
+        emit("overridden", "artifact_env")
+        assert (override / "artifact_env.txt").read_text() == "overridden\n"
+
+    def test_env_override_unset_falls_back(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
+        assert reporting.results_dir() == reporting.RESULTS_DIR
+
 
 class TestFormatTableEdges:
     def test_mixed_types(self):

@@ -1,0 +1,100 @@
+"""Exporter tests: JSONL round-trip, Chrome trace validity, stats report."""
+
+import json
+
+from repro.database import Database
+from repro.obs import (
+    TraceCollector,
+    TraceEvent,
+    chrome_trace_events,
+    read_jsonl,
+    stats_report,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def traced_run():
+    """A small end-to-end run producing a well-populated collector."""
+    collector = TraceCollector()
+    db = Database(tracer=collector)
+    db.execute("create table t (k text, v real)")
+    db.register_function("f", lambda ctx: None)
+    db.execute(
+        "create rule r on t when inserted "
+        "if select k, v from inserted bind as m "
+        "then execute f unique after 2 seconds"
+    )
+    for i in range(4):
+        db.execute(f"insert into t values ('k{i}', {float(i)})")
+    db.drain()
+    return collector
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        collector = traced_run()
+        path = str(tmp_path / "events.jsonl")
+        count = write_jsonl(collector, path)
+        assert count == len(collector.events) > 0
+        assert read_jsonl(path) == collector.events
+
+    def test_round_trip_preserves_optional_fields(self, tmp_path):
+        events = [
+            TraceEvent(1.5, "task", "recompute:f", "server-1", 0.25, {"cpu": 0.1}),
+            TraceEvent(2.0, "rule.check", "r"),
+        ]
+        path = str(tmp_path / "two.jsonl")
+        write_jsonl(events, path)
+        assert read_jsonl(path) == events
+
+
+class TestChromeTrace:
+    def test_document_shape(self, tmp_path):
+        collector = traced_run()
+        path = str(tmp_path / "trace.json")
+        count = write_chrome_trace(collector, path)
+        assert count == len(collector.events)
+        with open(path) as handle:
+            document = json.load(handle)
+        events = document["traceEvents"]
+        assert isinstance(events, list) and events
+        assert {e["ph"] for e in events} <= {"M", "X", "i", "C"}
+        # The acceptance-criteria span kinds are all present.
+        categories = {e.get("cat") for e in events}
+        assert {"txn.commit", "rule.fire", "unique.append", "task"} <= categories
+
+    def test_track_metadata_and_tids(self):
+        entries = chrome_trace_events(
+            [TraceEvent(0.0, "task", "a", "server-0", 0.5), TraceEvent(1.0, "rule.check", "r", "rules")]
+        )
+        names = [e for e in entries if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert [m["args"]["name"] for m in names] == ["server-0", "rules"]
+        span = next(e for e in entries if e["ph"] == "X")
+        assert span["ts"] == 0.0 and span["dur"] == 0.5e6
+        instant = next(e for e in entries if e["ph"] == "i")
+        assert instant["ts"] == 1e6 and instant["tid"] != span["tid"]
+
+    def test_counter_events(self):
+        entries = chrome_trace_events(
+            [TraceEvent(0.5, "counter.queues", "queues", "queues", None, {"delay": 2, "ready": 1})]
+        )
+        counter = next(e for e in entries if e["ph"] == "C")
+        assert counter["args"] == {"delay": 2, "ready": 1}
+
+
+class TestStatsReport:
+    def test_contains_required_sections(self):
+        collector = traced_run()
+        report = stats_report(collector, "My run")
+        assert "My run" in report
+        assert "Event counters" in report
+        assert "batch_size_rows" in report
+        assert "queue_depth" in report
+        assert "CPU by charge kind" in report
+        assert "events recorded:" in report
+
+    def test_empty_collector_report(self):
+        report = stats_report(TraceCollector())
+        assert "(empty)" in report  # pre-created histograms, nothing recorded
+        assert "events recorded: 0" in report

@@ -1,0 +1,108 @@
+"""Unit tests for the metrics registry: counters, gauges, histograms."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, log_bounds
+
+
+class TestCounterGauge:
+    def test_counter(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge_tracks_max(self):
+        gauge = Gauge("g")
+        gauge.set(3.0)
+        gauge.set(1.0)
+        assert gauge.value == 1.0
+        assert gauge.max == 3.0
+
+
+class TestLogBounds:
+    def test_geometric(self):
+        assert log_bounds(1, 8, 2) == (1, 2, 4, 8)
+
+    def test_covers_hi(self):
+        bounds = log_bounds(1, 5, 2)
+        assert bounds[-1] >= 5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            log_bounds(0, 8, 2)
+        with pytest.raises(ValueError):
+            log_bounds(1, 8, 1.0)
+        with pytest.raises(ValueError):
+            log_bounds(8, 1, 2)
+
+
+class TestHistogram:
+    def test_bucketing_le_semantics(self):
+        histogram = Histogram("h", bounds=[1, 2, 4])
+        for value in (0.5, 1, 1.5, 2, 3, 4, 99):
+            histogram.record(value)
+        # <=1: {0.5, 1}; <=2: {1.5, 2}; <=4: {3, 4}; overflow: {99}
+        assert histogram.counts == [2, 2, 2, 1]
+        assert histogram.count == 7
+        assert histogram.min == 0.5
+        assert histogram.max == 99
+
+    def test_mean_and_total(self):
+        histogram = Histogram("h", lo=1, hi=16, factor=2)
+        histogram.record(2, n=3)
+        histogram.record(10)
+        assert histogram.total == pytest.approx(16.0)
+        assert histogram.mean == pytest.approx(4.0)
+
+    def test_percentile(self):
+        histogram = Histogram("h", bounds=[1, 2, 4, 8])
+        for _ in range(99):
+            histogram.record(1.5)  # le-2 bucket
+        histogram.record(7)  # le-8 bucket
+        assert histogram.percentile(0.5) == 2
+        assert histogram.percentile(1.0) == 8
+        assert histogram.percentile(0.0) <= 2
+
+    def test_percentile_empty_and_invalid(self):
+        histogram = Histogram("h", bounds=[1])
+        assert histogram.percentile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            histogram.percentile(1.5)
+
+    def test_overflow_percentile_uses_observed_max(self):
+        histogram = Histogram("h", bounds=[1])
+        histogram.record(50)
+        assert histogram.percentile(1.0) == 50
+
+    def test_snapshot(self):
+        histogram = Histogram("h", bounds=[1, 10])
+        histogram.record(5)
+        snap = histogram.snapshot()
+        assert snap["count"] == 1
+        assert snap["buckets"] == [{"le": 10, "count": 1}]
+        assert not math.isinf(snap["min"])
+
+    def test_empty_snapshot_finite(self):
+        snap = Histogram("h", bounds=[1]).snapshot()
+        assert snap["min"] == 0.0 and snap["max"] == 0.0 and snap["mean"] == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c", bounds=[1]) is registry.histogram("c")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(2)
+        registry.gauge("depth").set(4)
+        registry.histogram("sizes", bounds=[1, 2]).record(2)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"hits": 2}
+        assert snap["gauges"]["depth"] == {"value": 4, "max": 4}
+        assert snap["histograms"]["sizes"]["count"] == 1

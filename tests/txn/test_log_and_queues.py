@@ -154,6 +154,40 @@ class TestReadyQueue:
         assert len(queue) == 1
 
 
+class TestPolicyKeys:
+    """Every policy key ends in task_id: heap order is total, and equal
+    primary keys resolve to creation order (the documented tie-break)."""
+
+    def test_fifo_key_carries_task_id(self):
+        a, b = make_task(release=1.0), make_task(release=1.0)
+        assert FifoPolicy().key(a) == (1.0, a.task_id)
+        assert FifoPolicy().key(a) < FifoPolicy().key(b)
+
+    def test_edf_key_carries_task_id(self):
+        a = make_task(release=0.0, deadline=2.0)
+        b = make_task(release=0.0, deadline=2.0)
+        policy = EarliestDeadlinePolicy()
+        assert policy.key(a) == (2.0, 0.0, a.task_id)
+        assert policy.key(a) < policy.key(b)
+
+    def test_vdf_key_carries_task_id(self):
+        a = make_task(value=5.0, estimated=1e-4)
+        b = make_task(value=5.0, estimated=1e-4)
+        policy = ValueDensityPolicy()
+        assert policy.key(a)[-1] == a.task_id
+        assert policy.key(a) < policy.key(b)
+
+    def test_keys_are_comparable_on_ties(self):
+        # Identical primary keys must not make heap comparisons reach the
+        # (uncomparable) Task object even without the queue's seq shim.
+        tasks = [make_task(release=3.0) for _ in range(4)]
+        for policy in (FifoPolicy(), EarliestDeadlinePolicy(), ValueDensityPolicy()):
+            keyed = sorted((policy.key(task), task) for task in tasks)
+            assert [task.task_id for _key, task in keyed] == sorted(
+                task.task_id for task in tasks
+            )
+
+
 class TestPolicyFactory:
     @pytest.mark.parametrize("name", ["fifo", "edf", "vdf"])
     def test_known(self, name):
