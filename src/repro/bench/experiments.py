@@ -18,7 +18,7 @@ from repro.pta.workload import ExperimentResult, run_experiment
 #: The paper sweeps the delay window from 0.5 to 3 seconds (section 5.1).
 DELAYS = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0)
 
-_SWEEP_CACHE: dict[tuple, list[ExperimentResult]] = {}
+_SWEEP_CACHE: dict[tuple, list] = {}
 
 
 def delays_default() -> tuple[float, ...]:
@@ -97,6 +97,37 @@ def option_sweep(
     transactions"); :func:`option_symbol_probe` demonstrates the blow-up.
     """
     return _sweep("options", ("nonunique", "unique", "on_symbol"), scale, delays, seed)
+
+
+def compaction_sweep(
+    scale: Optional[Scale] = None,
+    delays: Sequence[float] = DELAYS,
+    seed: int = 0,
+    view: str = "comps",
+    variant: str = "unique",
+) -> list[tuple[ExperimentResult, ExperimentResult]]:
+    """The Figure-5-style delta-compaction sweep: (off, on) result pairs
+    per delay window.
+
+    Runs the same view/variant with the ``compact on`` fast path off and
+    on at each delay — the off runs are the faithful-reproduction
+    baseline, the on runs show the net-effect win growing with the window
+    (longer windows accumulate more redundant rows per key).
+    """
+    scale = scale or bench_scale()
+    key = ("compaction", view, variant, scale, tuple(delays), seed)
+    cached = _SWEEP_CACHE.get(key)
+    if cached is not None:
+        return cached
+    pairs = [
+        (
+            run_experiment(scale, view, variant, delay, seed),
+            run_experiment(scale, view, variant, delay, seed, compact=True),
+        )
+        for delay in delays
+    ]
+    _SWEEP_CACHE[key] = pairs
+    return pairs
 
 
 def option_symbol_probe(

@@ -98,8 +98,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         drop_late=args.drop_late,
         update_deadline=args.update_deadline,
         tracer=collector,
+        compact=args.compact,
     )
     print(format_table([result.row()], "Experiment result"))
+    if result.compact:
+        print(
+            f"delta compaction: {result.compact_rows_in} rows folded to "
+            f"{result.compact_rows_out} (ratio {result.compaction_ratio:.2f})"
+        )
     print(
         f"maintenance CPU: {result.maintenance_cpu:.3f}s over {result.duration:.0f}s "
         f"(recompute {result.cpu_recompute:.3f}s + rule overhead in updates "
@@ -160,6 +166,38 @@ def _cmd_figure(args: argparse.Namespace) -> int:
                 handle.write("\n\n".join(stats_sections) + "\n")
             print(f"stats report -> {args.stats_out}")
     print(format_series(series, "delay_s", label, f"Figure {args.number}"))
+    return 0
+
+
+def _cmd_compaction(args: argparse.Namespace) -> int:
+    """The delta-compaction sweep: off/on pairs across the delay windows."""
+    from repro.bench.experiments import compaction_sweep
+
+    scale = _scale_of(args.scale)
+    delays = args.delays or [0.5, 1.0, 1.5, 2.0, 2.5, 3.0]
+    pairs = compaction_sweep(
+        scale, delays, seed=args.seed, view=args.view, variant=args.variant
+    )
+    rows = []
+    for off, on in pairs:
+        rows.append(
+            {
+                "delay_s": off.delay,
+                "rows_off": off.total_bound_rows,
+                "rows_on": on.compact_rows_out,
+                "ratio": round(on.compaction_ratio, 2),
+                "recompute_cpu_off": round(off.cpu_recompute, 4),
+                "recompute_cpu_on": round(on.cpu_recompute, 4),
+                "maint_cpu_off": round(off.maintenance_cpu, 4),
+                "maint_cpu_on": round(on.maintenance_cpu, 4),
+            }
+        )
+    print(
+        format_table(
+            rows,
+            f"Delta compaction sweep ({args.view}/{args.variant}, scale {args.scale})",
+        )
+    )
     return 0
 
 
@@ -226,6 +264,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="give each update task a relative deadline (for edf/--drop-late)",
     )
     experiment.add_argument(
+        "--compact", action="store_true",
+        help="run the rule with the delta-compaction fast path (compact on "
+        "the view's derived key; requires a unique variant)",
+    )
+    experiment.add_argument(
         "--trace-out", metavar="PATH",
         help="write a trace of the run: Chrome trace_event JSON "
         "(open in Perfetto), or JSONL when PATH ends in .jsonl",
@@ -250,6 +293,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="write per-run stats reports to one file ('-' for stdout)",
     )
     figure.set_defaults(fn=_cmd_figure)
+
+    compaction = sub.add_parser(
+        "compaction", help="sweep the delta-compaction fast path off vs on"
+    )
+    compaction.add_argument("--view", choices=["comps", "options"], default="comps")
+    compaction.add_argument(
+        "--variant",
+        choices=["unique", "on_symbol", "on_comp", "on_option"],
+        default="unique",
+    )
+    compaction.add_argument("--scale", default="tiny")
+    compaction.add_argument("--seed", type=int, default=0)
+    compaction.add_argument("--delays", type=float, nargs="*")
+    compaction.set_defaults(fn=_cmd_compaction)
 
     trace = sub.add_parser("trace", help="generate / inspect a synthetic TAQ trace")
     trace.add_argument("--scale", default="tiny")

@@ -15,12 +15,22 @@ transactions), collapse them per key into at most one net change:
 * updates only                  -> one update (first old image, last new)
 * update back to the original   -> nothing
 * delete then re-insert         -> an update from the old to the new image
+
+The second half of the module applies the same folding to *bound tables*
+(the opt-in ``compact on`` fast path): a bound table row that carries an
+update's two images side by side — the paper's rules alias them
+``old.price as old_price, new.price as new_price`` — is split into its old
+and new images by the ``old_``/``new_`` column-prefix convention, and the
+per-key chain collapses exactly as above.  :func:`compact_table_rows` is
+the batch form (it literally builds the image streams and calls
+:func:`net_effect`); :mod:`repro.core.unique` folds incrementally with the
+same :class:`CompactSpec` so the two paths agree row for row.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence, Union
 
 from repro.errors import SchemaError
 from repro.storage.temptable import TempTable
@@ -28,6 +38,21 @@ from repro.storage.temptable import TempTable
 INSERT = "insert"
 DELETE = "delete"
 UPDATE = "update"
+
+#: Bound-table columns with these prefixes belong to the update's old/new
+#: image respectively; unprefixed columns are carried data present in both.
+OLD_IMAGE_PREFIX = "old_"
+NEW_IMAGE_PREFIX = "new_"
+
+#: Sort ranks for events that tie on (commit_time, execute_order, index):
+#: a key dies before it is re-created at the same position, so a DELETE
+#: sorts ahead of an UPDATE, which sorts ahead of an INSERT of the same
+#: key.  This makes delete-then-reinsert interleavings deterministic when
+#: the streams carry no explicit ordering columns.
+_STREAM_RANK = {DELETE: 0, UPDATE: 1, INSERT: 2}
+
+#: A change stream: a bound/transition TempTable, or plain row dicts.
+ChangeStream = Union[TempTable, Sequence[dict]]
 
 
 @dataclass(frozen=True)
@@ -49,27 +74,41 @@ class _Event:
 
 
 def _events_from_tables(
-    inserted: Optional[TempTable],
-    deleted: Optional[TempTable],
-    new: Optional[TempTable],
-    old: Optional[TempTable],
+    inserted: Optional[ChangeStream],
+    deleted: Optional[ChangeStream],
+    new: Optional[ChangeStream],
+    old: Optional[ChangeStream],
     order_column: str = "execute_order",
 ) -> list[_Event]:
     events: list[_Event] = []
 
-    def rows(table: Optional[TempTable]) -> list[dict]:
-        return table.to_dicts() if table is not None else []
+    def rows(table: Optional[ChangeStream]) -> list[dict]:
+        if table is None:
+            return []
+        if isinstance(table, TempTable):
+            return table.to_dicts()
+        return list(table)
 
-    def position(index: int, row: dict) -> tuple:
+    def position(index: int, row: dict, kind: str) -> tuple:
         # commit_time (when bound) orders events across transactions, the
         # execute_order column orders them within one, and the bound-table
-        # append index breaks remaining ties (paper section 2).
-        return (row.get("commit_time", 0.0), row.get(order_column, index), index)
+        # append index breaks remaining ties (paper section 2).  Events from
+        # different streams can still collide (e.g. an insert and a delete
+        # both appended 0th with no ordering columns) and each stream's
+        # append index counts independently, so for cross-stream ties the
+        # stream rank decides before the index does: deletes before updates
+        # before inserts.
+        return (
+            row.get("commit_time", 0.0),
+            row.get(order_column, index),
+            _STREAM_RANK[kind],
+            index,
+        )
 
     for index, row in enumerate(rows(inserted)):
-        events.append(_Event(position(index, row), INSERT, None, row))
+        events.append(_Event(position(index, row, INSERT), INSERT, None, row))
     for index, row in enumerate(rows(deleted)):
-        events.append(_Event(position(index, row), DELETE, row, None))
+        events.append(_Event(position(index, row, DELETE), DELETE, row, None))
     new_rows = rows(new)
     old_rows = rows(old)
     if len(new_rows) != len(old_rows):
@@ -78,16 +117,16 @@ def _events_from_tables(
             "bind both images to compute net effect of updates"
         )
     for index, (new_row, old_row) in enumerate(zip(new_rows, old_rows)):
-        events.append(_Event(position(index, new_row), UPDATE, old_row, new_row))
+        events.append(_Event(position(index, new_row, UPDATE), UPDATE, old_row, new_row))
     return events
 
 
 def net_effect(
     key_columns: Sequence[str],
-    inserted: Optional[TempTable] = None,
-    deleted: Optional[TempTable] = None,
-    new: Optional[TempTable] = None,
-    old: Optional[TempTable] = None,
+    inserted: Optional[ChangeStream] = None,
+    deleted: Optional[ChangeStream] = None,
+    new: Optional[ChangeStream] = None,
+    old: Optional[ChangeStream] = None,
     drop_noops: bool = True,
 ) -> list[NetChange]:
     """Collapse the audit trail into net changes, one per key.
@@ -96,7 +135,10 @@ def net_effect(
     ``new``/``old`` tables must bind rows pairwise in the same order (as
     the ``execute_order`` join in the paper's rules produces).  With
     ``drop_noops`` (default) keys whose final image equals their initial
-    image produce no change at all.
+    image produce no change at all; with ``drop_noops=False`` every key
+    that saw activity stays audit-visible — an update back to the original
+    image is emitted as an update, and an insert-then-delete chain is
+    emitted as an insert/delete pair carrying the transient image.
     """
     if not key_columns:
         raise SchemaError("net_effect needs at least one key column")
@@ -120,6 +162,7 @@ def net_effect(
 
     first_old: dict[tuple, Optional[dict]] = {}
     last_new: dict[tuple, Optional[dict]] = {}
+    last_image: dict[tuple, Optional[dict]] = {}
     existed_before: dict[tuple, bool] = {}
     order_seen: list[tuple] = []
     for event in events:
@@ -130,6 +173,9 @@ def net_effect(
             existed_before[key] = event.kind != INSERT
             first_old[key] = strip(event.old)
         last_new[key] = strip(event.new)
+        # The most recent image seen for the key, even if the key is later
+        # deleted — the audit-visible transient of an insert-then-delete.
+        last_image[key] = strip(event.new if event.new is not None else event.old)
 
     changes: list[NetChange] = []
     for key in order_seen:
@@ -144,6 +190,158 @@ def net_effect(
                 changes.append(NetChange(UPDATE, key, before, after))
         else:
             if after is None:
-                continue  # inserted then deleted: no net effect
+                # Inserted then deleted: no net effect.  Without drop_noops
+                # the pair stays audit-visible, carrying the last transient
+                # image the key ever had (replaying the pair is a no-op).
+                if not drop_noops:
+                    transient = last_image[key]
+                    changes.append(NetChange(INSERT, key, None, transient))
+                    changes.append(NetChange(DELETE, key, transient, None))
+                continue
             changes.append(NetChange(INSERT, key, None, after))
     return changes
+
+
+# --------------------------------------------------------------------------
+# Bound-table compaction (the ``compact on`` fast path's folding semantics)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompactSpec:
+    """How one bound table's rows fold per compaction key.
+
+    ``key_offsets`` locate the ``compact on`` columns; ``first_offsets``
+    are the ``old_``-prefixed columns (kept from the *first* row of a
+    key's chain — the chain's initial image); every other column takes the
+    *last* row's value.  ``image_pairs`` are the ``(old_x, new_x)`` offset
+    pairs present in the schema: only a table carrying at least one full
+    image pair can prove a chain returned to its initial image, so only
+    those tables drop net no-ops.
+    """
+
+    columns: tuple[str, ...]
+    key_offsets: tuple[int, ...]
+    first_offsets: frozenset[int]
+    image_pairs: tuple[tuple[int, int], ...]
+
+    @property
+    def can_drop_noops(self) -> bool:
+        return bool(self.image_pairs)
+
+
+def compact_spec(columns: Sequence[str], key_columns: Sequence[str]) -> CompactSpec:
+    """Build the folding spec for one bound-table schema.
+
+    Raises :class:`SchemaError` if a key column is missing — callers use
+    this to decide which bound tables of a rule are compactible.
+    """
+    columns = tuple(columns)
+    offsets = {name: i for i, name in enumerate(columns)}
+    for column in key_columns:
+        if column.startswith((OLD_IMAGE_PREFIX, NEW_IMAGE_PREFIX)):
+            raise SchemaError(
+                f"compaction key column {column!r} is an image column; "
+                "key columns must be plain (present in both images)"
+            )
+    try:
+        key_offsets = tuple(offsets[column] for column in key_columns)
+    except KeyError as exc:
+        raise SchemaError(
+            f"compaction key column {exc.args[0]!r} missing from bound table"
+        ) from None
+    first_offsets = frozenset(
+        i for i, name in enumerate(columns) if name.startswith(OLD_IMAGE_PREFIX)
+    )
+    image_pairs = tuple(
+        (offsets[name], offsets[NEW_IMAGE_PREFIX + name[len(OLD_IMAGE_PREFIX):]])
+        for name in columns
+        if name.startswith(OLD_IMAGE_PREFIX)
+        and NEW_IMAGE_PREFIX + name[len(OLD_IMAGE_PREFIX):] in offsets
+    )
+    return CompactSpec(columns, key_offsets, first_offsets, image_pairs)
+
+
+def fold_values(first: Sequence[Any], last: Sequence[Any], spec: CompactSpec) -> tuple:
+    """Fold two rows of one key's chain: old-image columns keep the chain's
+    first value, everything else takes the latest (net_effect's
+    first-old / last-new update folding)."""
+    return tuple(
+        first[i] if i in spec.first_offsets else last[i]
+        for i in range(len(spec.columns))
+    )
+
+
+def is_net_noop(values: Sequence[Any], spec: CompactSpec) -> bool:
+    """True when a folded row's old image equals its new image.
+
+    Only the paired ``old_x``/``new_x`` columns are compared — unprefixed
+    columns are carried data, not images — and a table with no image pairs
+    never drops rows (there is nothing to prove a no-op with)."""
+    if not spec.image_pairs:
+        return False
+    return all(values[old] == values[new] for old, new in spec.image_pairs)
+
+
+def compact_table_rows(
+    columns: Sequence[str],
+    key_columns: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    drop_noops: bool = True,
+) -> list[tuple]:
+    """Batch-compact one bound table's rows to net effect per key.
+
+    This is the reference form of the ``compact on`` fast path: each row is
+    split into its old/new images (``old_``/``new_`` prefix convention,
+    unprefixed columns in both) and the image streams are run through
+    :func:`net_effect` as a single update chain; the surviving per-key
+    changes are reassembled into rows in first-seen key order.  The
+    incremental fold in :mod:`repro.core.unique` must produce exactly the
+    same rows — ``tests/core/test_compaction.py`` holds the two to that.
+    """
+    spec = compact_spec(columns, key_columns)
+    old_stream: list[dict] = []
+    new_stream: list[dict] = []
+    last_raw: dict[tuple, Sequence[Any]] = {}
+    order_names = ("execute_order", "commit_time")
+    for row in rows:
+        old_image: dict = {}
+        new_image: dict = {}
+        for i, name in enumerate(spec.columns):
+            if name.startswith(OLD_IMAGE_PREFIX):
+                old_image[name[len(OLD_IMAGE_PREFIX):]] = row[i]
+            elif name.startswith(NEW_IMAGE_PREFIX):
+                new_image[name[len(NEW_IMAGE_PREFIX):]] = row[i]
+            else:
+                old_image[name] = row[i]
+                new_image[name] = row[i]
+        old_stream.append(old_image)
+        new_stream.append(new_image)
+        last_raw[tuple(row[i] for i in spec.key_offsets)] = row
+    # Always fold with noops kept: the no-op test below is the pair-based
+    # one shared with the incremental path (unprefixed columns are carried
+    # data and must not influence whether a chain cancelled out).
+    changes = net_effect(key_columns, new=new_stream, old=old_stream, drop_noops=False)
+
+    out: list[tuple] = []
+    for change in changes:
+        raw = last_raw[change.key]
+        values = []
+        for i, name in enumerate(spec.columns):
+            if name.startswith(OLD_IMAGE_PREFIX):
+                base = name[len(OLD_IMAGE_PREFIX):]
+                values.append(change.old[base])  # type: ignore[index]
+            elif name.startswith(NEW_IMAGE_PREFIX):
+                base = name[len(NEW_IMAGE_PREFIX):]
+                values.append(change.new[base])  # type: ignore[index]
+            elif name in order_names:
+                # net_effect strips ordering pseudo-columns from its images;
+                # carry the latest raw value (what the last firing saw).
+                values.append(raw[i])
+            else:
+                values.append(change.new[name])  # type: ignore[index]
+        folded = tuple(values)
+        if drop_noops and is_net_noop(folded, spec):
+            continue
+        out.append(folded)
+    return out

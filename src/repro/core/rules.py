@@ -25,6 +25,13 @@ class Rule:
     return at least one row; an empty condition is always true);
     ``evaluate`` queries only pass data.  Queries with ``bind_as`` have
     their results passed to the action transaction as bound tables.
+
+    ``compact_on`` opts the rule into the delta-compaction fast path: bound
+    tables accumulated by a pending unique task are folded to net effect
+    per distinct combination of the named columns (see
+    :mod:`repro.core.net_effect`).  It requires ``unique`` — compaction
+    acts on the batch a unique task accumulates — and is off by default,
+    preserving the paper's no-net-effect semantics (section 2).
     """
 
     name: str
@@ -35,6 +42,7 @@ class Rule:
     function: str = ""
     unique: bool = False
     unique_on: tuple[str, ...] = ()
+    compact_on: tuple[str, ...] = ()
     after: float = 0.0
     enabled: bool = True
 
@@ -43,6 +51,8 @@ class Rule:
             raise RuleError(f"rule {self.name!r} has no EXECUTE function")
         if self.unique_on and not self.unique:
             raise RuleError(f"rule {self.name!r}: UNIQUE ON requires UNIQUE")
+        if self.compact_on and not self.unique:
+            raise RuleError(f"rule {self.name!r}: COMPACT ON requires UNIQUE")
         if self.after < 0:
             raise RuleError(f"rule {self.name!r}: negative AFTER delay")
         if not self.events:
@@ -69,6 +79,7 @@ class Rule:
             function=stmt.function,
             unique=stmt.unique,
             unique_on=tuple(column.split(".")[-1] for column in stmt.unique_on),
+            compact_on=tuple(column.split(".")[-1] for column in stmt.compact_on),
             after=stmt.after,
         )
 
@@ -122,6 +133,8 @@ class Rule:
             parts.append(
                 f", unique on {list(self.unique_on)}" if self.unique_on else ", unique"
             )
+        if self.compact_on:
+            parts.append(f", compact on {list(self.compact_on)}")
         if self.after:
             parts.append(f", after {self.after}s")
         return "".join(parts) + ")"

@@ -21,6 +21,19 @@ unique column values to the pending task's TCB; the entry is removed when
 the task starts running, after which new firings open a fresh task.  (The
 paper guards these hash tables with spinlocks; our engine is single-
 threaded so no locking is needed.)
+
+``compact on (columns)`` rules additionally run the **delta-compaction
+fast path** (an opt-in departure from the paper's no-net-effect stance,
+section 2): each bound table containing every compaction key column is
+kept folded to net effect per key while the task is pending — a firing
+absorbed into the task costs one key probe and one fold per row
+(``compact_lookup``/``compact_row``), and the action transaction's row
+count is bounded by the number of *distinct* keys touched in the window
+rather than the number of firings.  The folding semantics live in
+:mod:`repro.core.net_effect` (:func:`~repro.core.net_effect.fold_values` /
+:func:`~repro.core.net_effect.is_net_noop`); compacted tables are fully
+materialized, so the source records' pins are released at dispatch time
+instead of task retirement.
 """
 
 from __future__ import annotations
@@ -28,7 +41,8 @@ from __future__ import annotations
 import itertools
 from typing import TYPE_CHECKING, Optional
 
-from repro.errors import BindingError, RuleError
+from repro.core.net_effect import CompactSpec, compact_spec, fold_values, is_net_noop
+from repro.errors import BindingError, RuleError, SchemaError
 from repro.storage.temptable import TempTable
 from repro.txn.tasks import Task, TaskState
 
@@ -59,6 +73,23 @@ def _full_copy(source: TempTable, charge) -> TempTable:
     return copy
 
 
+class _CompactState:
+    """Per-task delta-compaction state (``Task.compact_info``).
+
+    ``specs`` maps each compacted bound table to its folding spec and
+    ``indexes`` to its key -> row-index hash (the section 6.3-style lookup
+    structure of the fast path); ``rows_in`` counts every row that entered
+    a compacted table, i.e. what the task would have carried uncompacted.
+    """
+
+    __slots__ = ("specs", "indexes", "rows_in")
+
+    def __init__(self) -> None:
+        self.specs: dict[str, CompactSpec] = {}
+        self.indexes: dict[str, dict[tuple, int]] = {}
+        self.rows_in = 0
+
+
 class UniqueManager:
     """Tracks pending unique tasks and batches new firings onto them."""
 
@@ -68,6 +99,11 @@ class UniqueManager:
         self._pending: dict[str, dict[tuple, Task]] = {}
         self.batch_count = 0  # firings absorbed into a pending task
         self.task_count = 0  # tasks created through dispatch
+        # Delta-compaction totals across released tasks: rows that entered
+        # compacted bound tables vs rows the action transactions saw.
+        self.compact_count = 0
+        self.compact_rows_in = 0
+        self.compact_rows_out = 0
 
     # ------------------------------------------------------------ dispatch
 
@@ -200,11 +236,15 @@ class UniqueManager:
                 f"function {task.function_name!r}: bound tables differ across rules "
                 f"({sorted(bound)} vs {sorted(task.bound_tables)})"
             )
+        state: Optional[_CompactState] = task.compact_info
         appended = 0
         for name, fresh in bound.items():
-            added = task.bound_tables[name].absorb(fresh)
-            appended += added
-            charge("unique_append_row", max(added, 1))
+            if state is not None and name in state.specs:
+                appended += self._compact_absorb(task, state, name, fresh)
+            else:
+                added = task.bound_tables[name].absorb(fresh)
+                appended += added
+                charge("unique_append_row", max(added, 1))
             fresh.retire()
         self.batch_count += 1
         if self.db.tracer.enabled:
@@ -219,6 +259,9 @@ class UniqueManager:
     ) -> Task:
         charge = self.db.charge
         charge("task_create")
+        state: Optional[_CompactState] = None
+        if rule.compact_on:
+            state, bound = self._compact_setup(rule, bound)
         body = self.db.rule_engine.make_action_body(rule.function)
         rows = sum(len(table) for table in bound.values())
         cost_model = self.db.cost_model
@@ -234,15 +277,128 @@ class UniqueManager:
             estimated_cpu=estimated,
         )
         self.task_count += 1
+        task.compact_info = state
         if self.db.tracer.enabled:
             self.db.tracer.unique_new(task, self.db.clock.now())
         return task
+
+    # --------------------------------------------------- delta compaction
+
+    def _compact_setup(
+        self, rule: "Rule", bound: dict[str, TempTable]
+    ) -> tuple[_CompactState, dict[str, TempTable]]:
+        """Replace compactible bound tables with folded, all-materialized
+        copies and build the task's compaction state.
+
+        A table is compactible when it carries *every* compaction key
+        column; other tables pass through on the ordinary absorb path.
+        Source tables that were compacted are retired here — their record
+        pins drop at dispatch instead of task retirement.
+        """
+        charge = self.db.charge
+        state = _CompactState()
+        out: dict[str, TempTable] = {}
+        for name, table in bound.items():
+            try:
+                spec = compact_spec(table.schema.names(), rule.compact_on)
+            except SchemaError:
+                out[name] = table
+                continue
+            compacted = TempTable(table.name, table.schema)
+            index: dict[tuple, int] = {}
+            n = len(table)
+            charge("compact_lookup", max(n, 1))
+            charge("compact_row", max(n, 1))
+            for values in table.scan_values():
+                key = tuple(values[offset] for offset in spec.key_offsets)
+                at = index.get(key)
+                if at is None:
+                    index[key] = len(compacted._rows)
+                    compacted.append_values(values)
+                else:
+                    prev = compacted._rows[at][1]
+                    compacted._rows[at] = ((), fold_values(prev, values, spec))
+            state.rows_in += n
+            state.specs[name] = spec
+            state.indexes[name] = index
+            table.retire()
+            out[name] = compacted
+        if not state.specs:
+            raise RuleError(
+                f"rule {rule.name!r}: no bound table contains all compaction "
+                f"key columns {list(rule.compact_on)}"
+            )
+        return state, out
+
+    def _compact_absorb(
+        self, task: Task, state: _CompactState, name: str, fresh: TempTable
+    ) -> int:
+        """Fold a fresh firing's rows into a compacted bound table in place.
+
+        One key probe plus one fold per incoming row, replacing the
+        ``unique_append_row`` charge of the ordinary path.  Returns the
+        number of incoming rows (the firing's contribution, as reported to
+        the tracer), not the post-fold growth.
+        """
+        charge = self.db.charge
+        spec = state.specs[name]
+        index = state.indexes[name]
+        target = task.bound_tables[name]
+        n = len(fresh)
+        charge("compact_lookup", max(n, 1))
+        charge("compact_row", max(n, 1))
+        for values in fresh.scan_values():
+            key = tuple(values[offset] for offset in spec.key_offsets)
+            at = index.get(key)
+            if at is None:
+                index[key] = len(target._rows)
+                target.append_values(values)
+            else:
+                prev = target._rows[at][1]
+                target._rows[at] = ((), fold_values(prev, values, spec))
+        state.rows_in += n
+        return n
+
+    def _finalize_compaction(self, task: Task) -> None:
+        """Close out a compacted task as it leaves the pending table.
+
+        Drops net-noop rows (an insert met by its delete, or an update
+        chain that ended where it began) from tables whose schemas carry
+        old/new image pairs, then records the compaction totals.  Aborted
+        or already-finished tasks (the drop-task path retires bound tables
+        before unpinning the pending entry) only discard the state.
+        """
+        state: _CompactState = task.compact_info
+        task.compact_info = None
+        if task.state in (TaskState.DONE, TaskState.ABORTED):
+            return
+        charge = self.db.charge
+        rows_out = 0
+        for name, spec in state.specs.items():
+            table = task.bound_tables[name]
+            if spec.can_drop_noops and len(table):
+                charge("compact_row", len(table))
+                kept = [row for row in table._rows if not is_net_noop(row[1], spec)]
+                if len(kept) != len(table._rows):
+                    table._rows[:] = kept
+            rows_out += len(table)
+        self.compact_count += 1
+        self.compact_rows_in += state.rows_in
+        self.compact_rows_out += rows_out
+        if self.db.tracer.enabled:
+            self.db.tracer.unique_compact(
+                task, state.rows_in, rows_out, self.db.clock.now()
+            )
 
     # ----------------------------------------------------------- lifecycle
 
     def on_task_start(self, task: Task) -> None:
         """Remove the pending-table entry the moment the task begins to run:
-        from here on, new firings start a fresh transaction (section 6.3)."""
+        from here on, new firings start a fresh transaction (section 6.3).
+        Compacted tasks also drop their net-noop rows here — the batch is
+        sealed, so the fold is final."""
+        if task.compact_info is not None:
+            self._finalize_compaction(task)
         if task.function_name is None or task.unique_key is None:
             return
         pending = self._pending.get(task.function_name)

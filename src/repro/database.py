@@ -478,6 +478,8 @@ class Database:
             "tasks_pending": self.task_manager.pending,
             "unique_pending": self.unique_manager.pending_count(),
             "unique_batched_firings": self.unique_manager.batch_count,
+            "compact_rows_in": self.unique_manager.compact_rows_in,
+            "compact_rows_out": self.unique_manager.compact_rows_out,
             "rule_firings": self.rule_engine.firing_count,
             "background_cpu": self.background_meter.total,
         }

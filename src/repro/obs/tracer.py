@@ -18,6 +18,8 @@ Event taxonomy (``TraceEvent.kind``):
 ``rule.fire``               a condition held; bound tables were dispatched
 ``unique.new``              dispatch created a fresh pending task
 ``unique.append``           dispatch coalesced a firing onto a pending task
+``unique.compact``          a compacted task was sealed; carries the rows
+                            that entered the fold vs the rows that survived
 ``task.enqueue``            a task entered the delay or ready queue
 ``task.release``            the delay queue released a task at its time
 ``task``                    one task execution (a span: start .. end)
@@ -79,6 +81,9 @@ class Tracer:
     # ----------------------------------------------------- unique manager
     def unique_new(self, task: "Task", now: float) -> None: ...
     def unique_append(self, task: "Task", rows: int, now: float) -> None: ...
+    def unique_compact(
+        self, task: "Task", rows_in: int, rows_out: int, now: float
+    ) -> None: ...
 
     # -------------------------------------------------------------- tasks
     def task_enqueue(
@@ -117,6 +122,9 @@ class TraceCollector(Tracer):
         )
         self._h_batch_firings = metrics_.histogram(
             "batch_firings", lo=1, hi=1 << 20, factor=2
+        )
+        self._h_compaction = metrics_.histogram(
+            "compaction_ratio", lo=1, hi=1 << 20, factor=2
         )
         self._h_task_len = metrics_.histogram("task_length_s", lo=1e-6, hi=1e4)
         self._h_txn_len = metrics_.histogram("txn_length_s", lo=1e-6, hi=1e4)
@@ -202,6 +210,19 @@ class TraceCollector(Tracer):
         self._emit(
             now, "unique.append", task.function_name or task.klass, track="unique",
             task_id=task.task_id, rows=rows, key=repr(task.unique_key),
+        )
+
+    def unique_compact(
+        self, task: "Task", rows_in: int, rows_out: int, now: float
+    ) -> None:
+        self.metrics.counter("unique_compactions").inc()
+        # rows_in per distinct surviving row; a task whose batch folded to
+        # nothing (pure churn) records the full input count.
+        self._h_compaction.record(rows_in / max(rows_out, 1))
+        self._emit(
+            now, "unique.compact", task.function_name or task.klass, track="unique",
+            task_id=task.task_id, rows_in=rows_in, rows_out=rows_out,
+            key=repr(task.unique_key),
         )
 
     # -------------------------------------------------------------- tasks

@@ -213,7 +213,30 @@ def _unique_clause(variant: str, family: str) -> str:
     raise StripError(f"unknown variant {variant!r}")
 
 
-def install_comp_rule(db: "Database", variant: str, delay: float = 0.0) -> str:
+def _compact_clause(variant: str, family: str, compact: bool) -> str:
+    """The ``compact on`` clause for a rule family, or the empty string.
+
+    Composite rows fold per (comp, symbol): ``old_price`` keeps the first
+    old image and ``new_price`` the last new image, so the telescoping
+    ``weight * (new - old)`` delta the compute functions apply is exact.
+    Option rows fold per option: the batched functions already price only
+    the last quote per option, so last-wins folding is invisible.
+    """
+    if not compact:
+        return ""
+    if variant == "nonunique":
+        raise StripError(
+            f"the {variant!r} variant cannot use delta compaction "
+            "(COMPACT ON requires UNIQUE)"
+        )
+    if family == "comps":
+        return "compact on comp, symbol"
+    return "compact on option_symbol"
+
+
+def install_comp_rule(
+    db: "Database", variant: str, delay: float = 0.0, compact: bool = False
+) -> str:
     """Install one composite-maintenance rule variant; returns the function
     name (the recompute task class is ``recompute:<function>``)."""
     if variant not in COMP_VARIANTS:
@@ -221,6 +244,7 @@ def install_comp_rule(db: "Database", variant: str, delay: float = 0.0) -> str:
     function_name, fn = _COMP_FUNCTIONS[variant]
     db.register_function(function_name, fn, replace=True)
     clause = _unique_clause(variant, "comps")
+    compact_sql = _compact_clause(variant, "comps", compact)
     after = f"after {delay} seconds" if delay > 0 else ""
     db.execute(
         f"""
@@ -229,19 +253,23 @@ def install_comp_rule(db: "Database", variant: str, delay: float = 0.0) -> str:
         if {_COMP_CONDITION}
         then execute {function_name}
         {clause}
+        {compact_sql}
         {after}
         """
     )
     return function_name
 
 
-def install_option_rule(db: "Database", variant: str, delay: float = 0.0) -> str:
+def install_option_rule(
+    db: "Database", variant: str, delay: float = 0.0, compact: bool = False
+) -> str:
     """Install one option-maintenance rule variant."""
     if variant not in OPTION_VARIANTS:
         raise StripError(f"variant must be one of {OPTION_VARIANTS}, got {variant!r}")
     function_name, fn = _OPTION_FUNCTIONS[variant]
     db.register_function(function_name, fn, replace=True)
     clause = _unique_clause(variant, "options")
+    compact_sql = _compact_clause(variant, "options", compact)
     after = f"after {delay} seconds" if delay > 0 else ""
     db.execute(
         f"""
@@ -250,6 +278,7 @@ def install_option_rule(db: "Database", variant: str, delay: float = 0.0) -> str
         if {_OPTION_CONDITION}
         then execute {function_name}
         {clause}
+        {compact_sql}
         {after}
         """
     )

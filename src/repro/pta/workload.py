@@ -74,6 +74,9 @@ class ExperimentResult:
     context_switches: int
     end_time: float  # virtual time when the last task finished
     dropped_tasks: int = 0  # firm-deadline drops (only with drop_late)
+    compact: bool = False  # the rule ran with the delta-compaction fast path
+    compact_rows_in: int = 0  # rows that entered compacted bound tables
+    compact_rows_out: int = 0  # rows the recompute tasks actually saw
     #: Histogram snapshots from the trace collector (None without tracing):
     #: rows per recompute batch at start, and queue depth at each enqueue.
     batch_size_hist: Optional[dict] = None
@@ -95,9 +98,18 @@ class ExperimentResult:
         """The Figure 9/12 y-axis."""
         return self.maintenance_cpu / self.duration
 
+    @property
+    def compaction_ratio(self) -> float:
+        """Rows folded away per surviving row (1.0 when compaction is off
+        or nothing folded)."""
+        if not self.compact or self.compact_rows_in == 0:
+            return 1.0
+        return self.compact_rows_in / max(self.compact_rows_out, 1)
+
     def row(self) -> dict[str, object]:
-        """A flat dict for report tables."""
-        return {
+        """A flat dict for report tables.  Compaction columns only appear
+        for compacted runs, so compaction-off reports are unchanged."""
+        out: dict[str, object] = {
             "view": self.view,
             "variant": self.variant,
             "delay_s": self.delay,
@@ -107,6 +119,10 @@ class ExperimentResult:
             "batched_firings": self.batched_firings,
             "n_updates": self.n_updates,
         }
+        if self.compact:
+            out["compaction_ratio"] = round(self.compaction_ratio, 2)
+            out["recomputed_rows"] = self.compact_rows_out
+        return out
 
 
 def _make_update_body(db: Database, symbol: str, price: float):
@@ -188,6 +204,7 @@ def run_experiment(
     trace_kwargs: Optional[dict] = None,
     update_deadline: Optional[float] = None,
     tracer: Optional[Tracer] = None,
+    compact: bool = False,
 ) -> ExperimentResult:
     """Run one full PTA experiment and collect the paper's metrics.
 
@@ -197,6 +214,10 @@ def run_experiment(
         variant: batching unit — ``nonunique``, ``unique``, ``on_symbol``,
             or the per-derived-key unit (``on_comp`` / ``on_option``).
         delay: the ``after`` window in seconds (ignored for ``nonunique``).
+        compact: run the rule with the delta-compaction fast path
+            (``compact on`` the view's derived key; requires a unique
+            variant).  Off by default — the paper's rules carry every
+            firing's rows to the action transaction.
         cost_model: override the Table-1-calibrated defaults (ablations).
         policy: task scheduling policy (``fifo`` / ``edf`` / ``vdf``).
         processors: simulated server-pool size (start-time assignment).
@@ -215,9 +236,9 @@ def run_experiment(
     trace, events = get_trace(scale, seed, trace_kwargs)
     populate(db, scale, trace, events, seed)
     if view == "comps":
-        function_name = install_comp_rule(db, variant, delay)
+        function_name = install_comp_rule(db, variant, delay, compact=compact)
     else:
-        function_name = install_option_rule(db, variant, delay)
+        function_name = install_option_rule(db, variant, delay, compact=compact)
     simulator = Simulator(db, processors, drop_late=drop_late)
     simulator.run(arrivals=_trace_tasks(db, events, update_deadline))
 
@@ -243,6 +264,9 @@ def run_experiment(
         context_switches=summary.total_context_switches if summary else 0,
         end_time=db.clock.base,
         dropped_tasks=simulator.dropped,
+        compact=compact,
+        compact_rows_in=db.unique_manager.compact_rows_in,
+        compact_rows_out=db.unique_manager.compact_rows_out,
         batch_size_hist=(
             tracer.metrics.histograms["batch_size_rows"].snapshot()
             if isinstance(tracer, TraceCollector)

@@ -105,6 +105,8 @@ class CostModel:
     unique_lookup: float = 6.0  # hash-table probe for a pending unique task
     unique_append_row: float = 2.0  # append one row to a pending bound table
     partition_row: float = 3.0  # rule-system partitioning (unique on ...)
+    compact_row: float = 2.0  # fold/append one row during delta compaction
+    compact_lookup: float = 3.0  # per-row compaction-key probe (compact on ...)
     user_group_row: float = 5.0  # the same grouping done in user code
     task_create: float = 15.0
 

@@ -281,6 +281,7 @@ class CreateRule:
     function: str = ""
     unique: bool = False
     unique_on: tuple[str, ...] = ()
+    compact_on: tuple[str, ...] = ()  # delta-compaction key columns
     after: float = 0.0  # seconds
 
 

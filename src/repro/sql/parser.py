@@ -9,6 +9,7 @@ The rule grammar follows the paper's Figure 2::
            [ evaluate query-commalist ]
            execute function-name
            [ unique [on column-commalist] ]
+           [ compact on column-commalist ]
            [ after time-value ]
 
 where each query may be suffixed ``bind as bound-table-name``.  Statements
@@ -27,7 +28,8 @@ from repro.sql.lexer import EOF, IDENT, NUMBER, PARAM, STRING, SYMBOL, Token, to
 _EVENT_KINDS = ("inserted", "deleted", "updated")
 #: Words that terminate a column list inside a rule definition.
 _RULE_STOPWORDS = frozenset(
-    _EVENT_KINDS + ("if", "then", "evaluate", "execute", "unique", "after", "end")
+    _EVENT_KINDS
+    + ("if", "then", "evaluate", "execute", "unique", "compact", "after", "end")
 )
 #: Words that end a select item / table reference rather than naming an
 #: alias — SQL clause openers plus the STRIP rule-grammar keywords, since
@@ -45,6 +47,7 @@ _CLAUSE_WORDS = (
     "evaluate",
     "execute",
     "unique",
+    "compact",
     "after",
     "end",
     "when",
@@ -245,6 +248,10 @@ class _Parser:
             unique = True
             if self.accept_word("on"):
                 unique_on = self._rule_column_list()
+        compact_on: tuple[str, ...] = ()
+        if self.accept_word("compact"):
+            self.expect_word("on")
+            compact_on = self._rule_column_list()
         after = 0.0
         if self.accept_word("after"):
             after = self._time_value()
@@ -259,6 +266,7 @@ class _Parser:
             function=function,
             unique=unique,
             unique_on=unique_on,
+            compact_on=compact_on,
             after=after,
         )
 

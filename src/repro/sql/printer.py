@@ -206,6 +206,8 @@ def rule_to_sql(rule: ast.CreateRule) -> str:
     parts.append(f"execute {rule.function}")
     if rule.unique:
         parts.append("unique" + (" on " + ", ".join(rule.unique_on) if rule.unique_on else ""))
+    if rule.compact_on:
+        parts.append("compact on " + ", ".join(rule.compact_on))
     if rule.after:
         parts.append(f"after {rule.after} seconds")
     return " ".join(parts)

@@ -79,6 +79,12 @@ class LockManager:
             if held.covers(mode):
                 return True  # already strong enough
             # Upgrade (S->X, IX->X, S<->IX escalate to X): only as sole holder.
+            # A sole holder's upgrade is deliberately granted ahead of queued
+            # waiters: every waiter is blocked on this very holder, so making
+            # the holder queue behind them would have it wait on transactions
+            # that are waiting on *it* — an instant deadlock.  The upgrade
+            # jumping the FIFO is the standard resolution (waiters are granted
+            # in arrival order once the holder releases).
             if len(state.holders) == 1:
                 state.holders[txn_id] = LockMode.EXCLUSIVE
                 self.grant_count += 1
@@ -93,13 +99,16 @@ class LockManager:
         return self._enqueue(txn_id, resource, mode, state)
 
     def holds(self, txn_id: int, resource: Resource, mode: LockMode) -> bool:
+        """True when ``txn_id`` already holds ``resource`` in a mode that
+        satisfies a request for ``mode`` (X covers everything, any held mode
+        covers itself — notably IX covers an IX request)."""
         state = self._locks.get(resource)
         if state is None:
             return False
         held = state.holders.get(txn_id)
         if held is None:
             return False
-        return held is LockMode.EXCLUSIVE or mode is LockMode.SHARED
+        return held.covers(mode)
 
     # ------------------------------------------------------------- release
 

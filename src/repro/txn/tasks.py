@@ -58,6 +58,7 @@ class Task:
         "context_switches",
         "seq",
         "estimated_cpu",
+        "compact_info",
     )
 
     def __init__(
@@ -91,6 +92,9 @@ class Task:
         self.context_switches = 0
         self.seq = self.task_id  # FIFO tiebreaker
         self.estimated_cpu = estimated_cpu
+        # Delta-compaction state set by the UniqueManager for ``compact on``
+        # rules (None otherwise); see repro.core.unique._CompactState.
+        self.compact_info: Optional[Any] = None
 
     @property
     def bound_rows(self) -> int:

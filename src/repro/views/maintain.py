@@ -23,7 +23,10 @@ generated user function applies them.  The ``unique``/``unique on``/
 ``after`` batching knobs are passed straight through to the generated
 rules — this is exactly the hook the paper's conclusion proposes for an
 automatic view manager, and :mod:`repro.views.advisor` chooses them from
-statistics when asked.
+statistics when asked.  Projection views can additionally opt into
+``compact`` (delta compaction keyed on the projection key): their apply
+function is last-write-wins per key, so folding the pending batch is
+invisible to the result.
 """
 
 from __future__ import annotations
@@ -58,6 +61,7 @@ class MaintenancePlan:
     function_name: str = ""
     kind: str = ""  # "aggregate" | "projection"
     incremental: bool = False
+    compact: bool = False  # generated rules use the delta-compaction path
 
 
 # --------------------------------------------------------------------------
@@ -183,16 +187,32 @@ def materialize(
     unique_on: Sequence[str] = (),
     delay: float = 0.0,
     key: Optional[Sequence[str]] = None,
+    compact: bool = False,
 ) -> MaintenancePlan:
     """Turn the registered view into a maintained standard table.
 
     ``unique`` / ``unique_on`` / ``delay`` configure the generated rules'
     batching (the paper's two tuning knobs).  For projection views ``key``
     names the output columns that identify a row (default: the first one).
+
+    ``compact`` opts the generated rules into the delta-compaction fast
+    path, keyed on the projection key.  It is only sound for projection
+    views — their apply function is last-write-wins per key, so folding a
+    pending batch to net effect per key is invisible to the result.
+    Aggregate deltas are *summed* contributions, not idempotent per key,
+    so compaction there is rejected.
     """
+    if compact and not unique:
+        raise UnsupportedViewError("compact maintenance requires unique batching")
     view = db.catalog.view(view_name)
     select = view.select
     info = _analyze(select)
+    if compact and info["kind"] == "aggregate":
+        raise UnsupportedViewError(
+            "aggregate views cannot use delta compaction: their bound rows "
+            "are summed contributions, and folding to last-per-key would "
+            "drop deltas"
+        )
 
     # Plan the view once to learn output names/types (also validates it).
     from repro.sql.executor import select_plan
@@ -224,8 +244,9 @@ def materialize(
         for column in key_columns:
             if column not in [name for name, _t in out_columns]:
                 raise UnsupportedViewError(f"key column {column!r} is not selected")
+        plan_record.compact = compact
         _materialize_projection(
-            db, view, info, plan_record, key_columns, unique, unique_on, delay
+            db, view, info, plan_record, key_columns, unique, unique_on, delay, compact
         )
 
     db.materialized_views[view_name] = plan_record
@@ -439,6 +460,7 @@ def _materialize_projection(
     unique: bool,
     unique_on: Sequence[str],
     delay: float,
+    compact: bool = False,
 ) -> None:
     select = view.select
     items: list[tuple[ast.Expr, str]] = info["items"]
@@ -492,6 +514,7 @@ def _materialize_projection(
             function=function_name,
             unique=unique,
             unique_on=tuple(unique_on),
+            compact_on=key_columns if compact else (),
             after=delay,
         )
         db.create_rule(rule)

@@ -161,3 +161,61 @@ class TestNullLockManager:
         assert manager.acquire(2, ROW, X)
         assert manager.release_all(1) == []
         assert manager.held_resources(1) == set()
+
+
+IX = LockMode.INTENTION_EXCLUSIVE
+
+
+class TestIntentionMode:
+    def test_holds_reports_held_ix(self):
+        # Regression: holds() used to require mode equality via covers()
+        # applied the wrong way around, answering False for a held IX.
+        manager = LockManager()
+        assert manager.acquire(1, TABLE, IX)
+        assert manager.holds(1, TABLE, IX)
+
+    def test_held_ix_does_not_satisfy_shared(self):
+        manager = LockManager()
+        assert manager.acquire(1, TABLE, IX)
+        assert not manager.holds(1, TABLE, S)
+        assert not manager.holds(1, TABLE, X)
+
+    def test_exclusive_covers_everything(self):
+        manager = LockManager()
+        assert manager.acquire(1, TABLE, X)
+        assert manager.holds(1, TABLE, S)
+        assert manager.holds(1, TABLE, IX)
+
+    def test_ix_sharing_and_reentry(self):
+        manager = LockManager()
+        assert manager.acquire(1, TABLE, IX)
+        assert manager.acquire(2, TABLE, IX)  # row writers of different rows
+        assert manager.acquire(1, TABLE, IX)  # re-entrant
+        assert manager.holds(2, TABLE, IX)
+
+    def test_ix_upgrade_to_exclusive_sole_holder(self):
+        manager = LockManager()
+        assert manager.acquire(1, TABLE, IX)
+        assert manager.acquire(1, TABLE, X)
+        assert manager.holds(1, TABLE, X)
+
+
+class TestUpgradeQueueJump:
+    def test_sole_holder_upgrade_jumps_waiters(self):
+        """The documented FIFO exception: a sole holder's upgrade is granted
+        ahead of queued waiters, because every waiter is blocked on the
+        holder itself — queueing the upgrade behind them would deadlock."""
+        manager = LockManager()
+        assert manager.acquire(1, ROW, S)
+        assert not manager.acquire(2, ROW, X)  # queued waiter
+        assert manager.acquire(1, ROW, X)  # upgrade jumps the queue
+        assert manager.holds(1, ROW, X)
+
+    def test_jumped_waiter_granted_after_release(self):
+        manager = LockManager()
+        manager.acquire(1, ROW, S)
+        assert not manager.acquire(2, ROW, X)
+        manager.acquire(1, ROW, X)
+        granted = manager.release_all(1)
+        assert (2, ROW, X) in granted
+        assert manager.holds(2, ROW, X)
