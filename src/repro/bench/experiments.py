@@ -130,6 +130,47 @@ def compaction_sweep(
     return pairs
 
 
+#: The default fault mix for the sweep: periodically kill recompute tasks,
+#: rarely abort commits, and occasionally delay task releases.
+DEFAULT_FAULT_PLAN = (
+    "task.exec[recompute]:kill@every=7;"
+    "txn.commit:abort@p=0.002;"
+    "queue.delay:delay=0.25@p=0.05"
+)
+
+
+def fault_sweep(
+    scale: Optional[Scale] = None,
+    fault_seeds: Sequence[int] = (0, 1, 2),
+    seed: int = 0,
+    view: str = "comps",
+    variant: str = "unique",
+    delay: float = 1.0,
+    plan: str = DEFAULT_FAULT_PLAN,
+    max_retries: int = 5,
+) -> list[ExperimentResult]:
+    """One faulted run per injection seed, each checked by the oracle.
+
+    The workload itself is fixed (same trace seed); only the injection
+    schedule varies, so divergence between rows of the report isolates the
+    fault/recovery machinery rather than workload noise.
+    """
+    scale = scale or bench_scale()
+    key = ("faults", view, variant, scale, delay, seed, plan, tuple(fault_seeds), max_retries)
+    cached = _SWEEP_CACHE.get(key)
+    if cached is not None:
+        return cached
+    results = [
+        run_experiment(
+            scale, view, variant, delay, seed,
+            faults=plan, fault_seed=fault_seed, max_retries=max_retries,
+        )
+        for fault_seed in fault_seeds
+    ]
+    _SWEEP_CACHE[key] = results
+    return results
+
+
 def option_symbol_probe(
     scale: Optional[Scale] = None, delay: float = 1.0, seed: int = 0
 ) -> ExperimentResult:

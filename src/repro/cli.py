@@ -99,6 +99,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         update_deadline=args.update_deadline,
         tracer=collector,
         compact=args.compact,
+        faults=args.faults,
+        fault_seed=args.fault_seed,
+        max_retries=args.max_retries,
+        retry_backoff=args.retry_backoff,
     )
     print(format_table([result.row()], "Experiment result"))
     if result.compact:
@@ -122,6 +126,15 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 args.stats_out,
                 f"Trace statistics ({args.view}/{args.variant}, delay {args.delay}s)",
             )
+    if args.faults is not None:
+        print(
+            f"faults: {result.faults_injected} injected "
+            f"({result.fault_retries} retried, {result.fault_drops} dropped) "
+            f"from plan {args.faults!r} seed {args.fault_seed}"
+        )
+        print(result.oracle_report.format())
+        if not result.oracle_report.ok:
+            return 1
     return 0
 
 
@@ -201,6 +214,54 @@ def _cmd_compaction(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fault(args: argparse.Namespace) -> int:
+    """The fault sweep: one injected run per seed, each checked by the oracle."""
+    from repro.bench.experiments import DEFAULT_FAULT_PLAN, fault_sweep
+
+    scale = _scale_of(args.scale)
+    plan = args.plan if args.plan is not None else DEFAULT_FAULT_PLAN
+    results = fault_sweep(
+        scale,
+        fault_seeds=args.fault_seeds or [0, 1, 2],
+        seed=args.seed,
+        view=args.view,
+        variant=args.variant,
+        delay=args.delay,
+        plan=plan,
+        max_retries=args.max_retries,
+    )
+    rows = []
+    failed = 0
+    for fault_seed, result in zip(args.fault_seeds or [0, 1, 2], results):
+        report = result.oracle_report
+        if not report.ok:
+            failed += 1
+        rows.append(
+            {
+                "fault_seed": fault_seed,
+                "injected": result.faults_injected,
+                "retries": result.fault_retries,
+                "drops": result.fault_drops,
+                "n_recomputes": result.n_recomputes,
+                "oracle_rows": report.rows_checked,
+                "divergent": len(report.divergences),
+                "verdict": "OK" if report.ok else "FAILED",
+            }
+        )
+    print(
+        format_table(
+            rows,
+            f"Fault sweep ({args.view}/{args.variant}, scale {args.scale}, "
+            f"plan {plan!r})",
+        )
+    )
+    for fault_seed, result in zip(args.fault_seeds or [0, 1, 2], results):
+        if not result.oracle_report.ok:
+            print(f"--- fault seed {fault_seed} ---")
+            print(result.oracle_report.format())
+    return 1 if failed else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     scale = _scale_of(args.scale)
     generator = scale.make_trace(seed=args.seed)
@@ -269,6 +330,24 @@ def build_parser() -> argparse.ArgumentParser:
         "the view's derived key; requires a unique variant)",
     )
     experiment.add_argument(
+        "--faults", metavar="PLAN", default=None,
+        help="fault-injection plan, e.g. 'task.exec:kill@every=7;"
+        "txn.commit:abort@p=0.01' (see docs/FAULTS.md); runs the "
+        "convergence oracle afterwards and exits 1 on divergence",
+    )
+    experiment.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the injection schedule (workload seed stays --seed)",
+    )
+    experiment.add_argument(
+        "--max-retries", type=int, default=5,
+        help="retry budget per task before a fault-killed task is dropped",
+    )
+    experiment.add_argument(
+        "--retry-backoff", type=float, default=0.25,
+        help="base backoff (virtual seconds) for fault retries",
+    )
+    experiment.add_argument(
         "--trace-out", metavar="PATH",
         help="write a trace of the run: Chrome trace_event JSON "
         "(open in Perfetto), or JSONL when PATH ends in .jsonl",
@@ -307,6 +386,29 @@ def build_parser() -> argparse.ArgumentParser:
     compaction.add_argument("--seed", type=int, default=0)
     compaction.add_argument("--delays", type=float, nargs="*")
     compaction.set_defaults(fn=_cmd_compaction)
+
+    fault = sub.add_parser(
+        "fault", help="run seeded fault-injection sweeps with the oracle"
+    )
+    fault.add_argument("--view", choices=["comps", "options"], default="comps")
+    fault.add_argument(
+        "--variant",
+        choices=["unique", "on_symbol", "on_comp", "on_option"],
+        default="unique",
+    )
+    fault.add_argument("--scale", default="tiny")
+    fault.add_argument("--seed", type=int, default=0)
+    fault.add_argument("--delay", type=float, default=1.0)
+    fault.add_argument(
+        "--plan", default=None,
+        help="fault plan (default: the bench suite's DEFAULT_FAULT_PLAN)",
+    )
+    fault.add_argument(
+        "--fault-seeds", type=int, nargs="*", metavar="SEED",
+        help="injection seeds to sweep (default 0 1 2)",
+    )
+    fault.add_argument("--max-retries", type=int, default=5)
+    fault.set_defaults(fn=_cmd_fault)
 
     trace = sub.add_parser("trace", help="generate / inspect a synthetic TAQ trace")
     trace.add_argument("--scale", default="tiny")

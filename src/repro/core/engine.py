@@ -72,30 +72,40 @@ class RuleEngine:
         newly created tasks (already enqueued)."""
         db = self.db
         created: list[Task] = []
-        for table_name in txn.log.tables_touched():
-            rules = [rule for rule in db.catalog.rules_on(table_name) if rule.enabled]
-            if not rules:
-                continue
-            table = db.catalog.table(table_name)
-            entries = txn.log.for_table(table_name)
-            transitions: Optional[TransitionTables] = None
-            try:
-                for rule in rules:
-                    db.charge("rule_log_scan", len(entries))
-                    if not rule.matches(entries, table.schema):
-                        continue
-                    self.check_count += 1
-                    if db.tracer.enabled:
-                        db.tracer.rule_check(rule.name, txn.txn_id, db.clock.now())
-                    if transitions is None:
-                        transitions = TransitionTables(db, table, entries)
-                    tasks = self._fire(rule, txn, transitions)
-                    created.extend(tasks)
-            finally:
-                # Retire even when a condition or dispatch raised, so the
-                # records pinned by this firing's temp tables are released.
-                if transitions is not None:
-                    transitions.retire()
+        try:
+            for table_name in txn.log.tables_touched():
+                rules = [rule for rule in db.catalog.rules_on(table_name) if rule.enabled]
+                if not rules:
+                    continue
+                table = db.catalog.table(table_name)
+                entries = txn.log.for_table(table_name)
+                transitions: Optional[TransitionTables] = None
+                try:
+                    for rule in rules:
+                        db.charge("rule_log_scan", len(entries))
+                        if not rule.matches(entries, table.schema):
+                            continue
+                        self.check_count += 1
+                        if db.tracer.enabled:
+                            db.tracer.rule_check(rule.name, txn.txn_id, db.clock.now())
+                        if transitions is None:
+                            transitions = TransitionTables(db, table, entries)
+                        tasks = self._fire(rule, txn, transitions)
+                        created.extend(tasks)
+                finally:
+                    # Retire even when a condition or dispatch raised, so the
+                    # records pinned by this firing's temp tables are released.
+                    if transitions is not None:
+                        transitions.retire()
+        except Exception:
+            # The commit will abort and (possibly) retry, which re-fires
+            # every rule.  Tasks already created for it must not stay
+            # registered as pending while never reaching the scheduler —
+            # later firings would absorb rows into work that never runs.
+            for task in created:
+                db.unique_manager.forget(task)
+                task.retire_bound_tables()
+            raise
         for task in created:
             db.task_manager.enqueue(task)
         return created

@@ -104,6 +104,56 @@ class UniqueManager:
         self.compact_count = 0
         self.compact_rows_in = 0
         self.compact_rows_out = 0
+        # Absorb-undo journal for the currently committing transaction
+        # (None outside a commit); see begin_undo/rollback_undo.
+        self._undo: Optional[list] = None
+
+    # ------------------------------------------------- commit-scoped undo
+
+    def begin_undo(self) -> None:
+        """Start journaling absorb mutations for one committing transaction.
+
+        Commits run one at a time (rule processing happens inline at the
+        commit point, and action bodies never commit while another commit
+        is mid-flight), so a single journal suffices."""
+        self._undo = []
+
+    def discard_undo(self) -> None:
+        """The commit succeeded; its absorbs are permanent."""
+        self._undo = None
+
+    def rollback_undo(self) -> None:
+        """Rescind every absorb the aborting commit performed.
+
+        Incremental user functions apply bound rows as deltas, so rows
+        describing a rolled-back change must not stay behind in pending
+        tasks: the transaction's retry would fire the rules again and the
+        same delta would be applied twice."""
+        entries = self._undo
+        self._undo = None
+        if not entries:
+            return
+        for entry in reversed(entries):
+            if entry[0] == "rows":
+                _kind, target, prior = entry
+                if target.retired:
+                    continue
+                while len(target._rows) > prior:
+                    ptrs, _mats = target._rows.pop()
+                    for record in ptrs:
+                        record.unpin()
+            else:  # "compact"
+                _kind, state, name, target, prior, folds, n = entry
+                state.rows_in -= n
+                if target.retired:
+                    continue
+                for at, prev in reversed(folds):
+                    target._rows[at] = prev
+                del target._rows[prior:]
+                index = state.indexes.get(name)
+                if index is not None:
+                    for key in [k for k, pos in index.items() if pos >= prior]:
+                        del index[key]
 
     # ------------------------------------------------------------ dispatch
 
@@ -172,35 +222,45 @@ class UniqueManager:
         new_tasks: list[Task] = []
         pending = self._pending.setdefault(rule.function, {})
         n_unique = len(column_homes)
-        for combo in itertools.product(*(g.keys() for g in groups_per_table)):
-            global_values: list = [None] * n_unique
-            for (table_name, offsets, gidxs), part in zip(u_tables, combo):
-                for gidx, value in zip(gidxs, part):
-                    global_values[gidx] = value
-            key = tuple(global_values)
-            charge("unique_lookup")
-            partition: dict[str, TempTable] = {}
-            for (table_name, _offsets, _g), groups, part in zip(
-                u_tables, groups_per_table, combo
-            ):
-                source = bound[table_name]
-                copy = TempTable(source.name, source.schema, source.static_map)
-                for ptrs, mats in groups[part]:
-                    for record in ptrs:
-                        record.pin()
-                    copy._rows.append((ptrs, mats))
-                partition[table_name] = copy
-            u_names = {name for name, _o, _g in u_tables}
-            for name, table in bound.items():
-                if name not in u_names:
-                    partition[name] = _full_copy(table, charge)
-            task = pending.get(key)
-            if task is not None and task.state in (TaskState.DELAYED, TaskState.READY):
-                self._absorb(task, partition)
-            else:
-                fresh = self._new_task(rule, partition, commit_time, unique_key=key)
-                pending[key] = fresh
-                new_tasks.append(fresh)
+        try:
+            for combo in itertools.product(*(g.keys() for g in groups_per_table)):
+                global_values: list = [None] * n_unique
+                for (table_name, offsets, gidxs), part in zip(u_tables, combo):
+                    for gidx, value in zip(gidxs, part):
+                        global_values[gidx] = value
+                key = tuple(global_values)
+                charge("unique_lookup")
+                partition: dict[str, TempTable] = {}
+                for (table_name, _offsets, _g), groups, part in zip(
+                    u_tables, groups_per_table, combo
+                ):
+                    source = bound[table_name]
+                    copy = TempTable(source.name, source.schema, source.static_map)
+                    for ptrs, mats in groups[part]:
+                        for record in ptrs:
+                            record.pin()
+                        copy._rows.append((ptrs, mats))
+                    partition[table_name] = copy
+                u_names = {name for name, _o, _g in u_tables}
+                for name, table in bound.items():
+                    if name not in u_names:
+                        partition[name] = _full_copy(table, charge)
+                task = pending.get(key)
+                if task is not None and task.state in (TaskState.DELAYED, TaskState.READY):
+                    self._absorb(task, partition)
+                else:
+                    fresh = self._new_task(rule, partition, commit_time, unique_key=key)
+                    pending[key] = fresh
+                    new_tasks.append(fresh)
+        except Exception:
+            # A failure on a later partition must not strand the earlier
+            # partitions' tasks: they are registered as pending but will
+            # never be returned to the engine (and so never enqueued), and
+            # subsequent firings would absorb rows into them forever.
+            for fresh in new_tasks:
+                self.forget(fresh)
+                fresh.retire_bound_tables()
+            raise
         for table in bound.values():
             table.retire()
         return new_tasks
@@ -231,6 +291,9 @@ class UniqueManager:
     def _absorb(self, task: Task, bound: dict[str, TempTable]) -> None:
         """Append a new firing's rows onto a pending task's bound tables."""
         charge = self.db.charge
+        faults = self.db.faults
+        if faults.enabled:
+            faults.check_raise("unique.absorb", task.klass)
         if set(bound) != set(task.bound_tables):
             raise BindingError(
                 f"function {task.function_name!r}: bound tables differ across rules "
@@ -242,7 +305,24 @@ class UniqueManager:
             if state is not None and name in state.specs:
                 appended += self._compact_absorb(task, state, name, fresh)
             else:
-                added = task.bound_tables[name].absorb(fresh)
+                target = task.bound_tables[name]
+                if self._undo is not None:
+                    # Both branches below are append-only; truncating back
+                    # to the prior length is a full undo.
+                    self._undo.append(("rows", target, len(target._rows)))
+                if (
+                    target.static_map.ptr_slots == 0
+                    and target.static_map.signature() != fresh.static_map.signature()
+                    and fresh.schema == target.schema
+                ):
+                    # A readopted task that was compacted before its faulted
+                    # attempt holds fully materialized tables; fold the fresh
+                    # pointer-backed rows in by value.
+                    added = len(fresh)
+                    for values in fresh.scan_values():
+                        target.append_values(values)
+                else:
+                    added = target.absorb(fresh)
                 appended += added
                 charge("unique_append_row", max(added, 1))
             fresh.retire()
@@ -258,6 +338,9 @@ class UniqueManager:
         unique_key: Optional[tuple],
     ) -> Task:
         charge = self.db.charge
+        faults = self.db.faults
+        if faults.enabled:
+            faults.check_raise("unique.dispatch", f"recompute:{rule.function}")
         charge("task_create")
         state: Optional[_CompactState] = None
         if rule.compact_on:
@@ -345,6 +428,12 @@ class UniqueManager:
         index = state.indexes[name]
         target = task.bound_tables[name]
         n = len(fresh)
+        folds: Optional[list] = None
+        if self._undo is not None:
+            folds = []
+            self._undo.append(
+                ("compact", state, name, target, len(target._rows), folds, n)
+            )
         charge("compact_lookup", max(n, 1))
         charge("compact_row", max(n, 1))
         for values in fresh.scan_values():
@@ -355,6 +444,8 @@ class UniqueManager:
                 target.append_values(values)
             else:
                 prev = target._rows[at][1]
+                if folds is not None:
+                    folds.append((at, target._rows[at]))
                 target._rows[at] = ((), fold_values(prev, values, spec))
         state.rows_in += n
         return n
@@ -368,10 +459,16 @@ class UniqueManager:
         or already-finished tasks (the drop-task path retires bound tables
         before unpinning the pending entry) only discard the state.
         """
+        if task.state in (TaskState.DONE, TaskState.ABORTED):
+            task.compact_info = None
+            return
+        faults = self.db.faults
+        if faults.enabled:
+            # Checked while compact_info is still attached: a retried task
+            # re-runs this finalization with its folded state intact.
+            faults.check_raise("unique.compact", task.klass)
         state: _CompactState = task.compact_info
         task.compact_info = None
-        if task.state in (TaskState.DONE, TaskState.ABORTED):
-            return
         charge = self.db.charge
         rows_out = 0
         for name, spec in state.specs.items():
@@ -399,6 +496,37 @@ class UniqueManager:
         sealed, so the fold is final."""
         if task.compact_info is not None:
             self._finalize_compaction(task)
+        if task.function_name is None or task.unique_key is None:
+            return
+        pending = self._pending.get(task.function_name)
+        if pending is not None and pending.get(task.unique_key) is task:
+            del pending[task.unique_key]
+
+    def readopt(self, task: Task) -> None:
+        """Put a fault-retried task back in the pending table (recovery).
+
+        Firings that land before the retry's backoff release then batch
+        onto it again, restoring the at-most-one-pending-task invariant.
+        If a *newer* live task already owns the key (possible when the
+        failed attempt's own writes triggered further rules), the newer
+        entry keeps it and the retry simply runs from the delay queue.
+        """
+        if task.function_name is None or task.unique_key is None:
+            return
+        pending = self._pending.setdefault(task.function_name, {})
+        current = pending.get(task.unique_key)
+        if (
+            current is not None
+            and current is not task
+            and current.state in (TaskState.DELAYED, TaskState.READY)
+        ):
+            return
+        pending[task.unique_key] = task
+
+    def forget(self, task: Task) -> None:
+        """Drop a task's pending entry and compaction state (fault recovery
+        exhausted its retries and released its rows)."""
+        task.compact_info = None
         if task.function_name is None or task.unique_key is None:
             return
         pending = self._pending.get(task.function_name)

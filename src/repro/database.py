@@ -32,6 +32,8 @@ from repro.core.functions import FunctionRegistry, UserFunction
 from repro.core.rules import Rule
 from repro.core.unique import UniqueManager
 from repro.errors import BindingError, CatalogError, ExecutionError
+from repro.fault.injector import NullFaultInjector
+from repro.fault.recovery import NullRecovery
 from repro.obs.tracer import NullTracer, Tracer
 from repro.sim.clock import Meter, VirtualClock
 from repro.sim.costmodel import CostModel
@@ -63,6 +65,7 @@ class TaskManager:
         self.db = db
         self.policy = policy
         self.delay = DelayQueue()
+        self.delay.faults = db.faults  # the queue.delay injection point
         self.ready = ReadyQueue(policy)
         self.enqueued_count = 0
 
@@ -122,6 +125,8 @@ class Database:
         policy: str = "fifo",
         start_time: float = 0.0,
         tracer: Optional[Tracer] = None,
+        faults: Optional[NullFaultInjector] = None,
+        recovery: Optional[NullRecovery] = None,
     ) -> None:
         self.cost_model = cost_model or CostModel()
         self._cost_seconds = self.cost_model._seconds
@@ -130,9 +135,18 @@ class Database:
         # attribute load per site (see docs/OBSERVABILITY.md).
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
         self.tracer.bind(self)
+        # The fault-injection hook point follows the same pattern: sites
+        # test `faults.enabled`, so with the NullFaultInjector default a
+        # run is bit-for-bit identical to one without the hooks at all
+        # (see docs/FAULTS.md).
+        self.faults = faults if faults is not None else NullFaultInjector()
+        self.faults.bind(self)
+        self.recovery = recovery if recovery is not None else NullRecovery()
+        self.recovery.bind(self)
         self.clock = VirtualClock(start_time)
         self.catalog = Catalog()
         self.lock_manager = LockManager()
+        self.lock_manager.faults = self.faults  # the lock.acquire point
         self.metrics = MetricsCollector()
         self.functions = FunctionRegistry()
         self.rule_engine = RuleEngine(self)
@@ -146,6 +160,10 @@ class Database:
         self._register_builtin_scalars()
         self.committed_txns = 0
         self.aborted_txns = 0
+        # Live transactions by id, so a task killed mid-body by an injected
+        # fault can have its half-done transaction rolled back (update-task
+        # bodies have no exception handler of their own).
+        self._active_txns: dict[int, Transaction] = {}
 
     # --------------------------------------------------------------- costs
 
@@ -221,10 +239,26 @@ class Database:
     def on_txn_finished(self, txn: Transaction) -> None:
         from repro.txn.transaction import TransactionState
 
+        self._active_txns.pop(txn.txn_id, None)
         if txn.state is TransactionState.COMMITTED:
             self.committed_txns += 1
         else:
             self.aborted_txns += 1
+
+    def abort_orphaned_txns(self, task: Task) -> int:
+        """Roll back any transaction ``task`` left active (fault recovery:
+        an injected failure can unwind a task body mid-transaction before
+        that body's own cleanup, or the body may have none)."""
+        from repro.txn.transaction import TransactionState
+
+        orphans = [
+            txn
+            for txn in list(self._active_txns.values())
+            if txn.task is task and txn.state is TransactionState.ACTIVE
+        ]
+        for txn in orphans:
+            txn.abort()
+        return len(orphans)
 
     # ----------------------------------------------------------------- SQL
 
@@ -482,4 +516,7 @@ class Database:
             "compact_rows_out": self.unique_manager.compact_rows_out,
             "rule_firings": self.rule_engine.firing_count,
             "background_cpu": self.background_meter.total,
+            "faults_injected": self.faults.injected_count,
+            "fault_retries": self.recovery.retry_count,
+            "fault_dropped_tasks": self.recovery.drop_count,
         }

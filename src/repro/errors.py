@@ -72,3 +72,31 @@ class FunctionError(StripError):
 
 class SimulationError(StripError):
     """The discrete-event simulator was driven into an invalid state."""
+
+
+class TaskAlreadyFinishedError(SimulationError):
+    """A DONE/ABORTED task was handed to the executor again.
+
+    Callers in the run loop use this to distinguish "stale queue entry"
+    (skip it and keep going) from a real simulator invariant violation.
+    """
+
+
+class InjectedFaultError(StripError):
+    """Base class for failures raised by the fault-injection subsystem.
+
+    The recovery policy only handles failures whose cause chain contains
+    this class — organic bugs still propagate out of the simulator.
+    """
+
+
+class InjectedAbortError(InjectedFaultError, TransactionError):
+    """An injected fault aborted a transaction at its commit point."""
+
+
+class InjectedKillError(InjectedFaultError):
+    """An injected fault killed a running (or about-to-run) task."""
+
+
+class InjectedDeadlockError(InjectedFaultError, DeadlockError):
+    """An injected fault made a lock request fail as a deadlock victim."""

@@ -1,0 +1,129 @@
+"""The seeded fault injector consulted by the engine's hook sites.
+
+``db.faults`` mirrors the ``db.tracer`` pattern exactly: every hook site
+tests ``faults.enabled`` (one attribute load and a branch), so the
+:class:`NullFaultInjector` default adds no measurable cost and — by
+construction — cannot perturb a fault-free run.  A real
+:class:`FaultInjector` evaluates the plan's specs for its point in order,
+fires at most one per occurrence, records the injection (stats plus a
+``fault.inject`` trace event when tracing is on), and either returns the
+:class:`Fault` (``delay`` actions, applied by the site) or raises the
+mapped :class:`~repro.errors.InjectedFaultError` subclass.
+
+Determinism: all randomness comes from one ``random.Random(seed)`` and all
+counting is per spec in plan order, so a fixed (plan, seed, workload)
+triple yields the same fault schedule on every run.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.errors import (
+    InjectedAbortError,
+    InjectedDeadlockError,
+    InjectedFaultError,
+    InjectedKillError,
+)
+from repro.fault.plan import FaultPlan, FaultSpec, parse_plan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.database import Database
+
+
+@dataclass
+class Fault:
+    """One decided injection, as handed back to the hook site."""
+
+    point: str
+    action: str  # "abort" | "kill" | "deadlock" | "delay"
+    arg: Optional[float]  # delay seconds for "delay", else None
+    spec: FaultSpec
+
+
+class NullFaultInjector:
+    """The zero-overhead default: ``db.faults`` when no plan is loaded."""
+
+    enabled = False
+    injected_count = 0
+
+    def bind(self, db: "Database") -> None:
+        return None
+
+    def check(self, point: str, label: str = "") -> Optional[Fault]:
+        return None
+
+    def check_raise(self, point: str, label: str = "") -> Optional[Fault]:
+        return None
+
+
+class FaultInjector(NullFaultInjector):
+    """Evaluates a :class:`FaultPlan` against a seeded schedule.
+
+    ``enabled`` is an instance flag so a harness can disarm the injector
+    during setup (population must not be faulted) and arm it for the
+    measured run; the hook sites honour it like the tracer's gate.
+    """
+
+    def __init__(self, plan: Union[str, FaultPlan], seed: int = 0) -> None:
+        self.plan = parse_plan(plan) if isinstance(plan, str) else plan
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.enabled = True
+        self.db: Optional["Database"] = None
+        self.injected_count = 0
+        self.by_site: Counter = Counter()  # "point:action" -> injections
+
+    def bind(self, db: "Database") -> None:
+        self.db = db
+
+    # ------------------------------------------------------------ checking
+
+    def check(self, point: str, label: str = "") -> Optional[Fault]:
+        """Evaluate the point's specs in plan order; fire at most one."""
+        specs = self.plan.by_point.get(point)
+        if not specs:
+            return None
+        fired: Optional[Fault] = None
+        for spec in specs:
+            if not spec.matches(label):
+                continue
+            # Every matching spec counts the occurrence (and draws from the
+            # PRNG) even after one fires, so a multi-spec plan's schedule
+            # does not shift depending on which spec fired first.
+            if spec.should_fire(self.rng) and fired is None:
+                fired = Fault(point, spec.action, spec.arg, spec)
+        if fired is not None:
+            self._record(fired, label)
+        return fired
+
+    def check_raise(self, point: str, label: str = "") -> Optional[Fault]:
+        """Like :meth:`check`, but raise the mapped error for faults that
+        are failures; ``delay`` faults are returned for the site to apply."""
+        fault = self.check(point, label)
+        if fault is None or fault.action == "delay":
+            return fault
+        raise self.error_for(fault, label)
+
+    def error_for(self, fault: Fault, label: str = "") -> InjectedFaultError:
+        suffix = f" ({label})" if label else ""
+        message = f"injected {fault.action} at {fault.point}{suffix}"
+        if fault.action == "abort":
+            return InjectedAbortError(message)
+        if fault.action == "kill":
+            return InjectedKillError(message)
+        if fault.action == "deadlock":
+            return InjectedDeadlockError(message)
+        raise ValueError(f"no error maps to action {fault.action!r}")  # pragma: no cover
+
+    # ----------------------------------------------------------- recording
+
+    def _record(self, fault: Fault, label: str) -> None:
+        self.injected_count += 1
+        self.by_site[f"{fault.point}:{fault.action}"] += 1
+        db = self.db
+        if db is not None and db.tracer.enabled:
+            db.tracer.fault_inject(fault.point, fault.action, label, db.clock.now())

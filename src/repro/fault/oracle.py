@@ -1,0 +1,279 @@
+"""The derived-data convergence oracle.
+
+After a (possibly faulted) run quiesces, every derived view must equal
+what a from-scratch batch recomputation over the base tables produces —
+the "incremental == batch recompute" equivalence DBToaster and DBSP build
+their correctness arguments on, turned into an executable check.  Two
+families of derived state are covered:
+
+* **Materialized views** created through :func:`repro.views.maintain.
+  materialize` — the oracle re-runs each view's defining SELECT (plus the
+  hidden contribution counter for aggregates) and diffs it against the
+  backing table, keyed by the plan's key columns.
+* **The PTA views** (``comp_prices``, ``option_prices``) maintained by the
+  hand-written paper rules — recomputed from ``comps_list``/``stocks`` and
+  ``options_list``/``stocks``/``stock_stdev`` with the same weighted-sum
+  and Black-Scholes formulas the workload uses.
+
+Float comparisons use an absolute tolerance (default ``1e-6``): composite
+maintenance is incremental (``price += w * (new - old)``), so the
+maintained value agrees with the batch sum only up to accumulated
+round-off, orders of magnitude below the tolerance at any supported scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.database import Database
+
+DEFAULT_TOLERANCE = 1e-6
+
+
+@dataclass
+class Divergence:
+    """One row where the maintained state disagrees with the recomputation."""
+
+    view: str
+    key: tuple
+    expected: Optional[tuple]  # batch-recomputed values (None: extra row)
+    actual: Optional[tuple]  # maintained values (None: missing row)
+
+    def describe(self) -> str:
+        if self.actual is None:
+            return f"{self.view}{self.key}: missing (expected {self.expected})"
+        if self.expected is None:
+            return f"{self.view}{self.key}: unexpected row {self.actual}"
+        return f"{self.view}{self.key}: expected {self.expected}, found {self.actual}"
+
+
+@dataclass
+class ConvergenceReport:
+    """The oracle's verdict over every checked view."""
+
+    rows_checked: int = 0
+    views_checked: list[str] = field(default_factory=list)
+    divergences: list[Divergence] = field(default_factory=list)
+    tolerance: float = DEFAULT_TOLERANCE
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def merge(self, other: "ConvergenceReport") -> "ConvergenceReport":
+        self.rows_checked += other.rows_checked
+        self.views_checked.extend(other.views_checked)
+        self.divergences.extend(other.divergences)
+        return self
+
+    def format(self, limit: int = 20) -> str:
+        views = ", ".join(self.views_checked) or "none"
+        if self.ok:
+            return (
+                f"convergence oracle: OK — {self.rows_checked} rows across "
+                f"{len(self.views_checked)} views ({views}) match the batch "
+                f"recomputation (tolerance {self.tolerance:g})"
+            )
+        lines = [
+            f"convergence oracle: FAILED — {len(self.divergences)} divergent "
+            f"rows out of {self.rows_checked} checked (views: {views})"
+        ]
+        for divergence in self.divergences[:limit]:
+            lines.append(f"  {divergence.describe()}")
+        if len(self.divergences) > limit:
+            lines.append(f"  ... and {len(self.divergences) - limit} more")
+        return "\n".join(lines)
+
+
+def _values_match(expected: Any, actual: Any, tolerance: float) -> bool:
+    if isinstance(expected, float) or isinstance(actual, float):
+        if expected is None or actual is None:
+            return expected is actual
+        return abs(float(expected) - float(actual)) <= tolerance
+    return expected == actual
+
+
+def _diff_keyed(
+    view: str,
+    expected: dict[tuple, tuple],
+    actual: dict[tuple, tuple],
+    tolerance: float,
+    report: ConvergenceReport,
+) -> None:
+    report.views_checked.append(view)
+    report.rows_checked += len(expected)
+    for key, want in expected.items():
+        have = actual.get(key)
+        if have is None:
+            report.divergences.append(Divergence(view, key, want, None))
+        elif not all(
+            _values_match(w, h, tolerance) for w, h in zip(want, have)
+        ) or len(want) != len(have):
+            report.divergences.append(Divergence(view, key, want, have))
+    for key, have in actual.items():
+        if key not in expected:
+            report.rows_checked += 1
+            report.divergences.append(Divergence(view, key, None, have))
+
+
+def _keyed_rows(
+    names: Sequence[str], rows: Sequence[Sequence[Any]], key_columns: Sequence[str]
+) -> dict[tuple, tuple]:
+    offsets = [list(names).index(column) for column in key_columns]
+    return {
+        tuple(row[offset] for offset in offsets): tuple(row) for row in rows
+    }
+
+
+# --------------------------------------------------------------------------
+# Generic materialized views (repro.views.maintain)
+# --------------------------------------------------------------------------
+
+
+def check_materialized_views(
+    db: "Database", tolerance: float = DEFAULT_TOLERANCE
+) -> ConvergenceReport:
+    """Diff every ``materialize``-maintained view against its defining query."""
+    from repro.sql import ast
+    from repro.views.maintain import HIDDEN_COUNT
+
+    report = ConvergenceReport(tolerance=tolerance)
+    for name, plan in db.materialized_views.items():
+        select = plan.view.select
+        if plan.kind == "aggregate":
+            # Re-run the populate-time query: groups, aggregates, and the
+            # hidden contribution counter that drives group deletion.
+            groups = [(expr, n) for expr, n in _analyzed(select)["groups"]]
+            aggs = [(expr, n) for expr, n in _analyzed(select)["aggs"]]
+            items = [ast.SelectItem(expr, n) for expr, n in groups]
+            items.extend(ast.SelectItem(expr, n) for expr, n in aggs)
+            items.append(
+                ast.SelectItem(ast.FuncCall("count", (), star=True), HIDDEN_COUNT)
+            )
+            fresh = ast.Select(
+                items=tuple(items),
+                tables=select.tables,
+                where=select.where,
+                group_by=select.group_by,
+            )
+        else:
+            fresh = select
+        result = db.run_select(fresh, None)
+        names = [column.name for column in result.columns]
+        key_columns = plan.key_columns or (names[0],)
+        expected = _keyed_rows(names, result.rows(), key_columns)
+        table = db.catalog.table(name)
+        table_names = table.schema.names()
+        actual = _keyed_rows(
+            table_names,
+            [list(record.values) for record in table.scan()],
+            key_columns,
+        )
+        _diff_keyed(name, expected, actual, tolerance, report)
+    return report
+
+
+def _analyzed(select) -> dict:
+    from repro.views.maintain import _analyze
+
+    return _analyze(select)
+
+
+# --------------------------------------------------------------------------
+# The PTA views (hand-written paper rules)
+# --------------------------------------------------------------------------
+
+
+def _has_tables(db: "Database", *names: str) -> bool:
+    return all(db.catalog.has_table(name) for name in names)
+
+
+def _maintained_by_rule(db: "Database", function_prefix: str) -> bool:
+    """True when an enabled rule runs a ``function_prefix``* user function.
+
+    The PTA checks apply only to views the run actually maintains: an
+    options-only experiment leaves ``comp_prices`` stale by design, and the
+    oracle must not call that divergence.
+    """
+    return any(
+        rule.enabled and rule.function.startswith(function_prefix)
+        for rule in db.catalog.rules()
+    )
+
+
+def check_comp_prices(
+    db: "Database", tolerance: float = DEFAULT_TOLERANCE
+) -> ConvergenceReport:
+    """``comp_prices`` must equal the weighted sums over current ``stocks``."""
+    report = ConvergenceReport(tolerance=tolerance)
+    if not _has_tables(db, "comp_prices", "comps_list", "stocks"):
+        return report
+    if not _maintained_by_rule(db, "compute_comps"):
+        return report
+    result = db.query(
+        """
+        select comp, sum(price * weight) as price
+        from comps_list, stocks
+        where comps_list.symbol = stocks.symbol
+        group by comp
+        """
+    )
+    expected = {(row[0],): (row[0], row[1]) for row in result.rows()}
+    actual = {
+        (record.values[0],): tuple(record.values)
+        for record in db.catalog.table("comp_prices").scan()
+    }
+    _diff_keyed("comp_prices", expected, actual, tolerance, report)
+    return report
+
+
+def check_option_prices(
+    db: "Database", tolerance: float = DEFAULT_TOLERANCE
+) -> ConvergenceReport:
+    """``option_prices`` must equal Black-Scholes over the current quotes."""
+    # Deferred: repro.pta's package import reaches back into the database
+    # module, and this module must stay importable from it.
+    from repro.pta.blackscholes import call_price
+
+    report = ConvergenceReport(tolerance=tolerance)
+    if not _has_tables(db, "option_prices", "options_list", "stocks", "stock_stdev"):
+        return report
+    if not _maintained_by_rule(db, "compute_options"):
+        return report
+    prices = {
+        record.values[0]: record.values[1]
+        for record in db.catalog.table("stocks").scan()
+    }
+    stdevs = {
+        record.values[0]: record.values[1]
+        for record in db.catalog.table("stock_stdev").scan()
+    }
+    expected: dict[tuple, tuple] = {}
+    for record in db.catalog.table("options_list").scan():
+        option_symbol, stock_symbol, strike, expiration = record.values
+        base = prices.get(stock_symbol)
+        stdev = stdevs.get(stock_symbol)
+        if base is None or stdev is None:
+            continue
+        expected[(option_symbol,)] = (
+            option_symbol,
+            call_price(base, strike, expiration, stdev),
+        )
+    actual = {
+        (record.values[0],): tuple(record.values)
+        for record in db.catalog.table("option_prices").scan()
+    }
+    _diff_keyed("option_prices", expected, actual, tolerance, report)
+    return report
+
+
+def check_convergence(
+    db: "Database", tolerance: float = DEFAULT_TOLERANCE
+) -> ConvergenceReport:
+    """Run every applicable check (generic views + PTA views) and merge."""
+    report = check_materialized_views(db, tolerance)
+    report.merge(check_comp_prices(db, tolerance))
+    report.merge(check_option_prices(db, tolerance))
+    return report

@@ -28,6 +28,9 @@ Event taxonomy (``TraceEvent.kind``):
 ``task.drop``               firm-deadline policy discarded a late task
 ``lock.wait``               a lock request could not be granted immediately
 ``counter.queues``          delay/ready queue depths (a Chrome counter track)
+``fault.inject``            the fault injector fired at one of its points
+``fault.retry``             recovery re-enqueued a faulted task with backoff
+``fault.drop``              recovery exhausted a task's retries; rows dropped
 ========================  ====================================================
 """
 
@@ -95,6 +98,15 @@ class Tracer:
     def task_done(self, task: "Task", record: "TaskRecord", server: int = 0) -> None: ...
     def task_abort(self, task: "Task", now: float, server: int = 0) -> None: ...
     def task_drop(self, task: "Task", now: float) -> None: ...
+
+    # -------------------------------------------------------------- faults
+    def fault_inject(
+        self, point: str, action: str, label: str, now: float
+    ) -> None: ...
+    def fault_retry(
+        self, task: "Task", attempt: int, release: float, now: float
+    ) -> None: ...
+    def fault_drop(self, task: "Task", attempts: int, now: float) -> None: ...
 
 
 class NullTracer(Tracer):
@@ -294,6 +306,31 @@ class TraceCollector(Tracer):
         self._emit(
             now, "task.drop", task.klass, track="sched",
             task_id=task.task_id, deadline=task.deadline,
+        )
+
+    # -------------------------------------------------------------- faults
+
+    def fault_inject(self, point: str, action: str, label: str, now: float) -> None:
+        self.metrics.counter("faults_injected").inc()
+        self._emit(
+            now, "fault.inject", point, track="faults",
+            action=action, target=label,
+        )
+
+    def fault_retry(
+        self, task: "Task", attempt: int, release: float, now: float
+    ) -> None:
+        self.metrics.counter("fault_retries").inc()
+        self._emit(
+            now, "fault.retry", task.klass, track="faults",
+            task_id=task.task_id, attempt=attempt, release=release,
+        )
+
+    def fault_drop(self, task: "Task", attempts: int, now: float) -> None:
+        self.metrics.counter("fault_drops").inc()
+        self._emit(
+            now, "fault.drop", task.klass, track="faults",
+            task_id=task.task_id, attempts=attempts,
         )
 
     # ------------------------------------------------------------ results

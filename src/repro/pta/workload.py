@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.database import Database
+from repro.fault import ConvergenceReport, FaultInjector, RetryPolicy, check_convergence
 from repro.obs.tracer import TraceCollector, Tracer
 from repro.pta.rules import install_comp_rule, install_option_rule
 from repro.pta.tables import Scale, populate
@@ -81,6 +82,14 @@ class ExperimentResult:
     #: rows per recompute batch at start, and queue depth at each enqueue.
     batch_size_hist: Optional[dict] = None
     queue_depth_hist: Optional[dict] = None
+    #: Fault-injection outcome (all zero / None for fault-free runs).
+    faults: Optional[str] = None  # the plan string the run was faulted with
+    faults_injected: int = 0
+    fault_retries: int = 0
+    fault_drops: int = 0
+    oracle_divergent: Optional[int] = None  # None: oracle did not run
+    oracle_rows: int = 0
+    oracle_report: Optional[ConvergenceReport] = None
 
     @property
     def duration(self) -> float:
@@ -122,6 +131,11 @@ class ExperimentResult:
         if self.compact:
             out["compaction_ratio"] = round(self.compaction_ratio, 2)
             out["recomputed_rows"] = self.compact_rows_out
+        if self.faults is not None:
+            out["faults_injected"] = self.faults_injected
+            out["fault_retries"] = self.fault_retries
+            out["fault_drops"] = self.fault_drops
+            out["oracle_divergent"] = self.oracle_divergent
         return out
 
 
@@ -205,6 +219,10 @@ def run_experiment(
     update_deadline: Optional[float] = None,
     tracer: Optional[Tracer] = None,
     compact: bool = False,
+    faults: Optional[str] = None,
+    fault_seed: int = 0,
+    max_retries: int = 5,
+    retry_backoff: float = 0.25,
 ) -> ExperimentResult:
     """Run one full PTA experiment and collect the paper's metrics.
 
@@ -228,10 +246,27 @@ def run_experiment(
         tracer: an observability hook (e.g. a
             :class:`~repro.obs.tracer.TraceCollector`); when it is a
             collector, the result carries batch/queue histogram snapshots.
+        faults: a fault plan (``repro.fault.parse_plan`` grammar).  The run
+            executes under seeded injection with the retry policy enabled,
+            and the convergence oracle checks every derived view after the
+            queues drain.  None (the default) leaves the fault machinery
+            entirely out of the hot path — the run is identical to one on a
+            build without the subsystem.
+        fault_seed: RNG seed for the injection schedule (reproducible runs).
+        max_retries / retry_backoff: the recovery policy's retry budget and
+            initial backoff (seconds) for faulted tasks.
     """
     if view not in ("comps", "options"):
         raise ValueError(f"view must be 'comps' or 'options', got {view!r}")
-    db = Database(cost_model=cost_model, policy=policy, tracer=tracer)
+    injector = recovery = None
+    if faults:
+        injector = FaultInjector(faults, seed=fault_seed)
+        injector.enabled = False  # setup is not under test; armed before run
+        recovery = RetryPolicy(max_retries=max_retries, backoff=retry_backoff)
+    db = Database(
+        cost_model=cost_model, policy=policy, tracer=tracer,
+        faults=injector, recovery=recovery,
+    )
     db.metrics.set_keep_records(keep_records)
     trace, events = get_trace(scale, seed, trace_kwargs)
     populate(db, scale, trace, events, seed)
@@ -240,7 +275,13 @@ def run_experiment(
     else:
         function_name = install_option_rule(db, variant, delay, compact=compact)
     simulator = Simulator(db, processors, drop_late=drop_late)
+    if injector is not None:
+        injector.enabled = True
     simulator.run(arrivals=_trace_tasks(db, events, update_deadline))
+    oracle_report = None
+    if injector is not None:
+        injector.enabled = False  # the oracle's recomputation must run clean
+        oracle_report = check_convergence(db)
 
     prefix = f"recompute:{function_name}"
     metrics = db.metrics
@@ -277,6 +318,15 @@ def run_experiment(
             if isinstance(tracer, TraceCollector)
             else None
         ),
+        faults=faults or None,
+        faults_injected=db.faults.injected_count,
+        fault_retries=db.recovery.retry_count,
+        fault_drops=db.recovery.drop_count,
+        oracle_divergent=(
+            len(oracle_report.divergences) if oracle_report is not None else None
+        ),
+        oracle_rows=oracle_report.rows_checked if oracle_report is not None else 0,
+        oracle_report=oracle_report,
     )
     if db_out is not None:
         db_out.append(db)

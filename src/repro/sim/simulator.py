@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, TaskAlreadyFinishedError
 from repro.sim.metrics import TaskRecord
 from repro.txn.tasks import Task, TaskState
 
@@ -31,15 +31,24 @@ def execute_task(
     """Run one task to completion at virtual time ``start`` (default: now).
 
     ``server`` only labels the task's trace span (one Perfetto track per
-    server); it does not change execution."""
+    server); it does not change execution.
+
+    A task body that raises is aborted; the database's recovery policy then
+    decides the failure's fate.  Unhandled (the default): bound tables are
+    retired and the error propagates.  ``"retry"``: the task was re-enqueued
+    with its bound tables intact, and the aborted attempt's record (class
+    ``aborted:<klass>``) is returned so the run loop can advance time past
+    the wasted work.  ``"drop"``: likewise, but the rows are gone for good.
+    """
     if task.state in (TaskState.DONE, TaskState.ABORTED):
-        raise SimulationError(f"task {task.task_id} already finished")
+        raise TaskAlreadyFinishedError(f"task {task.task_id} already finished")
     db.unique_manager.on_task_start(task)
     task.state = TaskState.RUNNING
     if start is None:
         start = max(db.clock.base, task.release_time)
     else:
         start = max(start, task.release_time)
+    release_time = task.release_time
     task.start_time = start
     if db.tracer.enabled:
         db.tracer.task_start(task, start)
@@ -48,17 +57,50 @@ def execute_task(
     charged_before = meter.total
     db.clock.activate(meter, start)
     db.charge("begin_task")
+    faults = db.faults
     try:
+        if faults.enabled:
+            if task.function_name is not None:
+                # unique.release: the moment a released unique task starts.
+                faults.check_raise("unique.release", task.klass)
+            fault = faults.check_raise("task.exec", task.klass)
+            if fault is not None:
+                # An injected stall: the task loses fault.arg seconds of
+                # processor time before (and on top of) its real work.
+                meter.total += fault.arg
+                meter.ops["fault_delay"] += 1
         task.body(task)
-    except Exception:
+    except Exception as exc:
         task.state = TaskState.ABORTED
+        db.abort_orphaned_txns(task)
         db.charge("end_task")
+        cpu = meter.total - charged_before
         end = db.clock.deactivate()
         task.end_time = end
-        task.retire_bound_tables()
+        outcome = db.recovery.on_failure(db, task, exc, end)
         if db.tracer.enabled:
             db.tracer.task_abort(task, end, server)
-        raise
+        if outcome is None:
+            task.retire_bound_tables()
+            raise
+        # Recovery handled it (retry re-enqueued the task with its bound
+        # tables kept; drop released them).  Record the wasted attempt under
+        # an "aborted:" class so recompute/update aggregates stay clean, and
+        # return it so the run loop advances past the burned CPU.
+        record = TaskRecord(
+            task_id=task.task_id,
+            klass=f"aborted:{task.klass}",
+            release_time=release_time,
+            start_time=start,
+            end_time=end,
+            cpu_time=cpu,
+            lock_wait=task.lock_wait,
+            bound_rows=bound_rows,
+            deadline=task.deadline,
+            dropped=(outcome == "drop"),
+        )
+        db.metrics.record(record)
+        return record
     db.charge("end_task")
     cpu = meter.total - charged_before
     quantum = db.cost_model.preempt_quantum
@@ -204,7 +246,18 @@ class Simulator:
                 drop_task(db, task, start)
                 self.dropped += 1
                 continue
-            record = execute_task(db, task, start, server)
+            try:
+                record = execute_task(db, task, start, server)
+            except TaskAlreadyFinishedError:
+                continue  # stale queue entry; nothing ran
+            except Exception as exc:
+                # A failure before the task body began (e.g. an injected
+                # fault while sealing a compacted batch in on_task_start).
+                # In-body failures the recovery policy handled never get
+                # here — execute_task returns their aborted-attempt record.
+                if db.recovery.on_failure(db, task, exc, max(db.clock.base, start)) is None:
+                    raise
+                continue
             free_at[server] = record.end_time
             executed += 1
             if max_tasks is not None and executed >= max_tasks:

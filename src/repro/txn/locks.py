@@ -61,6 +61,9 @@ class LockManager:
         self.grant_count = 0
         self.wait_count = 0
         self.deadlock_count = 0
+        # The lock.acquire injection point; the Database attaches its fault
+        # injector here (None for a standalone manager, as in the lock tests).
+        self.faults = None
 
     # ------------------------------------------------------------- acquire
 
@@ -73,6 +76,11 @@ class LockManager:
         Raises :class:`DeadlockError` if queueing would close a cycle in the
         waits-for graph (this transaction is chosen as the victim).
         """
+        faults = self.faults
+        if faults is not None and faults.enabled:
+            # Injected deadlock: the requester is picked as a victim, as if
+            # a concurrent peer had closed a waits-for cycle with it.
+            faults.check_raise("lock.acquire", str(resource[0]))
         state = self._locks.setdefault(resource, _LockState())
         held = state.holders.get(txn_id)
         if held is not None:

@@ -24,8 +24,17 @@ class DelayQueue:
         self._cancelled: set[int] = set()
         self._members: set[int] = set()
         self._live = 0
+        # The queue.delay injection point; the Database's TaskManager
+        # attaches its fault injector here (None for a standalone queue).
+        self.faults = None
 
     def push(self, task: Task) -> None:
+        faults = self.faults
+        if faults is not None and faults.enabled:
+            fault = faults.check("queue.delay", task.klass)
+            if fault is not None:
+                # A late release: the delay daemon overslept this task.
+                task.release_time += fault.arg
         task.state = TaskState.DELAYED
         heapq.heappush(self._heap, (task.release_time, task.seq, task))
         self._members.add(task.task_id)

@@ -59,6 +59,7 @@ class Task:
         "seq",
         "estimated_cpu",
         "compact_info",
+        "retries",
     )
 
     def __init__(
@@ -95,6 +96,8 @@ class Task:
         # Delta-compaction state set by the UniqueManager for ``compact on``
         # rules (None otherwise); see repro.core.unique._CompactState.
         self.compact_info: Optional[Any] = None
+        # Fault-recovery re-executions so far (repro.fault.recovery).
+        self.retries = 0
 
     @property
     def bound_rows(self) -> int:

@@ -45,6 +45,7 @@ class Transaction:
         self.task = task
         self.txn_id = next(_txn_ids)
         self.state = TransactionState.ACTIVE
+        db._active_txns[self.txn_id] = self
         self.log = TransactionLog()
         self.commit_time: Optional[float] = None
         self.begin_time = db.clock.now()
@@ -60,8 +61,11 @@ class Transaction:
         self._check_active()
         self.db.charge("cursor_insert")
         record = table.insert(values)
-        self._lock_row(table.name, record)
+        # Log before taking the row lock: the physical insert must be
+        # undoable the moment it exists, or a failed acquisition (deadlock)
+        # would strand an unlogged row that abort() cannot remove.
         self.log.log_insert(table.name, record)
+        self._lock_row(table.name, record)
         return record
 
     def insert(self, table_name: str, row: Any) -> Record:
@@ -76,8 +80,12 @@ class Transaction:
         self._lock_row(table.name, record)
         self.db.charge("cursor_update")
         fresh = table.update(record, values)
-        self._lock_row(table.name, fresh)
+        # Same write-ahead discipline as insert_record: the update is live in
+        # the table now, so it must hit the undo log before the (fallible)
+        # lock on the fresh record — otherwise a deadlock between the two
+        # leaves a dirty write that survives the abort.
         self.log.log_update(table.name, record, fresh)
+        self._lock_row(table.name, fresh)
         return fresh
 
     def update_columns(self, table: Table, record: Record, changes: dict[str, Any]) -> Record:
@@ -164,16 +172,33 @@ class Transaction:
         visible to the scheduler the moment we return.
         """
         self._check_active()
+        faults = self.db.faults
+        if faults.enabled:
+            # The txn.commit injection point: the fault lands before the
+            # commit point, so the transaction rolls back whole.
+            label = self.task.klass if self.task is not None else "txn"
+            fault = faults.check("txn.commit", label)
+            if fault is not None:
+                self.abort()
+                raise faults.error_for(fault, label)
         self.commit_time = self.db.clock.now()
         if len(self.log):
+            # Absorbs into *pending* tasks are visible side effects of this
+            # commit; journal them so a failing commit can rescind them —
+            # the retry re-fires the rules, and incremental actions would
+            # otherwise apply the same bound deltas twice.
+            unique = self.db.unique_manager
+            unique.begin_undo()
             try:
                 self.db.rule_engine.process_commit(self)
             except Exception:
                 # A failing rule fails the commit: roll the transaction back
                 # so no locks or half-applied changes survive, then re-raise.
+                unique.rollback_undo()
                 self.commit_time = None
                 self.abort()
                 raise
+            unique.discard_undo()
         self.db.charge("commit_txn")
         self._release_locks()
         self.state = TransactionState.COMMITTED

@@ -62,6 +62,10 @@ class MaintenancePlan:
     kind: str = ""  # "aggregate" | "projection"
     incremental: bool = False
     compact: bool = False  # generated rules use the delta-compaction path
+    #: Output columns identifying a backing-table row: the GROUP BY names
+    #: for aggregates, the caller's ``key`` for projections.  The fault
+    #: subsystem's convergence oracle keys its row diff on these.
+    key_columns: tuple = ()
 
 
 # --------------------------------------------------------------------------
@@ -245,6 +249,7 @@ def materialize(
             if column not in [name for name, _t in out_columns]:
                 raise UnsupportedViewError(f"key column {column!r} is not selected")
         plan_record.compact = compact
+        plan_record.key_columns = key_columns
         _materialize_projection(
             db, view, info, plan_record, key_columns, unique, unique_on, delay, compact
         )
@@ -293,6 +298,7 @@ def _materialize_aggregate(
     plan_record.incremental = incremental
     function_name = f"maintain_{view.name}"
     plan_record.function_name = function_name
+    plan_record.key_columns = tuple(_group_key_names(info))
 
     _populate_aggregate(db, view, info)
 

@@ -1,0 +1,107 @@
+"""Tests for the fault-plan grammar (``POINT[FILTER]:ACTION[=ARG]@TRIGGER``)."""
+
+import pytest
+
+from repro.fault.plan import POINTS, FaultPlanError, parse_plan, parse_spec
+
+
+class TestParseSpec:
+    def test_nth_trigger(self):
+        spec = parse_spec("task.exec:kill@nth=2")
+        assert spec.point == "task.exec"
+        assert spec.action == "kill"
+        assert spec.nth == 2
+        assert spec.probability is None and spec.every is None
+
+    def test_every_trigger(self):
+        spec = parse_spec("lock.acquire:deadlock@every=100")
+        assert spec.every == 100
+
+    def test_probability_trigger(self):
+        spec = parse_spec("txn.commit:abort@p=0.01")
+        assert spec.probability == pytest.approx(0.01)
+
+    def test_filter(self):
+        spec = parse_spec("task.exec[recompute]:kill@nth=1")
+        assert spec.filter == "recompute"
+        assert spec.matches("recompute:compute_comps1")
+        assert not spec.matches("update")
+
+    def test_no_filter_matches_everything(self):
+        spec = parse_spec("task.exec:kill@nth=1")
+        assert spec.matches("anything at all")
+
+    def test_delay_takes_argument(self):
+        spec = parse_spec("queue.delay:delay=0.5@p=0.1")
+        assert spec.action == "delay"
+        assert spec.arg == pytest.approx(0.5)
+
+    def test_describe_round_trips(self):
+        for text in (
+            "task.exec[recompute]:kill@nth=2",
+            "txn.commit:abort@p=0.01",
+            "queue.delay:delay=0.5@p=0.1",
+            "lock.acquire:deadlock@every=100",
+        ):
+            assert parse_spec(parse_spec(text).describe()).describe() == \
+                parse_spec(text).describe()
+
+
+class TestParseErrors:
+    def test_unknown_point(self):
+        with pytest.raises(FaultPlanError, match="unknown injection point"):
+            parse_spec("disk.write:kill@nth=1")
+
+    def test_unsupported_action(self):
+        with pytest.raises(FaultPlanError, match="does not support"):
+            parse_spec("txn.commit:kill@nth=1")
+
+    def test_delay_without_argument(self):
+        with pytest.raises(FaultPlanError, match="needs '=SECONDS'"):
+            parse_spec("queue.delay:delay@p=0.1")
+
+    def test_delay_must_be_positive(self):
+        with pytest.raises(FaultPlanError, match="must be positive"):
+            parse_spec("queue.delay:delay=0@p=0.1")
+
+    def test_kill_takes_no_argument(self):
+        with pytest.raises(FaultPlanError, match="takes no argument"):
+            parse_spec("task.exec:kill=1@nth=1")
+
+    def test_probability_range(self):
+        with pytest.raises(FaultPlanError, match="probability"):
+            parse_spec("txn.commit:abort@p=1.5")
+        with pytest.raises(FaultPlanError, match="probability"):
+            parse_spec("txn.commit:abort@p=0")
+
+    def test_nth_and_every_minimums(self):
+        with pytest.raises(FaultPlanError, match="nth"):
+            parse_spec("task.exec:kill@nth=0")
+        with pytest.raises(FaultPlanError, match="every"):
+            parse_spec("task.exec:kill@every=0")
+
+    def test_garbage(self):
+        with pytest.raises(FaultPlanError, match="bad fault spec"):
+            parse_spec("not a spec")
+
+    def test_empty_plan(self):
+        with pytest.raises(FaultPlanError, match="no specs"):
+            parse_plan(" ; ;; ")
+
+
+class TestParsePlan:
+    def test_multiple_specs_grouped_by_point(self):
+        plan = parse_plan(
+            "task.exec:kill@nth=1; task.exec:delay=0.1@p=0.5 ;txn.commit:abort@p=0.01"
+        )
+        assert len(plan.specs) == 3
+        assert len(plan.by_point["task.exec"]) == 2
+        assert len(plan.by_point["txn.commit"]) == 1
+
+    def test_every_registered_point_parses(self):
+        # The registry's own (point, action) pairs must all be expressible.
+        for point, actions in POINTS.items():
+            for action in actions:
+                arg = "=0.1" if action == "delay" else ""
+                spec = parse_spec(f"{point}:{action}{arg}@nth=1")
+                assert spec.point == point and spec.action == action

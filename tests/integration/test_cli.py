@@ -124,3 +124,34 @@ class TestObservabilityOptions:
         document = json.loads((tmp_path / "fig-unique-1.json").read_text())
         assert document["traceEvents"]
         assert "Trace statistics (unique-1)" in stats.read_text()
+
+    def test_experiment_with_faults(self, capsys):
+        code = main(
+            [
+                "experiment", "--scale", "tiny",
+                "--faults", "task.exec[recompute]:kill@every=3",
+                "--fault-seed", "7",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults: " in out and "retried" in out
+        assert "convergence oracle: OK" in out
+
+    def test_experiment_with_faults_divergence_exits_nonzero(self, capsys):
+        code = main(
+            [
+                "experiment", "--scale", "tiny",
+                "--faults", "task.exec[recompute]:kill@every=1",
+                "--max-retries", "0",
+            ]
+        )
+        assert code == 1
+        assert "convergence oracle: FAILED" in capsys.readouterr().out
+
+    def test_fault_sweep(self, capsys):
+        code = main(["fault", "--scale", "tiny", "--fault-seeds", "0", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fault sweep" in out
+        assert out.count("OK") >= 2

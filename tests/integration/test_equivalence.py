@@ -13,6 +13,8 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.database import Database
+from repro.errors import InjectedFaultError
+from repro.fault import FaultInjector, RetryPolicy, check_convergence
 
 SETUP = """
 create table stocks (symbol text, price real);
@@ -47,8 +49,15 @@ def aggregate_maintainer(ctx):
         )
 
 
-def build_db(clause):
-    db = Database()
+def build_db(clause, faults=None, fault_seed=0, max_retries=8):
+    if faults is not None:
+        db = Database(
+            faults=FaultInjector(faults, seed=fault_seed),
+            recovery=RetryPolicy(max_retries=max_retries, backoff=0.25),
+        )
+        db.faults.enabled = False  # armed by the caller after setup
+    else:
+        db = Database()
     db.execute_script(SETUP)
     txn = db.begin()
     for symbol in SYMBOLS:
@@ -152,3 +161,76 @@ class TestBatchingEquivalence:
         table = db.catalog.table("stocks")
         for record in table.scan():
             assert record.pins == 0
+
+
+def apply_updates_with_retry(db, updates, gap):
+    """Like :func:`apply_updates`, but client-retry update transactions that
+    an injected fault aborted (fault-free retries are what a real feed
+    handler would do; the recovery policy covers the decoupled tasks)."""
+    price = {s: 50.0 for s in SYMBOLS}
+    for symbol_index, delta in updates:
+        symbol = SYMBOLS[symbol_index % len(SYMBOLS)]
+        price[symbol] += delta
+        for _ in range(10):
+            try:
+                db.execute(
+                    "update stocks set price = :p where symbol = :s",
+                    {"p": price[symbol], "s": symbol},
+                )
+                break
+            except InjectedFaultError:
+                continue
+        else:  # pragma: no cover - would mean an unreasonably hot schedule
+            raise AssertionError("update transaction never got through")
+        if gap:
+            db.advance(gap)
+    db.drain()
+    return dict(db.query("select comp, price from comp_prices").rows())
+
+
+#: A plan that exercises every recovery path the metamorphic claim relies
+#: on: commit aborts (client retry), absorb aborts mid-rule-processing (the
+#: absorb-undo journal), and task kills (the retry policy).
+METAMORPHIC_PLAN = (
+    "txn.commit:abort@every=9;"
+    "unique.absorb:abort@every=7;"
+    "task.exec[maintain]:kill@every=3"
+)
+
+
+class TestFaultedConvergence:
+    """Metamorphic property: a faulted run whose faults were all recovered
+    (client retries + the retry policy, no drops) must converge to exactly
+    the view contents of the fault-free run on the same updates."""
+
+    def run_pair(self, updates, clause, fault_seed):
+        clean = apply_updates(build_db(clause), updates, gap=0.2)
+        db = build_db(clause, faults=METAMORPHIC_PLAN, fault_seed=fault_seed)
+        db.faults.enabled = True
+        faulted = apply_updates_with_retry(db, updates, gap=0.2)
+        db.faults.enabled = False
+        return clean, faulted, db
+
+    def test_faulted_run_matches_fault_free(self):
+        rng = random.Random(5)
+        updates = [(rng.randrange(4), rng.choice([-0.25, 0.125, 0.5])) for _ in range(120)]
+        clean, faulted, db = self.run_pair(updates, "unique on comp after 1.0 seconds", 1)
+        assert db.faults.injected_count >= 1
+        assert db.recovery.drop_count == 0
+        assert sorted(faulted) == sorted(clean)
+        for comp in clean:
+            assert faulted[comp] == pytest.approx(clean[comp], abs=1e-9)
+        # The convergence oracle agrees with the metamorphic comparison.
+        report = check_convergence(db)
+        assert report.ok, report.format()
+
+    def test_faulted_compacted_run_matches_fault_free(self):
+        rng = random.Random(6)
+        updates = [(rng.randrange(4), rng.choice([-0.125, 0.25])) for _ in range(80)]
+        clean, faulted, db = self.run_pair(
+            updates, "unique on comp compact on comp, symbol after 1.0 seconds", 2
+        )
+        assert db.faults.injected_count >= 1
+        for comp in clean:
+            assert faulted[comp] == pytest.approx(clean[comp], abs=1e-9)
+        assert check_convergence(db).ok

@@ -31,12 +31,30 @@ class TestExecuteTask:
         assert record.end_time == pytest.approx(1.0 + 132e-6)
 
     def test_cannot_rerun(self):
-        from repro.errors import SimulationError
+        from repro.errors import SimulationError, TaskAlreadyFinishedError
 
         db = Database()
         task = charged_task(db, 1.0)
         execute_task(db, task)
-        with pytest.raises(SimulationError):
+        # The dedicated subclass (so the scheduler loop can skip stale queue
+        # entries without swallowing real simulation errors), still catchable
+        # as the general SimulationError.
+        with pytest.raises(TaskAlreadyFinishedError):
+            execute_task(db, task)
+        assert issubclass(TaskAlreadyFinishedError, SimulationError)
+
+    def test_cannot_rerun_aborted(self):
+        from repro.errors import TaskAlreadyFinishedError
+
+        db = Database()
+
+        def bad(task):
+            raise RuntimeError("nope")
+
+        task = Task(body=bad)
+        with pytest.raises(RuntimeError):
+            execute_task(db, task)
+        with pytest.raises(TaskAlreadyFinishedError):
             execute_task(db, task)
 
     def test_failure_marks_aborted_and_propagates(self):
