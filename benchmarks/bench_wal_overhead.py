@@ -1,0 +1,35 @@
+"""Durability overhead: wall-clock throughput with persistence off vs on.
+
+The WAL charges no *virtual* CPU (the simulated results are byte-identical
+with persistence on or off — a test pins this); its cost is real time.
+This benchmark runs the same experiment three ways — no persistence,
+buffered WAL with fuzzy checkpoints, and WAL with per-record fsync — and
+reports wall-clock updates/second for each, plus the derived-result
+invariant that makes the comparison meaningful.
+"""
+
+import pytest
+
+from repro.bench.experiments import bench_scale, wal_overhead_sweep
+from repro.bench.reporting import emit, format_table
+
+
+def test_wal_overhead(benchmark):
+    rows = benchmark.pedantic(wal_overhead_sweep, rounds=1, iterations=1)
+    emit(
+        format_table(rows, f"WAL overhead (scale: {bench_scale()})"),
+        "wal_overhead",
+    )
+    for row in rows:
+        benchmark.extra_info[row["mode"]] = {
+            "wall_s": row["wall_s"],
+            "updates_per_s": row["updates_per_s"],
+        }
+    by_mode = {row["mode"]: row for row in rows}
+    # Persistence must not change the simulated experiment at all.
+    assert by_mode["wal"]["cpu_fraction"] == by_mode["off"]["cpu_fraction"]
+    assert by_mode["wal"]["n_recomputes"] == by_mode["off"]["n_recomputes"]
+    assert by_mode["wal+fsync"]["wal_records"] == by_mode["wal"]["wal_records"]
+    # And the durable runs actually logged something.
+    assert by_mode["wal"]["wal_records"] > 0
+    assert by_mode["wal"]["checkpoints"] >= 1

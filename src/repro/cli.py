@@ -85,25 +85,39 @@ def _write_stats(collector: TraceCollector, path: str, title: str) -> None:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.errors import InjectedCrashError
+
     scale = _scale_of(args.scale)
     collector = _make_collector(args)
-    result = run_experiment(
-        scale,
-        view=args.view,
-        variant=args.variant,
-        delay=args.delay,
-        seed=args.seed,
-        policy=args.policy,
-        processors=args.processors,
-        drop_late=args.drop_late,
-        update_deadline=args.update_deadline,
-        tracer=collector,
-        compact=args.compact,
-        faults=args.faults,
-        fault_seed=args.fault_seed,
-        max_retries=args.max_retries,
-        retry_backoff=args.retry_backoff,
-    )
+    try:
+        result = run_experiment(
+            scale,
+            view=args.view,
+            variant=args.variant,
+            delay=args.delay,
+            seed=args.seed,
+            policy=args.policy,
+            processors=args.processors,
+            drop_late=args.drop_late,
+            update_deadline=args.update_deadline,
+            tracer=collector,
+            compact=args.compact,
+            faults=args.faults,
+            fault_seed=args.fault_seed,
+            max_retries=args.max_retries,
+            retry_backoff=args.retry_backoff,
+            wal_dir=args.wal_dir,
+            checkpoint_every=args.checkpoint_every,
+            wal_sync=args.wal_sync,
+        )
+    except InjectedCrashError as exc:
+        print(f"process crashed mid-run: {exc}", file=sys.stderr)
+        if args.wal_dir:
+            print(
+                f"recover with: python -m repro recover {args.wal_dir}",
+                file=sys.stderr,
+            )
+        return 3
     print(format_table([result.row()], "Experiment result"))
     if result.compact:
         print(
@@ -126,6 +140,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 args.stats_out,
                 f"Trace statistics ({args.view}/{args.variant}, delay {args.delay}s)",
             )
+    if args.wal_dir:
+        print(
+            f"durability: {result.wal_records} WAL records, "
+            f"{result.checkpoints} checkpoints -> {args.wal_dir}"
+        )
     if args.faults is not None:
         print(
             f"faults: {result.faults_injected} injected "
@@ -262,6 +281,32 @@ def _cmd_fault(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Rebuild a crashed run from its WAL directory and verify convergence."""
+    from repro.database import Database
+    from repro.fault import check_convergence
+    from repro.persist import recover
+    from repro.pta.rules import function_registry
+    from repro.sim.simulator import Simulator
+
+    db = Database()
+    report = recover(
+        db,
+        args.wal_dir,
+        functions=function_registry(),
+        max_retries=args.max_retries,
+        backoff=args.retry_backoff,
+    )
+    print(report.describe())
+    if args.no_drain:
+        return 0
+    executed = Simulator(db).run()
+    print(f"drained {executed} resurrected tasks")
+    oracle = check_convergence(db)
+    print(oracle.format())
+    return 0 if oracle.ok else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     scale = _scale_of(args.scale)
     generator = scale.make_trace(seed=args.seed)
@@ -348,6 +393,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="base backoff (virtual seconds) for fault retries",
     )
     experiment.add_argument(
+        "--wal-dir", metavar="DIR", default=None,
+        help="enable durability: write-ahead log + checkpoints into DIR "
+        "(recoverable after a crash with 'python -m repro recover DIR'; "
+        "see docs/PERSISTENCE.md)",
+    )
+    experiment.add_argument(
+        "--checkpoint-every", type=float, default=None, metavar="SECONDS",
+        help="fuzzy-checkpoint interval in virtual seconds (default: only "
+        "the initial post-setup checkpoint)",
+    )
+    experiment.add_argument(
+        "--wal-sync", action="store_true",
+        help="fsync the WAL after every flush (real durability, slower)",
+    )
+    experiment.add_argument(
         "--trace-out", metavar="PATH",
         help="write a trace of the run: Chrome trace_event JSON "
         "(open in Perfetto), or JSONL when PATH ends in .jsonl",
@@ -409,6 +469,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fault.add_argument("--max-retries", type=int, default=5)
     fault.set_defaults(fn=_cmd_fault)
+
+    recover = sub.add_parser(
+        "recover",
+        help="rebuild a crashed run from its WAL directory, drain the "
+        "resurrected tasks, and run the convergence oracle",
+    )
+    recover.add_argument("wal_dir", metavar="WAL_DIR")
+    recover.add_argument(
+        "--no-drain", action="store_true",
+        help="stop after recovery; do not execute resurrected tasks or "
+        "run the oracle",
+    )
+    recover.add_argument(
+        "--max-retries", type=int, default=5,
+        help="retry budget for orphaned (started-but-unfinished) tasks",
+    )
+    recover.add_argument("--retry-backoff", type=float, default=0.25)
+    recover.set_defaults(fn=_cmd_recover)
 
     trace = sub.add_parser("trace", help="generate / inspect a synthetic TAQ trace")
     trace.add_argument("--scale", default="tiny")

@@ -299,6 +299,18 @@ class UniqueManager:
                 f"function {task.function_name!r}: bound tables differ across rules "
                 f"({sorted(bound)} vs {sorted(task.bound_tables)})"
             )
+        persist = self.db.persist
+        if persist.enabled:
+            # Capture the incoming rows by value before they are folded in
+            # (and the fresh tables retired): the WAL's absorb event must
+            # replay against a resurrected, fully materialized task.
+            persist.note_absorb(
+                task,
+                {
+                    name: [list(values) for values in fresh.scan_values()]
+                    for name, fresh in bound.items()
+                },
+            )
         state: Optional[_CompactState] = task.compact_info
         appended = 0
         for name, fresh in bound.items():
@@ -361,6 +373,9 @@ class UniqueManager:
         )
         self.task_count += 1
         task.compact_info = state
+        persist = self.db.persist
+        if persist.enabled:
+            persist.note_task_new(task)
         if self.db.tracer.enabled:
             self.db.tracer.unique_new(task, self.db.clock.now())
         return task
@@ -482,6 +497,12 @@ class UniqueManager:
         self.compact_count += 1
         self.compact_rows_in += state.rows_in
         self.compact_rows_out += rows_out
+        persist = self.db.persist
+        if persist.enabled and task.function_name is not None:
+            # The noop drop above is deterministic given the folded tables,
+            # so the WAL event carries no rows — replay re-runs the drop on
+            # the resurrected task.
+            persist.task_compact(task)
         if self.db.tracer.enabled:
             self.db.tracer.unique_compact(
                 task, state.rows_in, rows_out, self.db.clock.now()

@@ -35,6 +35,7 @@ from repro.errors import BindingError, CatalogError, ExecutionError
 from repro.fault.injector import NullFaultInjector
 from repro.fault.recovery import NullRecovery
 from repro.obs.tracer import NullTracer, Tracer
+from repro.persist.manager import NullPersistence
 from repro.sim.clock import Meter, VirtualClock
 from repro.sim.costmodel import CostModel
 from repro.sim.metrics import MetricsCollector
@@ -127,6 +128,7 @@ class Database:
         tracer: Optional[Tracer] = None,
         faults: Optional[NullFaultInjector] = None,
         recovery: Optional[NullRecovery] = None,
+        persist: Optional[NullPersistence] = None,
     ) -> None:
         self.cost_model = cost_model or CostModel()
         self._cost_seconds = self.cost_model._seconds
@@ -143,6 +145,11 @@ class Database:
         self.faults.bind(self)
         self.recovery = recovery if recovery is not None else NullRecovery()
         self.recovery.bind(self)
+        # The durability hook point, same shape again: sites test
+        # `persist.enabled`; the NullPersistence default never allocates
+        # (see docs/PERSISTENCE.md).
+        self.persist = persist if persist is not None else NullPersistence()
+        self.persist.bind(self)
         self.clock = VirtualClock(start_time)
         self.catalog = Catalog()
         self.lock_manager = LockManager()
@@ -519,4 +526,6 @@ class Database:
             "faults_injected": self.faults.injected_count,
             "fault_retries": self.recovery.retry_count,
             "fault_dropped_tasks": self.recovery.drop_count,
+            "wal_records": self.persist.records_logged,
+            "checkpoints": self.persist.checkpoint_count,
         }

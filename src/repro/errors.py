@@ -70,6 +70,11 @@ class FunctionError(StripError):
     """A user function is missing, duplicated, or raised during execution."""
 
 
+class PersistenceError(StripError):
+    """The durability subsystem hit an invalid log, checkpoint, or replay
+    state (bad magic, corrupt checkpoint, unreplayable redo image)."""
+
+
 class SimulationError(StripError):
     """The discrete-event simulator was driven into an invalid state."""
 
@@ -100,3 +105,12 @@ class InjectedKillError(InjectedFaultError):
 
 class InjectedDeadlockError(InjectedFaultError, DeadlockError):
     """An injected fault made a lock request fail as a deadlock victim."""
+
+
+class InjectedCrashError(InjectedFaultError):
+    """An injected fault simulated whole-process death at a durability seam.
+
+    Unlike kills and aborts this is **not retryable**: there is no process
+    left to retry in.  The recovery policy refuses it, the run loop lets it
+    propagate, and the crash-recovery harness rebuilds a fresh database
+    from the WAL directory instead (``repro.persist.recovery``)."""

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Optional, Union
 
 from repro.errors import (
     InjectedAbortError,
+    InjectedCrashError,
     InjectedDeadlockError,
     InjectedFaultError,
     InjectedKillError,
@@ -117,6 +118,8 @@ class FaultInjector(NullFaultInjector):
             return InjectedKillError(message)
         if fault.action == "deadlock":
             return InjectedDeadlockError(message)
+        if fault.action == "crash":
+            return InjectedCrashError(message)
         raise ValueError(f"no error maps to action {fault.action!r}")  # pragma: no cover
 
     # ----------------------------------------------------------- recording

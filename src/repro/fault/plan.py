@@ -46,6 +46,9 @@ POINTS: dict[str, frozenset[str]] = {
     "unique.absorb": frozenset({"abort"}),  # core/unique.py _absorb()
     "unique.release": frozenset({"kill"}),  # sim/simulator.py (function tasks)
     "unique.compact": frozenset({"abort"}),  # core/unique.py _finalize_compaction()
+    "wal.append": frozenset({"crash"}),  # persist/manager.py _log(), pre-append
+    "wal.flush": frozenset({"crash"}),  # persist/manager.py _log(), pre-flush
+    "checkpoint.write": frozenset({"crash"}),  # persist/manager.py checkpoint()
 }
 
 _SPEC_RE = re.compile(

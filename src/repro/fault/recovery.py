@@ -19,23 +19,36 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from repro.errors import InjectedFaultError
+from repro.errors import InjectedCrashError, InjectedFaultError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.database import Database
     from repro.txn.tasks import Task
 
 
-def is_injected(exc: BaseException) -> bool:
-    """True when ``exc`` or anything on its cause chain is an injected fault."""
+def _chain_contains(exc: BaseException, kind: type) -> bool:
     seen: set[int] = set()
     current: Optional[BaseException] = exc
     while current is not None and id(current) not in seen:
-        if isinstance(current, InjectedFaultError):
+        if isinstance(current, kind):
             return True
         seen.add(id(current))
         current = current.__cause__ or current.__context__
     return False
+
+
+def is_injected(exc: BaseException) -> bool:
+    """True when ``exc`` or anything on its cause chain is an injected fault."""
+    return _chain_contains(exc, InjectedFaultError)
+
+
+def is_injected_crash(exc: BaseException) -> bool:
+    """True when the cause chain contains an injected process crash.
+
+    Crashes are not retryable — the "process" is dead, so no in-process
+    policy may handle them; recovery happens from the WAL directory in a
+    fresh database (:mod:`repro.persist.recovery`)."""
+    return _chain_contains(exc, InjectedCrashError)
 
 
 class NullRecovery:
@@ -74,8 +87,9 @@ class RetryPolicy(NullRecovery):
     def on_failure(
         self, db: "Database", task: "Task", exc: BaseException, now: float
     ) -> Optional[str]:
-        if not is_injected(exc):
-            return None
+        if not is_injected(exc) or is_injected_crash(exc):
+            return None  # organic bug, or the whole process is "dead"
+        persist = db.persist
         if task.retries >= self.max_retries:
             from repro.txn.tasks import TaskState
 
@@ -85,6 +99,8 @@ class RetryPolicy(NullRecovery):
             task.state = TaskState.ABORTED  # pre-start failures are still READY
             task.retire_bound_tables()
             db.unique_manager.forget(task)
+            if persist.enabled and task.function_name is not None:
+                persist.task_finished(task, "dropped")
             return "drop"
         task.retries += 1
         self.retry_count += 1
@@ -92,6 +108,8 @@ class RetryPolicy(NullRecovery):
         task.release_time = release
         db.task_manager.enqueue(task)
         db.unique_manager.readopt(task)
+        if persist.enabled and task.function_name is not None:
+            persist.task_requeued(task)
         if db.tracer.enabled:
             db.tracer.fault_retry(task, task.retries, release, now)
         return "retry"

@@ -31,6 +31,11 @@ Event taxonomy (``TraceEvent.kind``):
 ``fault.inject``            the fault injector fired at one of its points
 ``fault.retry``             recovery re-enqueued a faulted task with backoff
 ``fault.drop``              recovery exhausted a task's retries; rows dropped
+``persist.flush``           one WAL record was appended and flushed; carries
+                            its kind, LSN, and flushed bytes
+``persist.checkpoint``      a fuzzy checkpoint was written and the WAL
+                            truncated; carries snapshot size, table count,
+                            and the pending tasks captured
 ========================  ====================================================
 """
 
@@ -108,6 +113,12 @@ class Tracer:
     ) -> None: ...
     def fault_drop(self, task: "Task", attempts: int, now: float) -> None: ...
 
+    # --------------------------------------------------------- persistence
+    def persist_flush(self, kind: str, nbytes: int, lsn: int, now: float) -> None: ...
+    def persist_checkpoint(
+        self, path: str, nbytes: int, tables: int, tasks: int, now: float
+    ) -> None: ...
+
 
 class NullTracer(Tracer):
     """The zero-overhead default: ``db.tracer`` when nobody is watching."""
@@ -140,6 +151,9 @@ class TraceCollector(Tracer):
         )
         self._h_task_len = metrics_.histogram("task_length_s", lo=1e-6, hi=1e4)
         self._h_txn_len = metrics_.histogram("txn_length_s", lo=1e-6, hi=1e4)
+        self._h_wal_flush = metrics_.histogram(
+            "wal_flush_bytes", lo=1, hi=1 << 30, factor=2
+        )
 
     def bind(self, db: "Database") -> None:
         self._cost_seconds = dict(db.cost_model._seconds)
@@ -331,6 +345,25 @@ class TraceCollector(Tracer):
         self._emit(
             now, "fault.drop", task.klass, track="faults",
             task_id=task.task_id, attempts=attempts,
+        )
+
+    # --------------------------------------------------------- persistence
+
+    def persist_flush(self, kind: str, nbytes: int, lsn: int, now: float) -> None:
+        self.metrics.counter("wal_records").inc()
+        self._h_wal_flush.record(max(nbytes, 1))
+        self._emit(
+            now, "persist.flush", kind, track="persist",
+            lsn=lsn, bytes=nbytes,
+        )
+
+    def persist_checkpoint(
+        self, path: str, nbytes: int, tables: int, tasks: int, now: float
+    ) -> None:
+        self.metrics.counter("checkpoints").inc()
+        self._emit(
+            now, "persist.checkpoint", "checkpoint", track="persist",
+            bytes=nbytes, tables=tables, pending_tasks=tasks,
         )
 
     # ------------------------------------------------------------ results

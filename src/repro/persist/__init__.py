@@ -1,0 +1,51 @@
+"""Durability: write-ahead logging, fuzzy checkpoints, crash recovery.
+
+The paper sets durability aside ("we do not consider recovery issues");
+this subsystem adds the standard main-memory-DBMS answer, extended to
+STRIP's signature state — the **pending unique tasks** whose bound tables
+batch changes across transaction boundaries and therefore outlive any
+single transaction's commit:
+
+* :mod:`repro.persist.wal` — length-prefixed, CRC-checked, buffered redo
+  records with torn-tail truncation on open;
+* :mod:`repro.persist.checkpoint` — periodic transaction-consistent
+  snapshots (catalog, rules, clock, and the full pending-task set:
+  bound rows, ``unique on`` partition keys, release deadlines, retry
+  budgets) that truncate the WAL;
+* :mod:`repro.persist.recovery` — checkpoint load + idempotent WAL-tail
+  replay that re-enqueues resurrected tasks with their original
+  deadlines, and retries (with budget) tasks orphaned mid-execution;
+* :mod:`repro.persist.manager` — the ``db.persist`` hook point; the
+  default :class:`NullPersistence` costs one attribute check per site.
+
+See docs/PERSISTENCE.md for the record format and the protocol.
+"""
+
+from repro.persist.checkpoint import (
+    build_snapshot,
+    load_snapshot,
+    record_to_task,
+    restore_snapshot,
+    task_to_record,
+    write_snapshot,
+)
+from repro.persist.manager import NullPersistence, PersistenceManager
+from repro.persist.recovery import RecoveryReport, recover
+from repro.persist.wal import WriteAheadLog, encode_record, iter_frames, read_wal
+
+__all__ = [
+    "NullPersistence",
+    "PersistenceManager",
+    "RecoveryReport",
+    "WriteAheadLog",
+    "build_snapshot",
+    "encode_record",
+    "iter_frames",
+    "load_snapshot",
+    "read_wal",
+    "record_to_task",
+    "recover",
+    "restore_snapshot",
+    "task_to_record",
+    "write_snapshot",
+]

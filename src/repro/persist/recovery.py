@@ -1,0 +1,249 @@
+"""Crash recovery: load the last checkpoint, replay the WAL tail, and
+re-enqueue resurrected pending tasks so delayed batching resumes exactly
+where the dead process stopped.
+
+Replay is redo-only and idempotent: records with ``lsn`` at or below the
+checkpoint's high-water mark are skipped (a crash between checkpoint
+write and WAL truncation leaves such records behind), and every DML op
+carries full before/after images so it can be applied to the restored
+tables directly — no rules fire during replay; the rule *firings* are in
+the log as task events.
+
+**Orphan handling** (the PR's small fix): a task with a ``task_started``
+record but no matching retirement was running when the process died.  It
+is not replayed blindly — its effects were never durable (the action
+transaction's commit record is what carries them, and retirement rides
+in that same record) — instead it is re-enqueued through the same retry
+accounting :class:`repro.fault.recovery.RetryPolicy` uses: increment the
+retry count, push the release deadline by the backoff schedule, and drop
+the task once the budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.net_effect import fold_values, is_net_noop
+from repro.errors import PersistenceError
+from repro.persist.checkpoint import (
+    CHECKPOINT_FILE,
+    load_snapshot,
+    record_to_task,
+    restore_snapshot,
+)
+from repro.persist.manager import WAL_FILE
+from repro.persist.wal import read_wal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.database import Database
+    from repro.storage.table import Table
+    from repro.txn.tasks import Task
+
+
+@dataclass
+class RecoveryReport:
+    """What recovery found and rebuilt."""
+
+    wal_dir: str
+    checkpoint_lsn: int = 0
+    wal_records: int = 0
+    records_replayed: int = 0
+    ops_applied: int = 0
+    torn_bytes: int = 0
+    tasks_from_checkpoint: int = 0
+    tasks_from_wal: int = 0
+    tasks_retired: int = 0
+    tasks_resurrected: int = 0
+    orphans_retried: int = 0
+    orphans_dropped: int = 0
+    recovered_now: float = 0.0
+    resurrected: list["Task"] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = [
+            f"recovered from {self.wal_dir}",
+            f"  checkpoint lsn {self.checkpoint_lsn}, wal records "
+            f"{self.wal_records} ({self.records_replayed} replayed, "
+            f"{self.ops_applied} ops, {self.torn_bytes} torn bytes dropped)",
+            f"  pending tasks: {self.tasks_from_checkpoint} from checkpoint + "
+            f"{self.tasks_from_wal} from wal - {self.tasks_retired} retired "
+            f"= {self.tasks_resurrected} re-enqueued",
+            f"  orphans (started, never finished): {self.orphans_retried} "
+            f"retried, {self.orphans_dropped} dropped",
+            f"  virtual clock restored to {self.recovered_now:.6f}",
+        ]
+        return "\n".join(lines)
+
+
+def _find_record(table: "Table", values: list):
+    for record in table.scan():
+        if list(record.values) == values:
+            return record
+    return None
+
+
+def _apply_op(db: "Database", op: dict) -> None:
+    table = db.catalog.table(op["table"])
+    kind = op["op"]
+    if kind == "insert":
+        table.insert(op["values"])
+        return
+    target = _find_record(table, op["old"] if kind == "update" else op["values"])
+    if target is None:
+        raise PersistenceError(
+            f"replay: no row in {op['table']!r} matches {kind} image "
+            f"{op.get('old', op.get('values'))!r}"
+        )
+    if kind == "delete":
+        table.delete(target)
+    else:
+        table.update(target, op["new"])
+
+
+def _apply_absorb(task: "Task", bound: dict[str, list[list]]) -> None:
+    """Re-apply a logged absorb, folding through the compaction index when
+    the bound table is compacted (mirrors ``UniqueManager._compact_absorb``
+    minus cost charges)."""
+    state = task.compact_info
+    for name, rows in bound.items():
+        target = task.bound_tables[name]
+        if state is not None and name in state.specs:
+            spec = state.specs[name]
+            index = state.indexes[name]
+            for values in rows:
+                key = tuple(values[offset] for offset in spec.key_offsets)
+                at = index.get(key)
+                if at is None:
+                    index[key] = len(target._rows)
+                    target.append_values(values)
+                else:
+                    prev = target._rows[at][1]
+                    target._rows[at] = ((), fold_values(prev, values, spec))
+            state.rows_in += len(rows)
+        else:
+            for values in rows:
+                target.append_values(values)
+
+
+def _apply_compact_finalize(task: "Task") -> None:
+    """Replay the compaction finalize's deterministic no-op drop (the task
+    had started; its tables were already folded, so only the drop and the
+    state detach remain)."""
+    state = task.compact_info
+    task.compact_info = None
+    if state is None:
+        return
+    for name, spec in state.specs.items():
+        if not spec.can_drop_noops:
+            continue
+        target = task.bound_tables[name]
+        target._rows[:] = [
+            row for row in target._rows if not is_net_noop(row[1], spec)
+        ]
+
+
+def recover(
+    db: "Database",
+    wal_dir: str,
+    functions: Optional[dict[str, Callable]] = None,
+    max_retries: int = 5,
+    backoff: float = 0.25,
+    multiplier: float = 2.0,
+) -> RecoveryReport:
+    """Rebuild ``db`` (which must be empty) from ``wal_dir``.
+
+    ``functions`` maps user-function names to callables; they are
+    registered before tasks are resurrected so re-enqueued action bodies
+    resolve.  The retry knobs take the same defaults as
+    :class:`repro.fault.recovery.RetryPolicy` and govern orphans only.
+    """
+    report = RecoveryReport(wal_dir=str(wal_dir))
+    checkpoint_path = os.path.join(wal_dir, CHECKPOINT_FILE)
+    wal_path = os.path.join(wal_dir, WAL_FILE)
+    snapshot = load_snapshot(checkpoint_path)
+    if snapshot is None:
+        raise PersistenceError(
+            f"{wal_dir}: no checkpoint found — the persistence manager "
+            "writes one when armed; nothing to recover from"
+        )
+    if functions:
+        for name, fn in functions.items():
+            db.functions.register(name, fn, replace=True)
+    pending = restore_snapshot(db, snapshot)
+    report.checkpoint_lsn = snapshot["lsn"]
+    report.tasks_from_checkpoint = len(pending)
+    records, _valid, torn = read_wal(wal_path)
+    report.wal_records = len(records)
+    report.torn_bytes = torn
+
+    running: set[int] = set()
+    max_time = snapshot["now"]
+
+    for record in records:
+        if record.get("lsn", 0) <= snapshot["lsn"]:
+            continue
+        report.records_replayed += 1
+        kind = record["kind"]
+        if kind == "commit":
+            max_time = max(max_time, record["time"])
+            for op in record["ops"]:
+                _apply_op(db, op)
+                report.ops_applied += 1
+            for task_record in record["tasks_new"]:
+                pending[task_record["task_id"]] = record_to_task(db, task_record)
+                report.tasks_from_wal += 1
+            for absorb in record["absorbs"]:
+                task = pending.get(absorb["task_id"])
+                if task is not None:
+                    _apply_absorb(task, absorb["bound"])
+            finished = record.get("finished_task")
+            if finished is not None:
+                if pending.pop(finished, None) is not None:
+                    report.tasks_retired += 1
+                running.discard(finished)
+        elif kind == "task_started":
+            if record["task_id"] in pending:
+                running.add(record["task_id"])
+        elif kind == "task_finished":
+            if pending.pop(record["task_id"], None) is not None:
+                report.tasks_retired += 1
+            running.discard(record["task_id"])
+        elif kind == "task_requeued":
+            task = pending.get(record["task_id"])
+            if task is not None:
+                task.release_time = record["release_time"]
+                task.retries = record["retries"]
+            running.discard(record["task_id"])
+        elif kind == "task_compact":
+            task = pending.get(record["task_id"])
+            if task is not None:
+                _apply_compact_finalize(task)
+        else:
+            raise PersistenceError(f"replay: unknown WAL record kind {kind!r}")
+
+    db.clock.set_base(max_time)
+    report.recovered_now = max_time
+
+    for old_id in sorted(pending):
+        task = pending[old_id]
+        if old_id in running:
+            # Orphan: started but never retired — its effects were not
+            # durable, so re-run it, but through the retry budget rather
+            # than blindly (repro.fault.recovery semantics).
+            if task.retries >= max_retries:
+                task.retire_bound_tables()
+                report.orphans_dropped += 1
+                continue
+            task.retries += 1
+            task.release_time = max(
+                task.release_time,
+                max_time + backoff * multiplier ** (task.retries - 1),
+            )
+            report.orphans_retried += 1
+        db.task_manager.enqueue(task)
+        db.unique_manager.readopt(task)
+        report.tasks_resurrected += 1
+        report.resurrected.append(task)
+    return report

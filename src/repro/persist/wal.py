@@ -1,0 +1,187 @@
+"""The write-ahead log: length-prefixed, checksummed redo records.
+
+STRIP is a main-memory DBMS, so the only durable artifact of a run is the
+log.  The paper defers durability entirely ("we do not consider recovery
+issues in this paper"); this module supplies the standard main-memory
+answer — redo-only logging at commit plus fuzzy checkpoints (see
+docs/PERSISTENCE.md) — sized to the reproduction.
+
+File format::
+
+    STRIPWAL                                      8-byte magic
+    <u32 length> <u32 crc32> <payload> ...        repeated frames
+
+Each payload is a compact, key-sorted JSON object carrying a monotonically
+increasing ``lsn`` assigned by the :class:`~repro.persist.manager.
+PersistenceManager`.  JSON keeps records greppable; the binary framing
+gives O(1) skip and per-record corruption detection, which is what makes
+**torn-tail truncation** sound: on open, the file is scanned and cut back
+to the last intact frame, so a crash mid-write never poisons recovery.
+
+Appends are buffered in the log object and only reach the file (and,
+optionally, ``fsync``) on :meth:`WriteAheadLog.flush`.  The manager
+flushes once per logical record, *after* the ``wal.flush`` fault seam —
+so an injected ``crash`` between append and flush models exactly the
+process death that loses buffered-but-unflushed records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Any, Iterator, Optional, Union
+
+from repro.errors import PersistenceError
+
+MAGIC = b"STRIPWAL"
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+
+
+def encode_record(payload: dict) -> bytes:
+    """Frame one payload: ``<len><crc32><json>``."""
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    return _FRAME.pack(len(body), zlib.crc32(body)) + body
+
+
+def iter_frames(data: bytes) -> Iterator[tuple[dict, int]]:
+    """Yield ``(payload, end_offset)`` for each intact frame in ``data``.
+
+    Stops silently at the first torn (truncated) or corrupt (bad CRC /
+    undecodable) frame — the torn-tail rule.  ``data`` must start at the
+    first frame, i.e. *after* the file magic.
+    """
+    offset = 0
+    total = len(data)
+    while offset + _FRAME.size <= total:
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        end = start + length
+        if end > total:
+            return  # torn tail: header present, payload cut short
+        body = data[start:end]
+        if zlib.crc32(body) != crc:
+            return
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return
+        if not isinstance(payload, dict):
+            return
+        yield payload, end
+        offset = end
+
+
+def read_wal(path: Union[str, "os.PathLike[str]"]) -> tuple[list[dict], int, int]:
+    """Read every intact record from a WAL file.
+
+    Returns ``(records, valid_bytes, torn_bytes)`` where ``valid_bytes``
+    is the file offset of the last intact frame (including the magic) and
+    ``torn_bytes`` is whatever trailing garbage follows it.  A missing
+    file reads as empty; a file with the wrong magic is an error (it is
+    not a WAL, and truncating it would destroy someone else's data).
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return [], 0, 0
+    if not data:
+        return [], 0, 0
+    if not data.startswith(MAGIC):
+        raise PersistenceError(f"{path}: not a STRIP WAL (bad magic)")
+    records: list[dict] = []
+    valid = len(MAGIC)
+    for payload, end in iter_frames(data[len(MAGIC):]):
+        records.append(payload)
+        valid = len(MAGIC) + end
+    return records, valid, len(data) - valid
+
+
+class WriteAheadLog:
+    """An append-only record log over one file.
+
+    ``append`` buffers an encoded frame in memory; ``flush`` writes every
+    buffered frame and flushes (optionally fsyncs) the file.  ``close``
+    flushes first — buffered records are only ever lost when the process
+    dies between the two calls, which is precisely the crash the fault
+    injector simulates by raising before ``flush`` runs.
+    """
+
+    def __init__(self, path: Union[str, "os.PathLike[str]"], sync: bool = False) -> None:
+        self.path = str(path)
+        self.sync = sync
+        self._pending: list[bytes] = []
+        self.last_lsn: Optional[int] = None
+        self.record_count = 0
+        self.bytes_flushed = 0
+        self.flush_count = 0
+        records, valid, torn = read_wal(self.path)
+        self.torn_bytes = torn
+        if torn:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid)
+        if records:
+            self.record_count = len(records)
+            self.last_lsn = max(
+                (r["lsn"] for r in records if isinstance(r.get("lsn"), int)),
+                default=None,
+            )
+        fresh = not os.path.exists(self.path) or os.path.getsize(self.path) == 0
+        self._file = open(self.path, "ab")
+        if fresh:
+            self._file.write(MAGIC)
+            self._file.flush()
+
+    # ------------------------------------------------------------- writes
+
+    def append(self, payload: dict) -> int:
+        """Buffer one record; returns its framed size in bytes."""
+        frame = encode_record(payload)
+        self._pending.append(frame)
+        return len(frame)
+
+    def flush(self) -> int:
+        """Write all buffered frames; returns the bytes written."""
+        if not self._pending:
+            return 0
+        blob = b"".join(self._pending)
+        self._pending.clear()
+        self._file.write(blob)
+        self._file.flush()
+        if self.sync:
+            os.fsync(self._file.fileno())
+        self.bytes_flushed += len(blob)
+        self.flush_count += 1
+        return len(blob)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def truncate(self) -> None:
+        """Reset the log to empty (a checkpoint made its records obsolete)."""
+        self._pending.clear()
+        self._file.close()
+        with open(self.path, "wb") as handle:
+            handle.write(MAGIC)
+            handle.flush()
+            if self.sync:
+                os.fsync(handle.fileno())
+        self._file = open(self.path, "ab")
+
+    def close(self) -> None:
+        if self._file.closed:
+            return
+        self.flush()
+        self._file.close()
+
+    def read_all(self) -> list[dict]:
+        """Re-read every durable (flushed) record from the file."""
+        self._file.flush()
+        records, _valid, _torn = read_wal(self.path)
+        return records
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"WriteAheadLog({self.path!r}, pending={len(self._pending)})"

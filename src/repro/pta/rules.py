@@ -198,6 +198,21 @@ _OPTION_FUNCTIONS: dict[str, tuple[str, Callable]] = {
 }
 
 
+def function_registry() -> dict[str, Callable]:
+    """Every registered-name → callable pair the PTA workload can install.
+
+    Crash recovery re-registers user functions by name before resurrecting
+    pending tasks from the WAL (function code itself is never persisted —
+    like any database, the application must bring its own procedures)."""
+    registry: dict[str, Callable] = {}
+    for name, fn in _COMP_FUNCTIONS.values():
+        registry[name] = fn
+    for name, fn in _OPTION_FUNCTIONS.values():
+        registry[name] = fn
+    registry["maintain_option_listings"] = maintain_option_listings
+    return registry
+
+
 def _unique_clause(variant: str, family: str) -> str:
     if variant == "nonunique":
         return ""

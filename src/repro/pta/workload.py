@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 from repro.database import Database
 from repro.fault import ConvergenceReport, FaultInjector, RetryPolicy, check_convergence
 from repro.obs.tracer import TraceCollector, Tracer
+from repro.persist.manager import PersistenceManager
 from repro.pta.rules import install_comp_rule, install_option_rule
 from repro.pta.tables import Scale, populate
 from repro.pta.trace import QuoteEvent, TaqTraceGenerator
@@ -90,6 +91,10 @@ class ExperimentResult:
     oracle_divergent: Optional[int] = None  # None: oracle did not run
     oracle_rows: int = 0
     oracle_report: Optional[ConvergenceReport] = None
+    #: Durability outcome (None / zero for persistence-free runs).
+    wal_dir: Optional[str] = None  # the WAL directory the run logged into
+    wal_records: int = 0
+    checkpoints: int = 0
 
     @property
     def duration(self) -> float:
@@ -136,6 +141,9 @@ class ExperimentResult:
             out["fault_retries"] = self.fault_retries
             out["fault_drops"] = self.fault_drops
             out["oracle_divergent"] = self.oracle_divergent
+        if self.wal_dir is not None:
+            out["wal_records"] = self.wal_records
+            out["checkpoints"] = self.checkpoints
         return out
 
 
@@ -223,6 +231,9 @@ def run_experiment(
     fault_seed: int = 0,
     max_retries: int = 5,
     retry_backoff: float = 0.25,
+    wal_dir: Optional[str] = None,
+    checkpoint_every: Optional[float] = None,
+    wal_sync: bool = False,
 ) -> ExperimentResult:
     """Run one full PTA experiment and collect the paper's metrics.
 
@@ -255,6 +266,16 @@ def run_experiment(
         fault_seed: RNG seed for the injection schedule (reproducible runs).
         max_retries / retry_backoff: the recovery policy's retry budget and
             initial backoff (seconds) for faulted tasks.
+        wal_dir: write-ahead log + checkpoint directory.  Population and
+            rule DDL land in an initial checkpoint; every commit and task
+            event after that is redo-logged, so a crash at any point is
+            recoverable with ``repro.persist.recover`` (or ``python -m
+            repro recover``).  None (the default) keeps the run on the
+            zero-overhead :class:`~repro.persist.manager.NullPersistence`
+            path, byte-identical to a build without the subsystem.
+        checkpoint_every: fuzzy-checkpoint interval in virtual seconds
+            (consulted between tasks); None checkpoints only at setup.
+        wal_sync: fsync the WAL after every flush (slow, real durability).
     """
     if view not in ("comps", "options"):
         raise ValueError(f"view must be 'comps' or 'options', got {view!r}")
@@ -263,9 +284,15 @@ def run_experiment(
         injector = FaultInjector(faults, seed=fault_seed)
         injector.enabled = False  # setup is not under test; armed before run
         recovery = RetryPolicy(max_retries=max_retries, backoff=retry_backoff)
+    persist = None
+    if wal_dir is not None:
+        persist = PersistenceManager(
+            wal_dir, checkpoint_every=checkpoint_every, sync=wal_sync
+        )
+        persist.enabled = False  # setup goes into the initial checkpoint
     db = Database(
         cost_model=cost_model, policy=policy, tracer=tracer,
-        faults=injector, recovery=recovery,
+        faults=injector, recovery=recovery, persist=persist,
     )
     db.metrics.set_keep_records(keep_records)
     trace, events = get_trace(scale, seed, trace_kwargs)
@@ -275,6 +302,12 @@ def run_experiment(
     else:
         function_name = install_option_rule(db, variant, delay, compact=compact)
     simulator = Simulator(db, processors, drop_late=drop_late)
+    if persist is not None:
+        # Arm durability only now: DDL never flows through the WAL, so the
+        # initial checkpoint is what makes the populated schema + rules
+        # durable.  Redo logging covers everything from here on.
+        persist.enabled = True
+        persist.checkpoint()
     if injector is not None:
         injector.enabled = True
     simulator.run(arrivals=_trace_tasks(db, events, update_deadline))
@@ -327,7 +360,12 @@ def run_experiment(
         ),
         oracle_rows=oracle_report.rows_checked if oracle_report is not None else 0,
         oracle_report=oracle_report,
+        wal_dir=str(wal_dir) if wal_dir is not None else None,
+        wal_records=db.persist.records_logged,
+        checkpoints=db.persist.checkpoint_count,
     )
+    if persist is not None:
+        persist.close()
     if db_out is not None:
         db_out.append(db)
     return result

@@ -52,6 +52,10 @@ def execute_task(
     task.start_time = start
     if db.tracer.enabled:
         db.tracer.task_start(task, start)
+    if db.persist.enabled and task.function_name is not None:
+        # The orphan-detection marker: started-but-never-finished tasks are
+        # re-enqueued with retry accounting on recovery.
+        db.persist.task_started(task)
     bound_rows = task.bound_rows
     meter = task.meter
     charged_before = meter.total
@@ -113,6 +117,11 @@ def execute_task(
     task.end_time = end
     task.state = TaskState.DONE
     task.retire_bound_tables()
+    if db.persist.enabled and task.function_name is not None:
+        # Usually a no-op: the action transaction's own commit record
+        # already carried the retirement.  Covers bodies that committed
+        # nothing (the manager dedups by task id).
+        db.persist.task_finished(task, "done")
     record = TaskRecord(
         task_id=task.task_id,
         klass=task.klass,
@@ -145,6 +154,8 @@ def drop_task(db: "Database", task: Task, now: float) -> TaskRecord:
     db.charge("abort_txn")
     task.retire_bound_tables()
     db.unique_manager.on_task_start(task)  # pending entry must not go stale
+    if db.persist.enabled and task.function_name is not None:
+        db.persist.task_finished(task, "dropped")
     record = TaskRecord(
         task_id=task.task_id,
         klass=task.klass,
@@ -260,6 +271,10 @@ class Simulator:
                 continue
             free_at[server] = record.end_time
             executed += 1
+            if db.persist.enabled:
+                # Fuzzy checkpoints run between tasks, never mid-commit, so
+                # the snapshot is transaction-consistent by construction.
+                db.persist.maybe_checkpoint()
             if max_tasks is not None and executed >= max_tasks:
                 break
         self.executed += executed

@@ -79,6 +79,15 @@ class DelayQueue:
     def __bool__(self) -> bool:
         return self._live > 0
 
+    def __iter__(self) -> Iterator[Task]:
+        """Live (non-cancelled) tasks in release order, without popping —
+        the checkpointer enumerates the queue in place."""
+        return (
+            task
+            for _release, _seq, task in sorted(self._heap)
+            if task.task_id not in self._cancelled
+        )
+
 
 class ReadyQueue:
     """Released tasks ordered by the scheduling policy."""

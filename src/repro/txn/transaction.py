@@ -182,6 +182,13 @@ class Transaction:
                 self.abort()
                 raise faults.error_for(fault, label)
         self.commit_time = self.db.clock.now()
+        persist = self.db.persist
+        persisting = persist.enabled
+        if persisting:
+            # Buffer this commit's rule-engine events (task creations,
+            # absorbs) so they land in ONE composite WAL record with the
+            # DML — or vanish with it if the commit fails.
+            persist.begin_commit(self)
         if len(self.log):
             # Absorbs into *pending* tasks are visible side effects of this
             # commit; journal them so a failing commit can rescind them —
@@ -195,10 +202,18 @@ class Transaction:
                 # A failing rule fails the commit: roll the transaction back
                 # so no locks or half-applied changes survive, then re-raise.
                 unique.rollback_undo()
+                if persisting:
+                    persist.rollback_commit()
                 self.commit_time = None
                 self.abort()
                 raise
             unique.discard_undo()
+        if persisting:
+            # The redo record is built after rule processing (new tasks'
+            # bound tables — and their release times — are final) and
+            # before the commit point; a crash here loses the whole
+            # commit, never part of it.
+            persist.commit(self)
         self.db.charge("commit_txn")
         self._release_locks()
         self.state = TransactionState.COMMITTED
