@@ -219,6 +219,60 @@ def wal_overhead_sweep(
     return rows
 
 
+def obs_overhead_sweep(
+    scale: Optional[Scale] = None,
+    delay: float = 1.0,
+    seed: int = 0,
+    view: str = "comps",
+    variant: str = "unique",
+) -> list[dict]:
+    """Real wall-clock cost of observability: the same experiment with the
+    default :class:`~repro.obs.tracer.NullTracer`, a bare
+    :class:`~repro.obs.tracer.TraceCollector`, and a collector with
+    time-series sampling enabled.
+
+    Like persistence, observability charges **no virtual CPU** — the
+    collector only reads engine state, never calls ``db.charge`` — so the
+    simulated results must be identical across modes; the price is real
+    time per run, reported as wall-clock updates/second.
+    """
+    import time
+
+    from repro.obs.tracer import TraceCollector
+
+    scale = scale or bench_scale()
+    modes = [
+        ("null", lambda: None),
+        ("collector", lambda: TraceCollector(sample_interval=0.0)),
+        ("collector+ts", lambda: TraceCollector(sample_interval=1.0)),
+    ]
+    rows = []
+    for mode, make_tracer in modes:
+        tracer = make_tracer()
+        begin = time.perf_counter()
+        result = run_experiment(scale, view, variant, delay, seed, tracer=tracer)
+        wall = time.perf_counter() - begin
+        events = len(tracer.events) if tracer is not None else 0
+        samples = (
+            len(tracer.timeseries.samples)
+            if tracer is not None and tracer.timeseries is not None
+            else 0
+        )
+        rows.append(
+            {
+                "mode": mode,
+                "wall_s": round(wall, 3),
+                "updates_per_s": round(result.n_updates / wall, 1),
+                "events": events,
+                "samples": samples,
+                "n_recomputes": result.n_recomputes,
+                "cpu_fraction": round(result.cpu_fraction, 4),
+                "end_time": round(result.end_time, 6),
+            }
+        )
+    return rows
+
+
 def option_symbol_probe(
     scale: Optional[Scale] = None, delay: float = 1.0, seed: int = 0
 ) -> ExperimentResult:

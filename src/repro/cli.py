@@ -5,6 +5,7 @@ Examples::
     python -m repro table1
     python -m repro experiment --view options --variant on_symbol --delay 1.5
     python -m repro figure 9 --scale tiny
+    python -m repro stats --scale tiny --json-out snapshot.json
     python -m repro trace --stats
     python -m repro sql "select 40 + 2 as answer from t"   # against a demo db
 """
@@ -12,12 +13,21 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import Optional, Sequence
 
 from repro.bench.reporting import format_series, format_table
-from repro.obs import TraceCollector, stats_report, write_chrome_trace, write_jsonl
+from repro.obs import (
+    TraceCollector,
+    sparkline,
+    stats_report,
+    stats_snapshot,
+    write_chrome_trace,
+    write_jsonl,
+    write_series_jsonl,
+)
 from repro.pta.tables import Scale
 from repro.pta.workload import run_experiment
 from repro.sim.costmodel import SIMPLE_UPDATE_PATH, TABLE1_US, CostModel
@@ -52,9 +62,30 @@ def _cmd_table1(_args: argparse.Namespace) -> int:
 
 
 def _make_collector(args: argparse.Namespace) -> Optional[TraceCollector]:
-    if getattr(args, "trace_out", None) or getattr(args, "stats_out", None):
+    if (
+        getattr(args, "trace_out", None)
+        or getattr(args, "stats_out", None)
+        or getattr(args, "obs", False)
+    ):
         return TraceCollector()
     return None
+
+
+def _freshness_sections(collector: TraceCollector) -> None:
+    """Print the staleness and attribution tables one experiment produced."""
+    view_rows = collector.staleness.view_rows()
+    if view_rows:
+        print(format_table(view_rows, "Derived-view staleness (virtual seconds)"))
+    rule_rows = collector.staleness.rule_rows()
+    if rule_rows:
+        print(format_table(rule_rows, "Per-rule staleness (virtual seconds)"))
+    if collector.staleness.lost:
+        print(
+            f"staleness: {collector.staleness.lost} mutations lost to dropped tasks"
+        )
+    attribution_rows = collector.attribution.profile_rows()
+    if attribution_rows:
+        print(format_table(attribution_rows, "Per-rule cost attribution"))
 
 
 def _ensure_parent(path: str) -> None:
@@ -132,6 +163,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.drop_late:
         print(f"dropped (firm deadline): {result.dropped_tasks}")
     if collector is not None:
+        _freshness_sections(collector)
         if args.trace_out:
             _write_trace(collector, args.trace_out)
         if args.stats_out:
@@ -154,6 +186,62 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(result.oracle_report.format())
         if not result.oracle_report.ok:
             return 1
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run one experiment under full observability and render a dashboard:
+    staleness percentiles, the per-rule cost attribution table, and the
+    virtual-time series (with optional JSON / JSONL exports)."""
+    scale = _scale_of(args.scale)
+    collector = TraceCollector(sample_interval=args.interval)
+    result = run_experiment(
+        scale,
+        view=args.view,
+        variant=args.variant,
+        delay=args.delay,
+        seed=args.seed,
+        tracer=collector,
+        compact=args.compact,
+    )
+    print(format_table([result.row()], "Experiment result"))
+    _freshness_sections(collector)
+    sampler = collector.timeseries
+    if sampler is not None and sampler.samples:
+        print(
+            format_table(
+                sampler.summary_rows(),
+                f"Time series ({len(sampler.samples)} samples, "
+                f"every {sampler.interval:g}s virtual)",
+            )
+        )
+        depths = [sample.get("queue_depth", 0.0) for sample in sampler.samples]
+        print(f"queue depth  {sparkline(depths)}")
+        lags = [
+            sample.get("staleness_watermark_s", 0.0) for sample in sampler.samples
+        ]
+        print(f"staleness    {sparkline(lags)}")
+        latest = sampler.latest() or {}
+        print(f"final backpressure signal: {latest.get('backpressure', 0.0):.3f}")
+    meta = {
+        "view": args.view,
+        "variant": args.variant,
+        "delay": args.delay,
+        "scale": args.scale,
+        "seed": args.seed,
+        "end_time": result.end_time,
+    }
+    if args.json_out:
+        _ensure_parent(args.json_out)
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(stats_snapshot(collector, meta), handle, indent=2)
+        print(f"stats snapshot -> {args.json_out}")
+    if args.series_out:
+        _ensure_parent(args.series_out)
+        count = write_series_jsonl(
+            sampler.samples if sampler is not None else [], args.series_out
+        )
+        print(f"time series: {count} samples -> {args.series_out}")
     return 0
 
 
@@ -416,7 +504,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats-out", metavar="PATH",
         help="write a plain-text stats report ('-' for stdout)",
     )
+    experiment.add_argument(
+        "--obs", action="store_true",
+        help="attach a trace collector even without --trace-out/--stats-out "
+        "(prints staleness and cost-attribution tables after the run)",
+    )
     experiment.set_defaults(fn=_cmd_experiment)
+
+    stats = sub.add_parser(
+        "stats",
+        help="run one experiment under full observability: staleness "
+        "percentiles, per-rule cost attribution, and the virtual-time "
+        "series dashboard",
+    )
+    stats.add_argument("--view", choices=["comps", "options"], default="comps")
+    stats.add_argument(
+        "--variant",
+        choices=["nonunique", "unique", "on_symbol", "on_comp", "on_option"],
+        default="unique",
+    )
+    stats.add_argument("--delay", type=float, default=1.0)
+    stats.add_argument("--scale", default="tiny")
+    stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument("--compact", action="store_true")
+    stats.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="time-series sampling cadence in virtual seconds (<=0 disables "
+        "sampling; default 1.0)",
+    )
+    stats.add_argument(
+        "--json-out", metavar="PATH",
+        help="write the full stats snapshot as JSON (schema: "
+        "docs/schemas/stats_snapshot.schema.json)",
+    )
+    stats.add_argument(
+        "--series-out", metavar="PATH",
+        help="write the sampled time series as JSONL (schema: "
+        "docs/schemas/stats_series.schema.json)",
+    )
+    stats.set_defaults(fn=_cmd_stats)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("number", choices=sorted(_FIGURES))

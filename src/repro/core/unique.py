@@ -367,6 +367,7 @@ class UniqueManager:
             release_time=commit_time + rule.after,
             created_time=commit_time,
             function_name=rule.function,
+            rule_name=rule.name,
             unique_key=unique_key,
             bound_tables=bound,
             estimated_cpu=estimated,

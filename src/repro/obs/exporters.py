@@ -19,7 +19,7 @@ Timestamps in Chrome output are **microseconds of virtual time**.
 from __future__ import annotations
 
 import json
-from typing import TYPE_CHECKING, Any, Iterable, Union
+from typing import TYPE_CHECKING, Any, Iterable, Optional, Union
 
 from repro.obs.tracer import TraceCollector, TraceEvent
 
@@ -173,13 +173,10 @@ def _histogram_section(name: str, registry: "MetricsRegistry") -> str:
     histogram = registry.histograms[name]
     if histogram.count == 0:
         return f"histogram {name}: (empty)"
-    rows = histogram.bucket_rows()
-    header = (
-        f"histogram {name}: n={histogram.count} mean={histogram.mean:.6g} "
-        f"min={histogram.min:.6g} max={histogram.max:.6g} "
-        f"p50<={histogram.percentile(0.5):.6g} p99<={histogram.percentile(0.99):.6g}"
-    )
-    return format_table(rows, header)
+    # Quantiles are the headline (p50/p95/p99 are upper-bucket-bound
+    # estimates); the raw bucket table stays available programmatically
+    # via Histogram.bucket_rows().
+    return format_table([histogram.quantile_row()], f"histogram {name}")
 
 
 def stats_report(collector: TraceCollector, title: str = "Trace statistics") -> str:
@@ -195,15 +192,66 @@ def stats_report(collector: TraceCollector, title: str = "Trace statistics") -> 
     if counter_rows:
         sections.append(format_table(counter_rows, "Event counters"))
     gauge_rows = [
-        {"gauge": name, "value": gauge.value, "max": gauge.max}
+        {"gauge": name, "value": gauge.value, "min": gauge.min, "max": gauge.max}
         for name, gauge in sorted(registry.gauges.items())
     ]
     if gauge_rows:
         sections.append(format_table(gauge_rows, "Gauges"))
     for name in sorted(registry.histograms):
         sections.append(_histogram_section(name, registry))
+    staleness_rows = collector.staleness.view_rows()
+    if staleness_rows:
+        sections.append(
+            format_table(staleness_rows, "Derived-view staleness (virtual seconds)")
+        )
+    rule_rows = collector.staleness.rule_rows()
+    if rule_rows:
+        sections.append(
+            format_table(rule_rows, "Per-rule staleness (virtual seconds)")
+        )
+    if collector.staleness.lost:
+        sections.append(
+            f"staleness: {collector.staleness.lost} mutations lost to dropped tasks"
+        )
+    attribution_rows = collector.attribution.profile_rows()
+    if attribution_rows:
+        sections.append(format_table(attribution_rows, "Per-rule cost attribution"))
+    if collector.timeseries is not None and collector.timeseries.samples:
+        sections.append(
+            format_table(
+                collector.timeseries.summary_rows(),
+                f"Time series ({len(collector.timeseries.samples)} samples, "
+                f"every {collector.timeseries.interval:g}s virtual)",
+            )
+        )
     cpu_rows = collector.cpu_rows()
     if cpu_rows:
         sections.append(format_table(cpu_rows, "CPU by charge kind (finished tasks)"))
     sections.append(f"events recorded: {len(collector.events)}")
     return "\n\n".join(sections)
+
+
+# ------------------------------------------------------------- stats JSON
+
+
+def stats_snapshot(
+    collector: TraceCollector, meta: Optional[dict[str, Any]] = None
+) -> dict[str, Any]:
+    """The full observability state as one JSON-serialisable document.
+
+    This is the ``repro stats --json-out`` payload; its shape is pinned by
+    ``docs/schemas/stats_snapshot.schema.json`` (validated in CI with
+    :mod:`repro.obs.schema`).
+    """
+    registry_snapshot = collector.metrics.snapshot()
+    return {
+        "meta": dict(meta or {}),
+        "counters": registry_snapshot["counters"],
+        "gauges": registry_snapshot["gauges"],
+        "staleness": collector.staleness.snapshot(),
+        "attribution": collector.attribution.snapshot(),
+        "series": (
+            collector.timeseries.series() if collector.timeseries is not None else []
+        ),
+        "events": len(collector.events),
+    }

@@ -39,22 +39,36 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time value; remembers the maximum ever set."""
+    """A point-in-time value; remembers the minimum and maximum ever set.
 
-    __slots__ = ("name", "value", "max")
+    Extremes are seeded from the **first** observed value, not from 0.0, so
+    gauges that only ever take negative (or only large positive) values
+    report true bounds: before any ``set()`` all three read 0.0.
+    """
+
+    __slots__ = ("name", "value", "min", "max", "_seen")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self.min = 0.0
         self.max = 0.0
+        self._seen = False
 
     def set(self, value: float) -> None:
         self.value = value
+        if not self._seen:
+            self._seen = True
+            self.min = value
+            self.max = value
+            return
+        if value < self.min:
+            self.min = value
         if value > self.max:
             self.max = value
 
     def __repr__(self) -> str:
-        return f"Gauge({self.name}={self.value}, max={self.max})"
+        return f"Gauge({self.name}={self.value}, min={self.min}, max={self.max})"
 
 
 def log_bounds(lo: float, hi: float, factor: float) -> tuple[float, ...]:
@@ -144,8 +158,21 @@ class Histogram:
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
             "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
             "p99": self.percentile(0.99),
             "buckets": self.bucket_rows(),
+        }
+
+    def quantile_row(self) -> dict[str, Any]:
+        """The headline quantiles as one flat report row."""
+        return {
+            "n": self.count,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "max": self.max if self.count else 0.0,
         }
 
     def __repr__(self) -> str:
@@ -183,7 +210,7 @@ class MetricsRegistry:
         return {
             "counters": {name: c.value for name, c in sorted(self.counters.items())},
             "gauges": {
-                name: {"value": g.value, "max": g.max}
+                name: {"value": g.value, "min": g.min, "max": g.max}
                 for name, g in sorted(self.gauges.items())
             },
             "histograms": {

@@ -1,0 +1,80 @@
+"""A minimal JSON-Schema-subset validator for observability artifacts.
+
+The CI smoke jobs validate the ``repro stats`` snapshot and series files
+against checked-in schemas (``docs/schemas/*.schema.json``).  The repo is
+dependency-free by design, so rather than requiring ``jsonschema`` this
+module implements the small keyword subset those schemas use:
+
+``type`` (string or list; ``integer`` excludes booleans), ``properties``,
+``required``, ``additionalProperties`` (``false`` or a schema applied to
+unlisted keys), ``items`` (single schema), ``enum``, and ``minimum``.
+
+Unknown keywords are ignored, exactly like a conformant validator would
+ignore unsupported vocabularies — but the schemas in this repo should
+stick to the subset above so every keyword is actually enforced.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+class SchemaError(ValueError):
+    """The instance does not conform to the schema."""
+
+
+def validate(instance: Any, schema: dict, path: str = "$") -> list[str]:
+    """All violations of ``schema`` by ``instance`` (empty list: valid)."""
+    errors: list[str] = []
+    expected = schema.get("type")
+    if expected is not None:
+        types = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[t](instance) for t in types):
+            errors.append(
+                f"{path}: expected type {expected}, got {type(instance).__name__}"
+            )
+            return errors  # structural keywords below assume the right type
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in enum {schema['enum']!r}")
+    if "minimum" in schema and isinstance(instance, (int, float)) and not isinstance(
+        instance, bool
+    ):
+        if instance < schema["minimum"]:
+            errors.append(f"{path}: {instance!r} < minimum {schema['minimum']!r}")
+    if isinstance(instance, dict):
+        properties = schema.get("properties", {})
+        for key in schema.get("required", []):
+            if key not in instance:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub in properties.items():
+            if key in instance:
+                errors.extend(validate(instance[key], sub, f"{path}.{key}"))
+        additional = schema.get("additionalProperties")
+        if additional is not None:
+            extras = [key for key in instance if key not in properties]
+            if additional is False and extras:
+                errors.append(f"{path}: unexpected keys {sorted(extras)!r}")
+            elif isinstance(additional, dict):
+                for key in extras:
+                    errors.extend(validate(instance[key], additional, f"{path}.{key}"))
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            errors.extend(validate(item, schema["items"], f"{path}[{i}]"))
+    return errors
+
+
+def check(instance: Any, schema: dict) -> None:
+    """Raise :class:`SchemaError` listing every violation (no-op if valid)."""
+    errors = validate(instance, schema)
+    if errors:
+        raise SchemaError("; ".join(errors))

@@ -1,0 +1,173 @@
+"""Freshness/staleness tracking for derived data.
+
+STRIP's central trade-off is deferring rule execution — delayed ``unique``
+tasks, batching, compaction — at the cost of derived-data *staleness*.
+This module measures that cost directly: every base-table mutation that
+fires a maintenance rule is **stamped** with its commit time when its rows
+enter a pending task (``unique.new`` / ``unique.append``), and when the
+task completes the lag ``reflection_time - stamp`` is recorded, in virtual
+seconds, into per-view and per-rule log-bucket histograms.
+
+The stamp rides the pending task, so the measured lag is exactly what a
+reader of the derived table experiences: the ``after`` delay window, plus
+queueing, plus the recompute itself.  Mutations whose task is dropped
+(firm deadline or exhausted fault retries) are counted as ``lost`` — their
+staleness is unbounded, so they must not silently vanish from the
+percentiles.  Fault-retried tasks keep their stamps: a retry lengthens the
+lag, it does not reset it.
+
+Views are labelled through :meth:`StalenessTracker.register_view` (wired
+from ``views/maintain.materialize`` and the PTA rule installers via the
+tracer's ``view_registered`` hook); unregistered rule functions fall back
+to the function name, so every rule-maintained table is tracked either way.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+from repro.obs.metrics import Histogram, log_bounds
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.txn.tasks import Task
+
+#: Default staleness bucket bounds: 1 ms .. ~1000 s of virtual time.
+STALENESS_BOUNDS = log_bounds(1e-3, 1e3, 2.0)
+
+
+class _Outstanding:
+    """Stamps carried by one pending/running task."""
+
+    __slots__ = ("view", "rule", "stamps")
+
+    def __init__(self, view: str, rule: str, stamp: float) -> None:
+        self.view = view
+        self.rule = rule
+        self.stamps = [stamp]
+
+
+class StalenessTracker:
+    """Mutation-to-reflection lag per derived view and per rule."""
+
+    def __init__(self, bounds: Sequence[float] = STALENESS_BOUNDS) -> None:
+        self.bounds = tuple(bounds)
+        self.by_view: dict[str, Histogram] = {}
+        self.by_rule: dict[str, Histogram] = {}
+        #: function name -> view label (from register_view).
+        self._views: dict[str, str] = {}
+        #: task_id -> the mutations awaiting that task's completion.
+        self._outstanding: dict[int, _Outstanding] = {}
+        self.reflected = 0  # mutations whose lag was measured
+        self.lost = 0  # mutations whose task was dropped (staleness unbounded)
+
+    # ------------------------------------------------------------- labels
+
+    def register_view(self, view: str, function: str, rules: Sequence[str]) -> None:
+        """Label the staleness series of ``function``'s tasks with ``view``."""
+        self._views[function] = view
+
+    def view_of(self, task: "Task") -> str:
+        return self._views.get(task.function_name or "", task.function_name or task.klass)
+
+    # ----------------------------------------------------------- stamping
+
+    def _hist(self, table: dict[str, Histogram], label: str) -> Histogram:
+        histogram = table.get(label)
+        if histogram is None:
+            histogram = table[label] = Histogram(label, bounds=self.bounds)
+        return histogram
+
+    def on_task_new(self, task: "Task", now: float) -> None:
+        """A dispatch opened a fresh pending task for one rule firing."""
+        if task.function_name is None:
+            return
+        self._outstanding[task.task_id] = _Outstanding(
+            self.view_of(task), task.rule_name or task.klass, task.created_time
+        )
+
+    def on_task_append(self, task: "Task", now: float) -> None:
+        """A later firing coalesced onto the pending task: new stamp."""
+        entry = self._outstanding.get(task.task_id)
+        if entry is not None:
+            entry.stamps.append(now)
+
+    def on_task_done(self, task: "Task", end_time: float) -> None:
+        """The task committed: every stamped mutation is now reflected."""
+        entry = self._outstanding.pop(task.task_id, None)
+        if entry is None:
+            return
+        view_hist = self._hist(self.by_view, entry.view)
+        rule_hist = self._hist(self.by_rule, entry.rule)
+        for stamp in entry.stamps:
+            lag = max(end_time - stamp, 0.0)
+            view_hist.record(lag)
+            rule_hist.record(lag)
+        self.reflected += len(entry.stamps)
+
+    def on_task_dropped(self, task: "Task", now: float) -> None:
+        """The task was discarded: its mutations will never be reflected."""
+        entry = self._outstanding.pop(task.task_id, None)
+        if entry is not None:
+            self.lost += len(entry.stamps)
+
+    # ------------------------------------------------------------ queries
+
+    def outstanding(self) -> int:
+        """Mutations stamped but not yet reflected."""
+        return sum(len(entry.stamps) for entry in self._outstanding.values())
+
+    def oldest_stamp(self) -> Optional[float]:
+        oldest: Optional[float] = None
+        for entry in self._outstanding.values():
+            first = entry.stamps[0]  # stamps are appended in time order
+            if oldest is None or first < oldest:
+                oldest = first
+        return oldest
+
+    def watermark(self, now: float) -> float:
+        """Age of the oldest unreflected mutation (0.0 when caught up).
+
+        This is the run's live staleness bound: no derived row is more
+        than ``watermark`` virtual seconds behind its base data."""
+        oldest = self.oldest_stamp()
+        if oldest is None:
+            return 0.0
+        return max(now - oldest, 0.0)
+
+    # ------------------------------------------------------------ reports
+
+    @staticmethod
+    def _rows(table: dict[str, Histogram], label_key: str) -> list[dict[str, Any]]:
+        rows = []
+        for label in sorted(table):
+            histogram = table[label]
+            rows.append(
+                {
+                    label_key: label,
+                    "n": histogram.count,
+                    "mean_s": histogram.mean,
+                    "p50_s": histogram.percentile(0.50),
+                    "p95_s": histogram.percentile(0.95),
+                    "p99_s": histogram.percentile(0.99),
+                    "max_s": histogram.max if histogram.count else 0.0,
+                }
+            )
+        return rows
+
+    def view_rows(self) -> list[dict[str, Any]]:
+        """Per-view staleness percentiles for report tables."""
+        return self._rows(self.by_view, "view")
+
+    def rule_rows(self) -> list[dict[str, Any]]:
+        """Per-rule staleness percentiles for report tables."""
+        return self._rows(self.by_rule, "rule")
+
+    def snapshot(self) -> dict[str, Any]:
+        """Everything as plain JSON-serialisable dicts."""
+        return {
+            "views": {label: h.snapshot() for label, h in sorted(self.by_view.items())},
+            "rules": {label: h.snapshot() for label, h in sorted(self.by_rule.items())},
+            "reflected": self.reflected,
+            "lost": self.lost,
+            "outstanding": self.outstanding(),
+        }

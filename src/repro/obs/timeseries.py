@@ -1,0 +1,139 @@
+"""Virtual-clock time series: periodic gauge/counter snapshots.
+
+Histograms aggregate *over the whole run*; the sampler captures how the
+system state **evolves** — queue depths, pending unique tasks, the
+staleness watermark, cumulative task/transaction counts — on a fixed
+virtual-time cadence.  The :class:`~repro.obs.tracer.TraceCollector`
+drives it from its hot hooks (enqueue / task-done / commit): when a sample
+comes due the collector assembles the value dict, the sampler stores it,
+and the collector mirrors it onto Chrome-trace counter tracks so Perfetto
+plots the same series.
+
+The sampler also turns its thresholds into a **backpressure** admission
+signal in ``[0, 1]``: 0 while queues are shallow and derived data fresh,
+climbing linearly to 1 as either the queue depth or the staleness
+watermark approaches its configured maximum.  This is the signal the
+ROADMAP's network front-end needs to shed or delay incoming update load
+before the delay queue grows without bound.
+
+Series export is JSONL (one sample per line) via
+:func:`write_series_jsonl` / :func:`read_series_jsonl`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+
+class TimeSeriesSampler:
+    """Fixed-cadence sampling of engine gauges in virtual time."""
+
+    def __init__(
+        self,
+        interval: float = 1.0,
+        max_queue_depth: float = 64.0,
+        max_staleness: float = 10.0,
+    ) -> None:
+        """
+        Args:
+            interval: virtual seconds between samples.
+            max_queue_depth: queue depth at which backpressure saturates.
+            max_staleness: staleness watermark (virtual seconds) at which
+                backpressure saturates.
+        """
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.interval = float(interval)
+        self.max_queue_depth = float(max_queue_depth)
+        self.max_staleness = float(max_staleness)
+        self.samples: list[dict[str, Any]] = []
+        self._next_at: Optional[float] = None  # None: sample at first tick
+
+    def due(self, now: float) -> bool:
+        """Is a sample owed at virtual time ``now``?"""
+        return self._next_at is None or now >= self._next_at
+
+    def record(self, now: float, values: dict[str, Any]) -> dict[str, Any]:
+        """Store one sample and schedule the next one ``interval`` later."""
+        sample = {"ts": now, **values}
+        self.samples.append(sample)
+        self._next_at = now + self.interval
+        return sample
+
+    def backpressure(self, queue_depth: float, staleness: float) -> float:
+        """Admission signal in [0, 1] from the current load indicators."""
+        pressure = max(
+            queue_depth / self.max_queue_depth if self.max_queue_depth > 0 else 0.0,
+            staleness / self.max_staleness if self.max_staleness > 0 else 0.0,
+        )
+        return min(max(pressure, 0.0), 1.0)
+
+    # ------------------------------------------------------------ reports
+
+    def series(self) -> list[dict[str, Any]]:
+        """The recorded samples, oldest first (plain dicts)."""
+        return list(self.samples)
+
+    def latest(self) -> Optional[dict[str, Any]]:
+        return self.samples[-1] if self.samples else None
+
+    def summary_rows(self) -> list[dict[str, Any]]:
+        """Min/mean/max per sampled field, for report tables."""
+        if not self.samples:
+            return []
+        fields = [key for key in self.samples[0] if key != "ts"]
+        rows = []
+        for field in fields:
+            values = [float(sample[field]) for sample in self.samples]
+            rows.append(
+                {
+                    "series": field,
+                    "samples": len(values),
+                    "min": min(values),
+                    "mean": sum(values) / len(values),
+                    "max": max(values),
+                    "last": values[-1],
+                }
+            )
+        return rows
+
+
+def write_series_jsonl(samples: list[dict[str, Any]], path: str) -> int:
+    """One sample per line; returns the number of samples written."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for sample in samples:
+            handle.write(json.dumps(sample) + "\n")
+    return len(samples)
+
+
+def read_series_jsonl(path: str) -> list[dict[str, Any]]:
+    samples = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                samples.append(json.loads(line))
+    return samples
+
+
+def sparkline(values: list[float], width: int = 60) -> str:
+    """A unicode sparkline of ``values``, downsampled to ``width`` cells."""
+    if not values:
+        return "(no samples)"
+    blocks = "▁▂▃▄▅▆▇█"
+    if len(values) > width:
+        # Downsample by taking the max of each chunk (peaks matter).
+        chunk = len(values) / width
+        values = [
+            max(values[int(i * chunk) : max(int((i + 1) * chunk), int(i * chunk) + 1)])
+            for i in range(width)
+        ]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return blocks[0] * len(values)
+    return "".join(
+        blocks[min(int((v - lo) / span * (len(blocks) - 1)), len(blocks) - 1)]
+        for v in values
+    )

@@ -36,7 +36,20 @@ Event taxonomy (``TraceEvent.kind``):
 ``persist.checkpoint``      a fuzzy checkpoint was written and the WAL
                             truncated; carries snapshot size, table count,
                             and the pending tasks captured
+``view.register``           a maintained view was registered for staleness
+                            labelling; carries its function and rule names
+``counter.pending``         pending unique tasks and outstanding (stamped,
+                            unreflected) mutations (a Chrome counter track)
+``counter.staleness``       the staleness watermark in virtual seconds
+``counter.backpressure``    the admission signal in [0, 1]
 ========================  ====================================================
+
+The collector composes the second observability layer from three parts it
+owns and feeds: a :class:`~repro.obs.staleness.StalenessTracker` (mutation
+-> reflection lag per view/rule), an
+:class:`~repro.obs.attribution.AttributionProfiler` (per-rule cost
+roll-up), and a :class:`~repro.obs.timeseries.TimeSeriesSampler`
+(virtual-clock gauge snapshots plus the ``backpressure()`` signal).
 """
 
 from __future__ import annotations
@@ -44,7 +57,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Optional
 
+from repro.obs.attribution import AttributionProfiler
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.staleness import StalenessTracker
+from repro.obs.timeseries import TimeSeriesSampler
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.database import Database
@@ -79,6 +95,11 @@ class Tracer:
     def txn_commit(self, txn: "Transaction", now: float) -> None: ...
     def txn_abort(self, txn: "Transaction", now: float) -> None: ...
     def lock_wait(self, txn: "Transaction", resource: tuple, now: float) -> None: ...
+
+    # -------------------------------------------------------------- views
+    def view_registered(
+        self, view_name: str, function_name: str, rule_names: tuple, now: float
+    ) -> None: ...
 
     # -------------------------------------------------------------- rules
     def rule_check(self, rule_name: str, txn_id: int, now: float) -> None: ...
@@ -129,11 +150,29 @@ class TraceCollector(Tracer):
 
     enabled = True
 
-    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        staleness: Optional[StalenessTracker] = None,
+        attribution: Optional[AttributionProfiler] = None,
+        sample_interval: float = 1.0,
+        timeseries: Optional[TimeSeriesSampler] = None,
+    ) -> None:
+        """``sample_interval`` sets the time-series cadence in virtual
+        seconds; pass 0 (or a negative value) to disable sampling."""
         self.events: list[TraceEvent] = []
         self.metrics = metrics or MetricsRegistry()
+        self.staleness = staleness or StalenessTracker()
+        self.attribution = attribution or AttributionProfiler()
+        if timeseries is not None:
+            self.timeseries: Optional[TimeSeriesSampler] = timeseries
+        elif sample_interval > 0:
+            self.timeseries = TimeSeriesSampler(sample_interval)
+        else:
+            self.timeseries = None
         self.cpu_by_op: dict[str, float] = {}
         self._cost_seconds: Optional[dict[str, float]] = None
+        self._db: Optional["Database"] = None
         # task_id -> number of rule firings coalesced into the pending task
         self._batch_firings: dict[int, int] = {}
         # Pre-create the headline histograms so reports and snapshots have
@@ -157,6 +196,7 @@ class TraceCollector(Tracer):
 
     def bind(self, db: "Database") -> None:
         self._cost_seconds = dict(db.cost_model._seconds)
+        self._db = db
 
     # ----------------------------------------------------------- plumbing
 
@@ -189,6 +229,7 @@ class TraceCollector(Tracer):
             txn.begin_time, "txn.commit", f"txn#{txn.txn_id}", track="txn",
             dur=dur, ops=len(txn.log),
         )
+        self._maybe_sample(now)
 
     def txn_abort(self, txn: "Transaction", now: float) -> None:
         self.metrics.counter("txn_abort").inc()
@@ -199,9 +240,22 @@ class TraceCollector(Tracer):
 
     def lock_wait(self, txn: "Transaction", resource: tuple, now: float) -> None:
         self.metrics.counter("lock_waits").inc()
+        self.attribution.on_lock_wait(txn, now)
         self._emit(
             now, "lock.wait", f"txn#{txn.txn_id}", track="locks",
             resource=repr(resource),
+        )
+
+    # -------------------------------------------------------------- views
+
+    def view_registered(
+        self, view_name: str, function_name: str, rule_names: tuple, now: float
+    ) -> None:
+        self.metrics.counter("views_registered").inc()
+        self.staleness.register_view(view_name, function_name, rule_names)
+        self._emit(
+            now, "view.register", view_name, track="views",
+            function=function_name, rules=list(rule_names),
         )
 
     # -------------------------------------------------------------- rules
@@ -224,6 +278,8 @@ class TraceCollector(Tracer):
     def unique_new(self, task: "Task", now: float) -> None:
         self.metrics.counter("unique_new_tasks").inc()
         self._batch_firings[task.task_id] = 1
+        self.staleness.on_task_new(task, now)
+        self.attribution.on_unique_new(task, now)
         self._emit(
             now, "unique.new", task.function_name or task.klass, track="unique",
             task_id=task.task_id, key=repr(task.unique_key),
@@ -233,6 +289,8 @@ class TraceCollector(Tracer):
         self.metrics.counter("unique_appends").inc()
         if task.task_id in self._batch_firings:
             self._batch_firings[task.task_id] += 1
+        self.staleness.on_task_append(task, now)
+        self.attribution.on_unique_append(task, rows, now)
         self._emit(
             now, "unique.append", task.function_name or task.klass, track="unique",
             task_id=task.task_id, rows=rows, key=repr(task.unique_key),
@@ -245,6 +303,7 @@ class TraceCollector(Tracer):
         # rows_in per distinct surviving row; a task whose batch folded to
         # nothing (pure churn) records the full input count.
         self._h_compaction.record(rows_in / max(rows_out, 1))
+        self.attribution.on_unique_compact(task, rows_in, rows_out, now)
         self._emit(
             now, "unique.compact", task.function_name or task.klass, track="unique",
             task_id=task.task_id, rows_in=rows_in, rows_out=rows_out,
@@ -270,6 +329,7 @@ class TraceCollector(Tracer):
             task_id=task.task_id, release=task.release_time,
         )
         self._queue_counter(now, delay_depth, ready_depth)
+        self._maybe_sample(now)
 
     def task_release(self, task: "Task", ready_depth: int, now: float) -> None:
         self.metrics.counter("task_releases").inc()
@@ -280,6 +340,7 @@ class TraceCollector(Tracer):
 
     def task_start(self, task: "Task", now: float) -> None:
         self.metrics.counter("task_starts").inc()
+        self.attribution.on_task_start(task, now)
         firings = self._batch_firings.pop(task.task_id, None)
         if firings is not None:
             self._h_batch_firings.record(firings)
@@ -295,6 +356,8 @@ class TraceCollector(Tracer):
     def task_done(self, task: "Task", record: "TaskRecord", server: int = 0) -> None:
         self.metrics.counter("task_done").inc()
         self._h_task_len.record(record.length)
+        self.staleness.on_task_done(task, record.end_time)
+        self.attribution.on_task_done(task, record)
         self._emit(
             record.start_time, "task", task.klass, track=f"server-{server}",
             dur=record.length, task_id=task.task_id, cpu=record.cpu_time,
@@ -306,9 +369,12 @@ class TraceCollector(Tracer):
             seconds = self._cost_seconds
             for op, n in task.meter.ops.items():
                 cpu_by_op[op] = cpu_by_op.get(op, 0.0) + n * seconds.get(op, 0.0)
+        self._maybe_sample(record.end_time)
 
     def task_abort(self, task: "Task", now: float, server: int = 0) -> None:
         self.metrics.counter("task_aborts").inc()
+        # Staleness stamps stay: a retried task still owes its mutations.
+        self.attribution.on_task_abort(task, now)
         start = task.start_time if task.start_time is not None else now
         self._emit(
             start, "task.abort", task.klass, track=f"server-{server}",
@@ -317,6 +383,8 @@ class TraceCollector(Tracer):
 
     def task_drop(self, task: "Task", now: float) -> None:
         self.metrics.counter("task_drops").inc()
+        self.staleness.on_task_dropped(task, now)
+        self.attribution.on_task_drop(task, now)
         self._emit(
             now, "task.drop", task.klass, track="sched",
             task_id=task.task_id, deadline=task.deadline,
@@ -335,6 +403,7 @@ class TraceCollector(Tracer):
         self, task: "Task", attempt: int, release: float, now: float
     ) -> None:
         self.metrics.counter("fault_retries").inc()
+        self.attribution.on_fault_retry(task, now)
         self._emit(
             now, "fault.retry", task.klass, track="faults",
             task_id=task.task_id, attempt=attempt, release=release,
@@ -342,6 +411,8 @@ class TraceCollector(Tracer):
 
     def fault_drop(self, task: "Task", attempts: int, now: float) -> None:
         self.metrics.counter("fault_drops").inc()
+        self.staleness.on_task_dropped(task, now)
+        self.attribution.on_task_drop(task, now)
         self._emit(
             now, "fault.drop", task.klass, track="faults",
             task_id=task.task_id, attempts=attempts,
@@ -352,6 +423,7 @@ class TraceCollector(Tracer):
     def persist_flush(self, kind: str, nbytes: int, lsn: int, now: float) -> None:
         self.metrics.counter("wal_records").inc()
         self._h_wal_flush.record(max(nbytes, 1))
+        self.attribution.on_persist_flush(kind, nbytes)
         self._emit(
             now, "persist.flush", kind, track="persist",
             lsn=lsn, bytes=nbytes,
@@ -364,6 +436,57 @@ class TraceCollector(Tracer):
         self._emit(
             now, "persist.checkpoint", "checkpoint", track="persist",
             bytes=nbytes, tables=tables, pending_tasks=tasks,
+        )
+
+    # --------------------------------------------------------- time series
+
+    def _maybe_sample(self, now: float) -> None:
+        """Record a time-series sample when one is due (hot-hook driver)."""
+        sampler = self.timeseries
+        if sampler is None or not sampler.due(now):
+            return
+        queue_depth = self.metrics.gauge("queue_depth").value
+        pending = (
+            self._db.unique_manager.pending_count() if self._db is not None else 0
+        )
+        watermark = self.staleness.watermark(now)
+        sampler.record(
+            now,
+            {
+                "queue_depth": queue_depth,
+                "pending_unique": pending,
+                "outstanding": self.staleness.outstanding(),
+                "staleness_watermark_s": watermark,
+                "tasks_done": self.metrics.counter("task_done").value,
+                "txn_commits": self.metrics.counter("txn_commit").value,
+                "backpressure": sampler.backpressure(queue_depth, watermark),
+            },
+        )
+        # Mirror the sample onto Chrome counter tracks so Perfetto plots it.
+        self._emit(
+            now, "counter.pending", "pending", track="pending",
+            pending_unique=pending, outstanding=self.staleness.outstanding(),
+        )
+        self._emit(
+            now, "counter.staleness", "staleness", track="staleness",
+            watermark_s=watermark,
+        )
+        self._emit(
+            now, "counter.backpressure", "backpressure", track="backpressure",
+            value=sampler.backpressure(queue_depth, watermark),
+        )
+
+    def backpressure(self, now: Optional[float] = None) -> float:
+        """The live admission signal in [0, 1] (see
+        :meth:`~repro.obs.timeseries.TimeSeriesSampler.backpressure`).
+        Returns 0.0 when sampling is disabled."""
+        sampler = self.timeseries
+        if sampler is None:
+            return 0.0
+        if now is None:
+            now = self._db.clock.now() if self._db is not None else 0.0
+        return sampler.backpressure(
+            self.metrics.gauge("queue_depth").value, self.staleness.watermark(now)
         )
 
     # ------------------------------------------------------------ results

@@ -272,6 +272,12 @@ def install_comp_rule(
         {after}
         """
     )
+    if db.tracer.enabled:
+        # comp_prices is the derived table the rule maintains; registering
+        # it labels the staleness series with the view, not the function.
+        db.tracer.view_registered(
+            "comp_prices", function_name, (f"do_comps_{variant}",), db.clock.now()
+        )
     return function_name
 
 
@@ -297,6 +303,10 @@ def install_option_rule(
         {after}
         """
     )
+    if db.tracer.enabled:
+        db.tracer.view_registered(
+            "option_prices", function_name, (f"do_options_{variant}",), db.clock.now()
+        )
     return function_name
 
 

@@ -83,6 +83,10 @@ class ExperimentResult:
     #: rows per recompute batch at start, and queue depth at each enqueue.
     batch_size_hist: Optional[dict] = None
     queue_depth_hist: Optional[dict] = None
+    #: Derived-view freshness and per-rule cost rollups (None without a
+    #: collector): staleness percentiles per view/rule, attribution rows.
+    staleness: Optional[dict] = None
+    attribution: Optional[list] = None
     #: Fault-injection outcome (all zero / None for fault-free runs).
     faults: Optional[str] = None  # the plan string the run was faulted with
     faults_injected: int = 0
@@ -348,6 +352,16 @@ def run_experiment(
         ),
         queue_depth_hist=(
             tracer.metrics.histograms["queue_depth"].snapshot()
+            if isinstance(tracer, TraceCollector)
+            else None
+        ),
+        staleness=(
+            tracer.staleness.snapshot()
+            if isinstance(tracer, TraceCollector)
+            else None
+        ),
+        attribution=(
+            tracer.attribution.profile_rows()
             if isinstance(tracer, TraceCollector)
             else None
         ),

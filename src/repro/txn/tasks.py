@@ -50,6 +50,7 @@ class Task:
         "state",
         "bound_tables",
         "function_name",
+        "rule_name",
         "unique_key",
         "meter",
         "start_time",
@@ -71,6 +72,7 @@ class Task:
         deadline: Optional[float] = None,
         value: float = 1.0,
         function_name: Optional[str] = None,
+        rule_name: Optional[str] = None,
         unique_key: Optional[tuple] = None,
         bound_tables: Optional[dict[str, "TempTable"]] = None,
         estimated_cpu: float = 1e-4,
@@ -85,6 +87,9 @@ class Task:
         self.state = TaskState.DELAYED
         self.bound_tables: dict[str, "TempTable"] = bound_tables or {}
         self.function_name = function_name
+        # The rule whose firing created the task (None for application
+        # tasks); cost attribution rolls task costs up to this name.
+        self.rule_name = rule_name
         self.unique_key = unique_key
         self.meter = Meter()
         self.start_time: Optional[float] = None

@@ -104,6 +104,34 @@ class BatchingAdvisor:
         self.diminishing_returns = diminishing_returns
         self.compact_row_cost = compact_row_cost
 
+    @classmethod
+    def from_profile(
+        cls,
+        profiler,
+        key: str,
+        horizon: float,
+        **kwargs,
+    ) -> "BatchingAdvisor":
+        """Build an advisor from a measured cost attribution profile.
+
+        ``profiler`` is an :class:`repro.obs.attribution.AttributionProfiler`
+        and ``key`` one of its rule keys — the advisor's inputs (update rate,
+        fan-out, per-task overhead, per-row cost) come straight from
+        ``profiler.advisor_inputs`` instead of hand-supplied estimates,
+        closing the observe → advise loop from the paper's section 8.
+        Keyword arguments (``max_delay`` etc.) pass through to the
+        constructor.
+        """
+        inputs = profiler.advisor_inputs(key, horizon)
+        return cls(
+            update_rate=inputs["update_rate"],
+            horizon=inputs["horizon"],
+            rows_per_change=inputs["rows_per_change"],
+            task_overhead=inputs["task_overhead"],
+            row_cost=inputs["row_cost"],
+            **kwargs,
+        )
+
     # ------------------------------------------------------------ modelling
 
     def recomputes(self, candidate: BatchingCandidate, delay: float) -> float:

@@ -255,6 +255,13 @@ def materialize(
         )
 
     db.materialized_views[view_name] = plan_record
+    if db.tracer.enabled:
+        db.tracer.view_registered(
+            view_name,
+            plan_record.function_name,
+            tuple(rule.name for rule in plan_record.rules),
+            db.clock.now(),
+        )
     return plan_record
 
 

@@ -101,6 +101,57 @@ class TestObservabilityOptions:
         assert main(self.ARGS + ["--stats-out", str(stats)]) == 0
         assert "Event counters" in stats.read_text()
 
+    def test_experiment_obs_flag(self, capsys):
+        assert main(self.ARGS + ["--obs"]) == 0
+        out = capsys.readouterr().out
+        assert "Derived-view staleness" in out
+        assert "Per-rule staleness" in out
+        assert "Per-rule cost attribution" in out
+        assert "comp_prices" in out
+
+    def test_stats_subcommand(self, capsys, tmp_path):
+        snapshot_path = tmp_path / "snap.json"
+        series_path = tmp_path / "series.jsonl"
+        code = main(
+            [
+                "stats", "--scale", "tiny",
+                "--json-out", str(snapshot_path),
+                "--series-out", str(series_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Derived-view staleness" in out
+        assert "Per-rule cost attribution" in out
+        assert "Time series" in out
+        assert "final backpressure signal:" in out
+
+        import os
+
+        from repro.obs.schema import check
+
+        schema_path = os.path.join(
+            os.path.dirname(__file__), "..", "..",
+            "docs", "schemas", "stats_snapshot.schema.json",
+        )
+        snapshot = json.loads(snapshot_path.read_text())
+        with open(schema_path) as handle:
+            check(snapshot, json.load(handle))
+        assert snapshot["staleness"]["views"]
+        assert snapshot["attribution"]
+        assert snapshot["meta"]["scale"] == "tiny"
+        samples = [
+            json.loads(line)
+            for line in series_path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert samples and all("ts" in sample for sample in samples)
+
+    def test_stats_subcommand_interval_off(self, capsys):
+        assert main(["stats", "--scale", "tiny", "--interval", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Time series" not in out
+
     def test_processors_and_drop_late(self, capsys):
         code = main(
             self.ARGS

@@ -21,6 +21,24 @@ class TestCounterGauge:
         assert gauge.value == 1.0
         assert gauge.max == 3.0
 
+    def test_gauge_min_max_seed_from_first_value(self):
+        # A gauge that only ever sees negative values must not report a
+        # max of 0.0 (the old zero-initialised extremes bug).
+        gauge = Gauge("g")
+        gauge.set(-5.0)
+        gauge.set(-2.0)
+        assert gauge.min == -5.0
+        assert gauge.max == -2.0
+
+    def test_gauge_min_tracks_low_watermark(self):
+        gauge = Gauge("g")
+        gauge.set(7.0)
+        gauge.set(2.0)
+        gauge.set(9.0)
+        assert gauge.min == 2.0
+        assert gauge.max == 9.0
+        assert gauge.value == 9.0
+
 
 class TestLogBounds:
     def test_geometric(self):
@@ -85,6 +103,32 @@ class TestHistogram:
         assert snap["buckets"] == [{"le": 10, "count": 1}]
         assert not math.isinf(snap["min"])
 
+    def test_snapshot_quantiles(self):
+        histogram = Histogram("h", bounds=[1, 2, 4, 8])
+        for _ in range(99):
+            histogram.record(1.5)
+        histogram.record(7)
+        snap = histogram.snapshot()
+        assert snap["p50"] == 2
+        assert snap["p95"] == 2
+        assert snap["p99"] == 2
+
+    def test_quantile_row(self):
+        histogram = Histogram("h", bounds=[1, 2, 4, 8])
+        for _ in range(99):
+            histogram.record(1.5)
+        histogram.record(7)
+        row = histogram.quantile_row()
+        assert row == {
+            "n": 100,
+            "mean": histogram.mean,
+            "min": 1.5,
+            "p50": 2,
+            "p95": 2,
+            "p99": 2,
+            "max": 7,
+        }
+
     def test_empty_snapshot_finite(self):
         snap = Histogram("h", bounds=[1]).snapshot()
         assert snap["min"] == 0.0 and snap["max"] == 0.0 and snap["mean"] == 0.0
@@ -104,5 +148,5 @@ class TestRegistry:
         registry.histogram("sizes", bounds=[1, 2]).record(2)
         snap = registry.snapshot()
         assert snap["counters"] == {"hits": 2}
-        assert snap["gauges"]["depth"] == {"value": 4, "max": 4}
+        assert snap["gauges"]["depth"] == {"value": 4, "min": 4, "max": 4}
         assert snap["histograms"]["sizes"]["count"] == 1

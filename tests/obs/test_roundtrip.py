@@ -1,0 +1,138 @@
+"""Exporter round-trips: golden files plus property-based parse-back.
+
+Two guarantees pinned here: the JSONL exporters (events and time series)
+are lossless — what you write is exactly what you read back — and the
+Chrome ``trace_event`` output keeps counter samples intact on ``"C"``
+phases (the format Perfetto plots as counter tracks).
+"""
+
+import json
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    TraceEvent,
+    chrome_trace_events,
+    read_jsonl,
+    read_series_jsonl,
+    write_jsonl,
+    write_series_jsonl,
+)
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+#: Fixed inputs for the golden files (regenerate with make_golden_* below).
+GOLDEN_SAMPLES = [
+    {"ts": 0.0, "queue_depth": 0, "staleness_watermark_s": 0.0, "backpressure": 0.0},
+    {"ts": 1.5, "queue_depth": 3, "staleness_watermark_s": 0.75, "backpressure": 0.25},
+    {"ts": 3.0, "queue_depth": 1, "staleness_watermark_s": 0.1, "backpressure": 0.05},
+]
+
+GOLDEN_EVENTS = [
+    TraceEvent(ts=0.0, kind="view.register", name="comp_prices", track="views",
+               args={"function": "f", "rules": ["r"]}),
+    TraceEvent(ts=0.5, kind="task", name="recompute:f", track="server-0", dur=0.01,
+               args={"rows": 4}),
+    TraceEvent(ts=1.0, kind="counter.staleness", name="staleness", track="staleness",
+               args={"watermark_s": 0.5}),
+    TraceEvent(ts=1.0, kind="counter.backpressure", name="backpressure",
+               track="backpressure", args={"signal": 0.25}),
+]
+
+
+def golden_path(name):
+    return os.path.join(GOLDEN_DIR, name)
+
+
+class TestGoldenFiles:
+    def test_series_jsonl_matches_golden(self, tmp_path):
+        path = tmp_path / "series.jsonl"
+        assert write_series_jsonl(GOLDEN_SAMPLES, str(path)) == len(GOLDEN_SAMPLES)
+        assert path.read_text() == open(golden_path("series.jsonl")).read()
+        assert read_series_jsonl(str(path)) == GOLDEN_SAMPLES
+
+    def test_golden_series_parses_back(self):
+        assert read_series_jsonl(golden_path("series.jsonl")) == GOLDEN_SAMPLES
+
+    def test_chrome_counter_tracks_match_golden(self):
+        entries = chrome_trace_events(GOLDEN_EVENTS)
+        with open(golden_path("chrome_counters.json")) as handle:
+            assert entries == json.load(handle)
+
+    def test_golden_chrome_counter_shape(self):
+        with open(golden_path("chrome_counters.json")) as handle:
+            entries = json.load(handle)
+        counters = [entry for entry in entries if entry["ph"] == "C"]
+        assert len(counters) == 2
+        by_name = {entry["name"]: entry for entry in counters}
+        assert by_name["staleness"]["args"] == {"watermark_s": 0.5}
+        assert by_name["backpressure"]["args"] == {"signal": 0.25}
+        # Counter timestamps are microseconds of virtual time.
+        assert by_name["staleness"]["ts"] == 1.0 * 1e6
+        # Each track got its own thread-name metadata record.
+        names = {
+            entry["args"]["name"]
+            for entry in entries
+            if entry["ph"] == "M" and entry["name"] == "thread_name"
+        }
+        assert {"staleness", "backpressure", "views", "server-0"} <= names
+
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=32)
+field_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12
+)
+samples = st.lists(
+    st.fixed_dictionaries(
+        {"ts": finite_floats},
+        optional={},
+    ).flatmap(
+        lambda base: st.dictionaries(field_names, finite_floats, max_size=5).map(
+            lambda fields: {**fields, **base}  # ts wins any name collision
+        )
+    ),
+    max_size=20,
+)
+
+trace_events = st.builds(
+    TraceEvent,
+    ts=finite_floats,
+    kind=st.sampled_from(
+        ["task", "txn.commit", "counter.queues", "counter.staleness", "rule.fire"]
+    ),
+    name=field_names,
+    track=st.sampled_from(["engine", "server-0", "staleness", "queues"]),
+    dur=st.one_of(st.none(), finite_floats.map(abs)),
+    args=st.dictionaries(field_names, finite_floats, max_size=3),
+)
+
+
+class TestPropertyRoundTrips:
+    @settings(max_examples=50, deadline=None)
+    @given(data=samples)
+    def test_series_jsonl_round_trip(self, data, tmp_path_factory):
+        path = tmp_path_factory.mktemp("series") / "s.jsonl"
+        assert write_series_jsonl(data, str(path)) == len(data)
+        assert read_series_jsonl(str(path)) == data
+
+    @settings(max_examples=50, deadline=None)
+    @given(events=st.lists(trace_events, max_size=20))
+    def test_event_jsonl_round_trip(self, events, tmp_path_factory):
+        path = tmp_path_factory.mktemp("events") / "e.jsonl"
+        assert write_jsonl(events, str(path)) == len(events)
+        assert read_jsonl(str(path)) == events
+
+    @settings(max_examples=50, deadline=None)
+    @given(events=st.lists(trace_events, max_size=20))
+    def test_chrome_counters_preserve_samples(self, events):
+        entries = chrome_trace_events(events)
+        counters = [event for event in events if event.kind.startswith("counter.")]
+        chrome_counters = [entry for entry in entries if entry.get("ph") == "C"]
+        assert len(chrome_counters) == len(counters)
+        for event, entry in zip(counters, chrome_counters):
+            assert entry["name"] == event.name
+            assert entry["cat"] == event.kind
+            assert entry["args"] == event.args
+            assert entry["ts"] == event.ts * 1e6

@@ -1,0 +1,121 @@
+"""The dependency-free JSON-Schema-subset validator."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.schema import SchemaError, check, validate
+
+SCHEMAS_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "..", "docs", "schemas"
+)
+
+
+class TestTypes:
+    @pytest.mark.parametrize(
+        "value,type_name",
+        [
+            ({}, "object"),
+            ([], "array"),
+            ("x", "string"),
+            (1.5, "number"),
+            (3, "integer"),
+            (True, "boolean"),
+            (None, "null"),
+        ],
+    )
+    def test_accepts(self, value, type_name):
+        assert validate(value, {"type": type_name}) == []
+
+    def test_bool_is_not_number_or_integer(self):
+        assert validate(True, {"type": "integer"})
+        assert validate(True, {"type": "number"})
+
+    def test_int_is_number(self):
+        assert validate(3, {"type": "number"}) == []
+
+    def test_type_list(self):
+        schema = {"type": ["string", "null"]}
+        assert validate(None, schema) == []
+        assert validate("x", schema) == []
+        assert validate(1, schema)
+
+
+class TestKeywords:
+    def test_required_and_properties(self):
+        schema = {
+            "type": "object",
+            "required": ["a"],
+            "properties": {"a": {"type": "integer"}, "b": {"type": "string"}},
+        }
+        assert validate({"a": 1}, schema) == []
+        assert validate({"a": "no"}, schema)
+        errors = validate({"b": "x"}, schema)
+        assert any("missing required" in error for error in errors)
+
+    def test_additional_properties_false(self):
+        schema = {"type": "object", "properties": {"a": {}}, "additionalProperties": False}
+        assert validate({"a": 1}, schema) == []
+        assert validate({"a": 1, "z": 2}, schema)
+
+    def test_additional_properties_schema(self):
+        schema = {"type": "object", "additionalProperties": {"type": "number"}}
+        assert validate({"x": 1, "y": 2.5}, schema) == []
+        assert validate({"x": "no"}, schema)
+
+    def test_items(self):
+        schema = {"type": "array", "items": {"type": "integer", "minimum": 0}}
+        assert validate([0, 1, 2], schema) == []
+        errors = validate([1, -1, "x"], schema)
+        assert len(errors) == 2
+        assert "$[1]" in errors[0] and "$[2]" in errors[1]
+
+    def test_enum_and_minimum(self):
+        assert validate("a", {"enum": ["a", "b"]}) == []
+        assert validate("c", {"enum": ["a", "b"]})
+        assert validate(5, {"minimum": 5}) == []
+        assert validate(4.9, {"minimum": 5})
+
+    def test_check_raises_with_all_errors(self):
+        schema = {"type": "object", "required": ["a", "b"]}
+        with pytest.raises(SchemaError) as excinfo:
+            check({}, schema)
+        assert "'a'" in str(excinfo.value) and "'b'" in str(excinfo.value)
+        check({"a": 1, "b": 2}, schema)  # no raise
+
+
+class TestCheckedInSchemas:
+    """The shipped schemas accept what the exporters actually produce."""
+
+    def load(self, name):
+        with open(os.path.join(SCHEMAS_DIR, name)) as handle:
+            return json.load(handle)
+
+    def test_snapshot_schema_matches_live_output(self):
+        from repro.database import Database
+        from repro.obs import TraceCollector, stats_snapshot
+        from repro.sim.simulator import Simulator
+
+        collector = TraceCollector()
+        db = Database(tracer=collector)
+        db.execute("create table t (k text, v real)")
+        db.register_function("f", lambda ctx: None)
+        db.execute(
+            "create rule r on t when inserted "
+            "if select k, v from inserted bind as m "
+            "then execute f unique after 1 seconds"
+        )
+        db.execute("insert into t values ('a', 1)")
+        Simulator(db).run()
+        snapshot = stats_snapshot(collector, meta={"scale": "unit"})
+        # Round-trip through JSON first: the schema pins the wire format.
+        check(json.loads(json.dumps(snapshot)), self.load("stats_snapshot.schema.json"))
+
+    def test_series_schema_matches_sampler_output(self):
+        schema = self.load("stats_series.schema.json")
+        check({"ts": 0.0, "queue_depth": 3, "backpressure": 0.25}, schema)
+        with pytest.raises(SchemaError):
+            check({"queue_depth": 3}, schema)  # ts is required
+        with pytest.raises(SchemaError):
+            check({"ts": 1.0, "note": "text"}, schema)  # fields must be numeric

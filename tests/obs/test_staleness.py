@@ -1,0 +1,154 @@
+"""Staleness tracker: mutation stamps, reflection lag, watermark, loss."""
+
+import pytest
+
+from repro.database import Database
+from repro.obs import StalenessTracker, TraceCollector
+from repro.sim.simulator import Simulator
+from repro.txn.tasks import Task
+
+
+def make_task(function="f", rule="r", created=0.0, klass="recompute:f"):
+    return Task(
+        body=lambda task: None,
+        klass=klass,
+        created_time=created,
+        function_name=function,
+        rule_name=rule,
+    )
+
+
+class TestUnitTracker:
+    def test_new_then_done_records_lag(self):
+        tracker = StalenessTracker()
+        task = make_task(created=1.0)
+        tracker.on_task_new(task, 1.0)
+        assert tracker.outstanding() == 1
+        tracker.on_task_done(task, 4.0)
+        assert tracker.outstanding() == 0
+        assert tracker.reflected == 1
+        hist = tracker.by_view["f"]  # unregistered: function-name fallback
+        assert hist.count == 1
+        assert hist.max == pytest.approx(3.0)
+        assert tracker.by_rule["r"].count == 1
+
+    def test_appends_stamp_each_mutation(self):
+        tracker = StalenessTracker()
+        task = make_task(created=0.0)
+        tracker.on_task_new(task, 0.0)
+        tracker.on_task_append(task, 1.0)
+        tracker.on_task_append(task, 2.0)
+        assert tracker.outstanding() == 3
+        tracker.on_task_done(task, 2.0)
+        assert tracker.reflected == 3
+        hist = tracker.by_view["f"]
+        # Lags 2.0, 1.0, 0.0: the oldest mutation waited the longest.
+        assert hist.max == pytest.approx(2.0)
+        assert hist.min == pytest.approx(0.0)
+
+    def test_registered_view_labels_series(self):
+        tracker = StalenessTracker()
+        tracker.register_view("comp_prices", "f", ["r"])
+        task = make_task()
+        tracker.on_task_new(task, 0.0)
+        tracker.on_task_done(task, 1.0)
+        assert "comp_prices" in tracker.by_view
+        assert "f" not in tracker.by_view
+
+    def test_application_tasks_are_not_stamped(self):
+        tracker = StalenessTracker()
+        task = Task(body=lambda task: None, klass="update")  # no function_name
+        tracker.on_task_new(task, 0.0)
+        assert tracker.outstanding() == 0
+
+    def test_dropped_task_counts_mutations_as_lost(self):
+        tracker = StalenessTracker()
+        task = make_task()
+        tracker.on_task_new(task, 0.0)
+        tracker.on_task_append(task, 0.5)
+        tracker.on_task_dropped(task, 1.0)
+        assert tracker.lost == 2
+        assert tracker.outstanding() == 0
+        assert not tracker.by_view  # nothing was ever reflected
+
+    def test_watermark_tracks_oldest_stamp(self):
+        tracker = StalenessTracker()
+        assert tracker.watermark(5.0) == 0.0
+        first = make_task(created=1.0)
+        second = make_task(created=3.0)
+        tracker.on_task_new(first, 1.0)
+        tracker.on_task_new(second, 3.0)
+        assert tracker.oldest_stamp() == pytest.approx(1.0)
+        assert tracker.watermark(5.0) == pytest.approx(4.0)
+        tracker.on_task_done(first, 5.0)
+        assert tracker.watermark(5.0) == pytest.approx(2.0)
+
+    def test_negative_lag_clamps_to_zero(self):
+        tracker = StalenessTracker()
+        task = make_task(created=2.0)
+        tracker.on_task_new(task, 2.0)
+        tracker.on_task_done(task, 1.0)  # clock skew must not go negative
+        assert tracker.by_view["f"].min == 0.0
+
+    def test_snapshot_shape(self):
+        tracker = StalenessTracker()
+        task = make_task()
+        tracker.on_task_new(task, 0.0)
+        tracker.on_task_done(task, 1.0)
+        snap = tracker.snapshot()
+        assert set(snap) == {"views", "rules", "reflected", "lost", "outstanding"}
+        assert snap["reflected"] == 1
+        assert snap["views"]["f"]["count"] == 1
+
+    def test_rows_have_percentiles(self):
+        tracker = StalenessTracker()
+        for created in (0.0, 0.0, 0.0):
+            task = make_task(created=created)
+            tracker.on_task_new(task, created)
+            tracker.on_task_done(task, 0.5)
+        (row,) = tracker.view_rows()
+        assert row["view"] == "f"
+        assert row["n"] == 3
+        for key in ("mean_s", "p50_s", "p95_s", "p99_s", "max_s"):
+            assert row[key] > 0
+
+
+class TestEngineIntegration:
+    def make_db(self, delay=2.0):
+        collector = TraceCollector()
+        db = Database(tracer=collector)
+        db.execute("create table t (k text, v real)")
+        db.register_function("f", lambda ctx: None)
+        db.execute(
+            "create rule r on t when inserted "
+            "if select k, v from inserted bind as m "
+            f"then execute f unique after {delay} seconds"
+        )
+        return db, collector
+
+    def test_delay_window_dominates_lag(self):
+        db, collector = self.make_db(delay=2.0)
+        for i in range(4):
+            db.execute(f"insert into t values ('k{i}', {i})")
+        assert collector.staleness.outstanding() == 4
+        Simulator(db).run()
+        tracker = collector.staleness
+        assert tracker.outstanding() == 0
+        assert tracker.reflected == 4
+        (view_label,) = tracker.by_view
+        hist = tracker.by_view[view_label]
+        # Every mutation waited at least the 2s window (minus the tiny
+        # virtual time that passed between the inserts themselves).
+        assert hist.max >= 1.9
+        assert tracker.by_rule["r"].count == 4
+
+    def test_stats_report_includes_staleness_sections(self):
+        from repro.obs import stats_report
+
+        db, collector = self.make_db()
+        db.execute("insert into t values ('a', 1)")
+        Simulator(db).run()
+        report = stats_report(collector)
+        assert "Derived-view staleness" in report
+        assert "Per-rule staleness" in report
+        assert "Per-rule cost attribution" in report

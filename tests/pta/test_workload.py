@@ -68,6 +68,27 @@ class TestExperimentResult:
             "n_updates",
         }
 
+    def test_observability_fields_default_none(self, tiny_result):
+        assert tiny_result.staleness is None
+        assert tiny_result.attribution is None
+
+    def test_observability_fields_with_collector(self):
+        from repro.obs import TraceCollector
+
+        collector = TraceCollector()
+        result = run_experiment(
+            Scale.tiny(), "comps", "unique", 1.0, tracer=collector
+        )
+        assert result.staleness is not None
+        assert "comp_prices" in result.staleness["views"]
+        assert result.staleness["reflected"] > 0
+        assert result.staleness["outstanding"] == 0  # the run drained
+        rules = {row["rule"] for row in result.attribution}
+        assert "do_comps_unique" in rules and "update" in rules
+        # Attaching the collector must not move the virtual results.
+        plain = run_experiment(Scale.tiny(), "comps", "unique", 1.0)
+        assert result.row() == plain.row()
+
     def test_bad_view(self):
         with pytest.raises(ValueError):
             run_experiment(Scale.tiny(), "bogus", "unique", 1.0)
