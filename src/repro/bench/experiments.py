@@ -273,6 +273,56 @@ def obs_overhead_sweep(
     return rows
 
 
+def dred_sweep(
+    delete_mix: float = 0.4,
+    n_events: int = 400,
+    seed: int = 0,
+    faults: Optional[str] = None,
+) -> list[dict]:
+    """The deletion-heavy workload under each maintenance strategy.
+
+    One :func:`~repro.pta.workload.run_deletion_experiment` per strategy
+    (identical event schedule), reporting the derived-row work per base
+    deletion in virtual terms plus the real wall-clock of each run.  The
+    convergence oracle verdict rides along so the bench doubles as a
+    correctness gate.
+    """
+    from repro.pta.workload import run_deletion_experiment
+
+    key = ("dred", delete_mix, n_events, seed, faults)
+    cached = _SWEEP_CACHE.get(key)
+    if cached is not None:
+        return cached
+    rows = []
+    for strategy in ("incremental", "dred", "recompute"):
+        result = run_deletion_experiment(
+            n_events=n_events,
+            delete_mix=delete_mix,
+            maintenance=strategy,
+            seed=seed,
+            faults=faults,
+        )
+        rows.append(
+            {
+                "maintenance": strategy,
+                "n_deletions": result.n_deletions,
+                "rows_touched": result.rows_touched,
+                "rows_per_deletion": round(result.rows_touched_per_deletion, 2),
+                "overdeleted": result.rows_overdeleted,
+                "rederived": result.rows_rederived,
+                "full_recomputes": result.full_recomputes,
+                "superseded": result.superseded,
+                "cpu_maint_s": round(result.cpu_maintenance, 4),
+                "virtual_end_s": round(result.end_time, 2),
+                "wall_s": round(result.wall_s, 3),
+                "oracle_divergent": result.oracle_divergent,
+                "oracle_rows": result.oracle_rows,
+            }
+        )
+    _SWEEP_CACHE[key] = rows
+    return rows
+
+
 def option_symbol_probe(
     scale: Optional[Scale] = None, delay: float = 1.0, seed: int = 0
 ) -> ExperimentResult:

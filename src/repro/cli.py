@@ -321,6 +321,39 @@ def _cmd_compaction(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dred(args: argparse.Namespace) -> int:
+    """The deletion-heavy variant: close-outs and delistings under a chosen
+    maintenance strategy, always checked by the convergence oracle."""
+    from repro.pta.workload import run_deletion_experiment
+
+    faults = args.faults
+    if faults == "default":
+        from repro.bench.experiments import DEFAULT_FAULT_PLAN
+
+        faults = DEFAULT_FAULT_PLAN
+    result = run_deletion_experiment(
+        n_symbols=args.symbols,
+        positions_per_symbol=args.positions,
+        n_events=args.events,
+        delete_mix=args.delete_mix,
+        maintenance=args.maintenance,
+        delay=args.delay,
+        seed=args.seed,
+        faults=faults,
+        fault_seed=args.fault_seed,
+    )
+    print(
+        format_table(
+            [result.row()],
+            f"Deletion-heavy run (maintenance {args.maintenance}, "
+            f"delete mix {args.delete_mix})",
+        )
+    )
+    report = result.oracle_report
+    print(report.format())
+    return 0 if report.ok else 1
+
+
 def _cmd_fault(args: argparse.Namespace) -> int:
     """The fault sweep: one injected run per seed, each checked by the oracle."""
     from repro.bench.experiments import DEFAULT_FAULT_PLAN, fault_sweep
@@ -572,6 +605,28 @@ def build_parser() -> argparse.ArgumentParser:
     compaction.add_argument("--seed", type=int, default=0)
     compaction.add_argument("--delays", type=float, nargs="*")
     compaction.set_defaults(fn=_cmd_compaction)
+
+    dred = sub.add_parser(
+        "dred", help="run the deletion-heavy workload (close-outs, delistings)"
+    )
+    dred.add_argument(
+        "--maintenance",
+        choices=["auto", "incremental", "dred", "recompute"],
+        default="auto",
+        help="deletion-maintenance strategy for both materialized views",
+    )
+    dred.add_argument("--delete-mix", type=float, default=0.4)
+    dred.add_argument("--symbols", type=int, default=20)
+    dred.add_argument("--positions", type=int, default=5)
+    dred.add_argument("--events", type=int, default=400)
+    dred.add_argument("--delay", type=float, default=1.0)
+    dred.add_argument("--seed", type=int, default=0)
+    dred.add_argument(
+        "--faults", default=None,
+        help="fault plan, or 'default' for the bench suite's plan",
+    )
+    dred.add_argument("--fault-seed", type=int, default=0)
+    dred.set_defaults(fn=_cmd_dred)
 
     fault = sub.add_parser(
         "fault", help="run seeded fault-injection sweeps with the oracle"

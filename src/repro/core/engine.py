@@ -122,7 +122,7 @@ class RuleEngine:
             merged = dict(txn.task.bound_tables)
             merged.update(namespace)
             namespace = merged
-        pseudo = {"commit_time": txn.commit_time}
+        pseudo = {"commit_time": txn.commit_time, "commit_seq": txn.commit_seq}
         bound: dict[str, TempTable] = {}
         try:
             return self._fire_inner(rule, txn, namespace, pseudo, bound)

@@ -32,6 +32,13 @@ class Rule:
     :mod:`repro.core.net_effect`).  It requires ``unique`` — compaction
     acts on the batch a unique task accumulates — and is off by default,
     preserving the paper's no-net-effect semantics (section 2).
+
+    ``maintenance`` tags the rule with the derived-view maintenance
+    strategy it implements (``incremental``, ``dred``, or ``recompute``;
+    empty for ordinary rules).  The tag is informational for the engine —
+    the strategy lives in the rule's evaluate queries and action function —
+    but it is surfaced in :class:`~repro.core.task.Task` attribution so
+    per-strategy cost rollups come for free.
     """
 
     name: str
@@ -45,10 +52,16 @@ class Rule:
     compact_on: tuple[str, ...] = ()
     after: float = 0.0
     enabled: bool = True
+    maintenance: str = ""
 
     def __post_init__(self) -> None:
         if not self.function:
             raise RuleError(f"rule {self.name!r} has no EXECUTE function")
+        if self.maintenance not in ("", "incremental", "dred", "recompute"):
+            raise RuleError(
+                f"rule {self.name!r}: unknown maintenance strategy "
+                f"{self.maintenance!r}"
+            )
         if self.unique_on and not self.unique:
             raise RuleError(f"rule {self.name!r}: UNIQUE ON requires UNIQUE")
         if self.compact_on and not self.unique:

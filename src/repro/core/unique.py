@@ -183,7 +183,16 @@ class UniqueManager:
             pending[()] = fresh
             return [fresh]
 
-        # unique on (columns): partition per Appendix A.
+        # unique on (columns): partition per Appendix A.  When a unique
+        # column lives in more than one bound table the product reading is
+        # undefined; if every owning table carries the full key we fall back
+        # to union partitioning (see _dispatch_union), otherwise the firing
+        # is rejected as ambiguous.
+        if any(
+            sum(1 for table in bound.values() if table.schema.has_column(column)) > 1
+            for column in rule.unique_on
+        ):
+            return self._dispatch_union(rule, bound, commit_time)
         column_homes = self._locate_unique_columns(rule, bound)
         u_tables = []  # (table name, offsets, global indexes)
         seen_tables = []
@@ -257,6 +266,117 @@ class UniqueManager:
             # partitions' tasks: they are registered as pending but will
             # never be returned to the engine (and so never enqueued), and
             # subsequent firings would absorb rows into them forever.
+            for fresh in new_tasks:
+                self.forget(fresh)
+                fresh.retire_bound_tables()
+            raise
+        for table in bound.values():
+            table.retire()
+        return new_tasks
+
+    def _dispatch_union(
+        self, rule: "Rule", bound: dict[str, TempTable], commit_time: float
+    ) -> list[Task]:
+        """Union partitioning for unique columns shared by several tables.
+
+        Derived-view maintenance rules routinely bind several delta tables
+        that all carry the view's key columns (e.g. an insert delta and a
+        deletion-mark query): the same key names the same logical group in
+        each.  Appendix A's product reading would call that ambiguous, so
+        instead: every bound table containing *any* unique column must
+        contain *all* of them (partial overlap keeps the historical
+        ambiguity error); each such owner is partitioned by the full key;
+        the pending-task key space is the union of the owners' key sets,
+        with owners filtered to their matching rows (possibly none) and
+        every other bound table passed whole.
+        """
+        charge = self.db.charge
+        owners_by_column = {
+            column: [
+                name
+                for name, table in bound.items()
+                if table.schema.has_column(column)
+            ]
+            for column in rule.unique_on
+        }
+        for column, names in owners_by_column.items():
+            if not names:
+                raise RuleError(
+                    f"rule {rule.name!r}: unique column {column!r} is in no bound table"
+                )
+        owner_names = [
+            name
+            for name, table in bound.items()
+            if any(table.schema.has_column(column) for column in rule.unique_on)
+        ]
+        for name in owner_names:
+            if not all(
+                bound[name].schema.has_column(column) for column in rule.unique_on
+            ):
+                column = next(
+                    c for c, ns in owners_by_column.items() if len(ns) > 1
+                )
+                names = ", ".join(owners_by_column[column])
+                raise RuleError(
+                    f"rule {rule.name!r}: unique column {column!r} is ambiguous ({names})"
+                )
+
+        # Group each owner's rows by the full unique key in one pass.
+        groups_per_owner: dict[str, dict[tuple, list]] = {}
+        for name in owner_names:
+            source = bound[name]
+            offsets = [source.schema.offset(column) for column in rule.unique_on]
+            sources_map = source.static_map.sources
+            groups: dict[tuple, list] = {}
+            for raw in source.scan_raw():
+                ptrs, mats = raw
+                key_values = []
+                for offset in offsets:
+                    column_source = sources_map[offset]
+                    if column_source.kind == "ptr":
+                        key_values.append(
+                            ptrs[column_source.slot].values[column_source.offset]
+                        )
+                    else:
+                        key_values.append(mats[column_source.slot])
+                groups.setdefault(tuple(key_values), []).append(raw)
+            charge("partition_row", max(len(source), 1))
+            groups_per_owner[name] = groups
+
+        keys: list[tuple] = []
+        seen: set = set()
+        for name in owner_names:
+            for key in groups_per_owner[name]:
+                if key not in seen:
+                    seen.add(key)
+                    keys.append(key)
+
+        new_tasks: list[Task] = []
+        pending = self._pending.setdefault(rule.function, {})
+        try:
+            for key in keys:
+                charge("unique_lookup")
+                partition: dict[str, TempTable] = {}
+                for name, table in bound.items():
+                    groups = groups_per_owner.get(name)
+                    if groups is None:
+                        partition[name] = _full_copy(table, charge)
+                        continue
+                    copy = TempTable(table.name, table.schema, table.static_map)
+                    for ptrs, mats in groups.get(key, ()):
+                        for record in ptrs:
+                            record.pin()
+                        copy._rows.append((ptrs, mats))
+                    partition[name] = copy
+                task = pending.get(key)
+                if task is not None and task.state in (TaskState.DELAYED, TaskState.READY):
+                    self._absorb(task, partition)
+                else:
+                    fresh = self._new_task(rule, partition, commit_time, unique_key=key)
+                    pending[key] = fresh
+                    new_tasks.append(fresh)
+        except Exception:
+            # Same stranded-task guard as the product path above.
             for fresh in new_tasks:
                 self.forget(fresh)
                 fresh.retire_bound_tables()
@@ -367,7 +487,9 @@ class UniqueManager:
             release_time=commit_time + rule.after,
             created_time=commit_time,
             function_name=rule.function,
-            rule_name=rule.name,
+            rule_name=(
+                f"{rule.name}@{rule.maintenance}" if rule.maintenance else rule.name
+            ),
             unique_key=unique_key,
             bound_tables=bound,
             estimated_cpu=estimated,
@@ -554,6 +676,32 @@ class UniqueManager:
         pending = self._pending.get(task.function_name)
         if pending is not None and pending.get(task.unique_key) is task:
             del pending[task.unique_key]
+
+    def supersede(
+        self, function: str, unique_key: tuple, now: float
+    ) -> Optional[Task]:
+        """Abort the pending task for one unique key because newer state
+        made its work moot (e.g. a deletion removed every derived row the
+        task would have maintained).
+
+        Only DELAYED/READY tasks can be superseded — once a task starts it
+        runs to completion and the maintenance logic itself must cope.
+        Returns the aborted task, or None when there was nothing pending.
+        """
+        pending = self._pending.get(function)
+        task = pending.get(unique_key) if pending is not None else None
+        if task is None or task.state not in (TaskState.DELAYED, TaskState.READY):
+            return None
+        self.db.charge("unique_lookup")
+        del pending[unique_key]
+        task.compact_info = None
+        task.state = TaskState.ABORTED
+        task.retire_bound_tables()
+        if self.db.persist.enabled and task.function_name is not None:
+            self.db.persist.task_finished(task, "superseded")
+        if self.db.tracer.enabled:
+            self.db.tracer.task_superseded(task, now)
+        return task
 
     def pending_tasks(self, function: Optional[str] = None) -> list[Task]:
         if function is not None:

@@ -167,6 +167,11 @@ class Database:
         self._register_builtin_scalars()
         self.committed_txns = 0
         self.aborted_txns = 0
+        # Monotone commit sequence (no virtual-time ties): stamped onto each
+        # committing transaction and read back by view maintenance to decide
+        # whether a rederivation requery already saw a pending task's source
+        # commit (see the ``commit_seq`` pseudo column).
+        self.last_commit_seq = 0
         # Live transactions by id, so a task killed mid-body by an injected
         # fault can have its half-done transaction rolled back (update-task
         # bodies have no exception handler of their own).
@@ -190,6 +195,10 @@ class Database:
     @property
     def now(self) -> float:
         return self.clock.now()
+
+    def next_commit_seq(self) -> int:
+        self.last_commit_seq += 1
+        return self.last_commit_seq
 
     # ---------------------------------------------------------- functions
 

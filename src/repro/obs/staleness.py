@@ -59,6 +59,11 @@ class StalenessTracker:
         self._outstanding: dict[int, _Outstanding] = {}
         self.reflected = 0  # mutations whose lag was measured
         self.lost = 0  # mutations whose task was dropped (staleness unbounded)
+        #: Mutations reflected *by a deletion*: a newer change removed every
+        #: derived row the pending task would have maintained, so the task
+        #: was superseded.  The derived table is consistent the moment the
+        #: deleting transaction commits — these are reflections, not losses.
+        self.reflected_by_delete = 0
 
     # ------------------------------------------------------------- labels
 
@@ -109,6 +114,26 @@ class StalenessTracker:
         entry = self._outstanding.pop(task.task_id, None)
         if entry is not None:
             self.lost += len(entry.stamps)
+
+    def on_task_superseded(self, task: "Task", now: float) -> None:
+        """A deletion made the task moot: its mutations ARE reflected.
+
+        The deleting transaction removed (or rewrote) every derived row the
+        task would have touched, so the derived table caught up with the
+        stamped mutations at ``now`` — record the lags as usual but tally
+        them separately, so deletion-heavy runs don't misreport batched
+        updates that deletions legitimately retired as "lost"."""
+        entry = self._outstanding.pop(task.task_id, None)
+        if entry is None:
+            return
+        view_hist = self._hist(self.by_view, entry.view)
+        rule_hist = self._hist(self.by_rule, entry.rule)
+        for stamp in entry.stamps:
+            lag = max(now - stamp, 0.0)
+            view_hist.record(lag)
+            rule_hist.record(lag)
+        self.reflected += len(entry.stamps)
+        self.reflected_by_delete += len(entry.stamps)
 
     # ------------------------------------------------------------ queries
 
@@ -168,6 +193,7 @@ class StalenessTracker:
             "views": {label: h.snapshot() for label, h in sorted(self.by_view.items())},
             "rules": {label: h.snapshot() for label, h in sorted(self.by_rule.items())},
             "reflected": self.reflected,
+            "reflected_by_delete": self.reflected_by_delete,
             "lost": self.lost,
             "outstanding": self.outstanding(),
         }

@@ -26,6 +26,7 @@ Event taxonomy (``TraceEvent.kind``):
 ``task.preempt``            quantum preemption charged to a long task
 ``task.abort``              a task body raised; the task was aborted
 ``task.drop``               firm-deadline policy discarded a late task
+``task.supersede``          a deletion made a pending task moot; aborted
 ``lock.wait``               a lock request could not be granted immediately
 ``counter.queues``          delay/ready queue depths (a Chrome counter track)
 ``fault.inject``            the fault injector fired at one of its points
@@ -124,6 +125,7 @@ class Tracer:
     def task_done(self, task: "Task", record: "TaskRecord", server: int = 0) -> None: ...
     def task_abort(self, task: "Task", now: float, server: int = 0) -> None: ...
     def task_drop(self, task: "Task", now: float) -> None: ...
+    def task_superseded(self, task: "Task", now: float) -> None: ...
 
     # -------------------------------------------------------------- faults
     def fault_inject(
@@ -388,6 +390,15 @@ class TraceCollector(Tracer):
         self._emit(
             now, "task.drop", task.klass, track="sched",
             task_id=task.task_id, deadline=task.deadline,
+        )
+
+    def task_superseded(self, task: "Task", now: float) -> None:
+        self.metrics.counter("task_supersedes").inc()
+        self.staleness.on_task_superseded(task, now)
+        self.attribution.on_task_drop(task, now)
+        self._emit(
+            now, "task.supersede", task.klass, track="sched",
+            task_id=task.task_id,
         )
 
     # -------------------------------------------------------------- faults

@@ -15,7 +15,9 @@ virtual time on the single-server simulator; the returned
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import random
+import time
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.database import Database
@@ -380,6 +382,406 @@ def run_experiment(
     )
     if persist is not None:
         persist.close()
+    if db_out is not None:
+        db_out.append(db)
+    return result
+
+
+# --------------------------------------------------------------------------
+# Deletion-heavy variant: position close-outs and index delistings
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class DeletionExperimentResult:
+    """Metrics of one deletion-heavy run (:func:`run_deletion_experiment`)."""
+
+    maintenance: str  # the requested strategy ("auto" included)
+    strategies: dict[str, str]  # view name -> resolved strategy
+    delay: float
+    seed: int
+    delete_mix: float
+    n_events: int
+    n_updates: int
+    n_opens: int
+    n_closeouts: int
+    n_delists: int
+    n_maintenance_tasks: int
+    deletions_seen: int  # base deletions the maintenance rules processed
+    keys_marked: int  # overdeletion candidates (DRed)
+    rows_overdeleted: int
+    rows_rederived: int
+    rows_touched: int  # every derived-row write any strategy performed
+    full_recomputes: int
+    superseded: int  # pending tasks retired because a delisting mooted them
+    cpu_update: float  # CPU seconds in the event-stream tasks
+    cpu_maintenance: float  # CPU seconds in the view-maintenance tasks
+    end_time: float
+    wall_s: float
+    staleness: Optional[dict] = None
+    faults: Optional[str] = None
+    faults_injected: int = 0
+    fault_retries: int = 0
+    fault_drops: int = 0
+    oracle_divergent: Optional[int] = None
+    oracle_rows: int = 0
+    oracle_report: Optional[ConvergenceReport] = None
+
+    @property
+    def n_deletions(self) -> int:
+        return self.n_closeouts + self.n_delists
+
+    @property
+    def rows_touched_per_deletion(self) -> float:
+        """The tentpole metric: derived-row writes per base deletion."""
+        return self.rows_touched / max(self.n_deletions, 1)
+
+    def row(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            "maintenance": self.maintenance,
+            "strategies": "/".join(
+                self.strategies[name] for name in sorted(self.strategies)
+            ),
+            "delete_mix": self.delete_mix,
+            "n_deletions": self.n_deletions,
+            "rows_touched": self.rows_touched,
+            "rows_per_deletion": round(self.rows_touched_per_deletion, 2),
+            "overdeleted": self.rows_overdeleted,
+            "rederived": self.rows_rederived,
+            "full_recomputes": self.full_recomputes,
+            "superseded": self.superseded,
+            "cpu_maint_s": round(self.cpu_maintenance, 4),
+            "virtual_end_s": round(self.end_time, 2),
+        }
+        if self.faults is not None:
+            out["faults_injected"] = self.faults_injected
+            out["fault_retries"] = self.fault_retries
+        if self.oracle_divergent is not None:
+            out["oracle_divergent"] = self.oracle_divergent
+        return out
+
+
+def _make_open_body(db: Database, pos_id: str, symbol: str, shares: float):
+    """Open a fresh position (keeps deletion-heavy runs from draining)."""
+
+    def body(task: Task) -> None:
+        txn = db.begin(task)
+        db.charge("cursor_open")
+        txn.insert(
+            "positions", {"pos_id": pos_id, "symbol": symbol, "shares": shares}
+        )
+        db.charge("cursor_close")
+        txn.commit()
+
+    return body
+
+
+def _make_closeout_body(db: Database, pos_id: str):
+    """Close one position: delete its row, maintenance reflects the rest."""
+
+    def body(task: Task) -> None:
+        txn = db.begin(task)
+        positions = db.catalog.table("positions")
+        db.charge("cursor_open")
+        db.charge("index_probe")
+        record = positions.get_one("pos_id", pos_id)
+        db.charge("cursor_fetch")
+        if record is not None:
+            txn.delete_record(positions, record)
+        db.charge("cursor_close")
+        txn.commit()
+
+    return body
+
+
+def _make_delist_body(
+    db: Database, symbol: str, exposure_function: str, superseded: list
+):
+    """Delist a symbol: one transaction removes the stock, its positions,
+    and the derived rows the application knows are doomed, then retires the
+    now-moot pending exposure-maintenance task for that symbol."""
+
+    def body(task: Task) -> None:
+        txn = db.begin(task)
+        stocks = db.catalog.table("stocks")
+        positions = db.catalog.table("positions")
+        position_values = db.catalog.table("position_values")
+        exposure = db.catalog.table("symbol_exposure")
+        db.charge("cursor_open")
+        db.charge("index_probe")
+        record = stocks.get_one("symbol", symbol)
+        if record is not None:
+            txn.delete_record(stocks, record)
+        for doomed in list(positions.lookup(("symbol",), symbol)):
+            db.charge("cursor_fetch")
+            txn.delete_record(positions, doomed)
+        # The application purges the derived rows itself: the delisting is
+        # definitive, there is nothing left to maintain for this symbol.
+        for doomed in list(position_values.lookup(("symbol",), symbol)):
+            db.charge("cursor_fetch")
+            txn.delete_record(position_values, doomed)
+        record = exposure.get_one("symbol", symbol)
+        if record is not None:
+            txn.delete_record(exposure, record)
+        db.charge("cursor_close")
+        txn.commit()
+        if db.unique_manager.supersede(
+            exposure_function, (symbol,), db.clock.now()
+        ) is not None:
+            superseded.append(symbol)
+
+    return body
+
+
+def make_deletion_events(
+    n_symbols: int,
+    positions_per_symbol: int,
+    n_events: int,
+    duration: float,
+    delete_mix: float,
+    delist_share: float,
+    seed: int,
+) -> list[tuple]:
+    """A seeded schedule of ``(kind, time, ...)`` events over live state.
+
+    Kinds: ``("update", t, symbol, price)``, ``("close", t, pos_id)``,
+    ``("delist", t, symbol)``, ``("open", t, pos_id, symbol, shares)``.
+    Generation tracks which symbols/positions are still live so deletions
+    always target existing rows (stragglers hitting already-deleted rows
+    are still tolerated by the task bodies).  Delistings stop at half the
+    symbol universe and a slice of the non-deletion events opens fresh
+    positions, so the run stays deletion-heavy without draining the base
+    tables to nothing (an empty end state would make the convergence
+    oracle's pass vacuous).
+    """
+    rng = random.Random(seed)
+    live_symbols = [f"S{i}" for i in range(n_symbols)]
+    open_positions = [
+        (f"P{i}_{j}", f"S{i}")
+        for i in range(n_symbols)
+        for j in range(positions_per_symbol)
+    ]
+    delist_floor = max(1, n_symbols // 2)
+    opened = 0
+    events: list[tuple] = []
+    for k in range(n_events):
+        t = (k + 1) * duration / n_events
+        deleting = rng.random() < delete_mix
+        if (
+            deleting
+            and rng.random() < delist_share
+            and len(live_symbols) > delist_floor
+        ):
+            symbol = live_symbols.pop(rng.randrange(len(live_symbols)))
+            open_positions = [p for p in open_positions if p[1] != symbol]
+            events.append(("delist", t, symbol))
+        elif deleting and open_positions:
+            pos_id, _symbol = open_positions.pop(rng.randrange(len(open_positions)))
+            events.append(("close", t, pos_id))
+        elif live_symbols and rng.random() < 0.55:
+            symbol = live_symbols[rng.randrange(len(live_symbols))]
+            pos_id = f"PX{opened}"
+            opened += 1
+            open_positions.append((pos_id, symbol))
+            events.append(
+                ("open", t, pos_id, symbol, float(rng.randrange(1, 100)))
+            )
+        elif live_symbols:
+            symbol = live_symbols[rng.randrange(len(live_symbols))]
+            events.append(("update", t, symbol, round(rng.uniform(10.0, 200.0), 2)))
+    return events
+
+
+def run_deletion_experiment(
+    n_symbols: int = 20,
+    positions_per_symbol: int = 5,
+    n_events: int = 400,
+    duration: float = 60.0,
+    delete_mix: float = 0.4,
+    delist_share: float = 0.25,
+    maintenance: str = "auto",
+    delay: float = 1.0,
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+    tracer: Optional[Tracer] = None,
+    faults: Optional[str] = None,
+    fault_seed: int = 0,
+    max_retries: int = 5,
+    retry_backoff: float = 0.25,
+    oracle: bool = True,
+    db_out: Optional[list] = None,
+) -> DeletionExperimentResult:
+    """The deletion-heavy PTA variant: close-outs and delistings.
+
+    A lean portfolio schema — ``stocks(symbol, price)`` and
+    ``positions(pos_id, symbol, shares)`` — feeds two materialized views:
+
+    * ``position_values`` — a projection join (one derived row per open
+      position), coarse-batched;
+    * ``symbol_exposure`` — a sum aggregate over the same join, batched
+      per symbol (``unique on symbol``, which both delta tables carry, so
+      dispatch uses union partitioning).
+
+    The event stream mixes price updates with position close-outs and
+    index delistings (``delete_mix`` deletions overall, ``delist_share``
+    of those delistings).  A delisting deletes the stock, its positions,
+    and the derived rows in the same transaction, then supersedes the
+    pending per-symbol maintenance task — the deletion IS the reflection.
+
+    ``maintenance`` is the strategy override threaded to
+    :func:`repro.views.maintain.materialize` for both views (``auto``
+    consults the advisor with ``delete_fraction=delete_mix``).  With
+    ``oracle`` on (default), the convergence oracle recomputes both views
+    from the surviving base rows after the queues drain.
+    """
+    from repro.views.maintain import materialize
+
+    injector = recovery = None
+    if faults:
+        injector = FaultInjector(faults, seed=fault_seed)
+        injector.enabled = False  # setup is not under test; armed before run
+        recovery = RetryPolicy(max_retries=max_retries, backoff=retry_backoff)
+    db = Database(
+        cost_model=cost_model, tracer=tracer, faults=injector, recovery=recovery
+    )
+    db.metrics.set_keep_records(False)
+    db.execute("create table stocks (symbol text, price real)")
+    db.execute("create table positions (pos_id text, symbol text, shares real)")
+    rng = random.Random(seed + 1)
+    txn = db.begin()
+    for i in range(n_symbols):
+        txn.insert(
+            "stocks",
+            {"symbol": f"S{i}", "price": round(rng.uniform(10.0, 200.0), 2)},
+        )
+        for j in range(positions_per_symbol):
+            txn.insert(
+                "positions",
+                {
+                    "pos_id": f"P{i}_{j}",
+                    "symbol": f"S{i}",
+                    "shares": float(rng.randrange(1, 100)),
+                },
+            )
+    txn.commit()
+    db.execute(
+        "create view position_values as "
+        "select pos_id, positions.symbol as symbol, shares * price as value "
+        "from positions, stocks where positions.symbol = stocks.symbol"
+    )
+    db.execute(
+        "create view symbol_exposure as "
+        "select positions.symbol as symbol, sum(shares * price) as exposure "
+        "from positions, stocks where positions.symbol = stocks.symbol "
+        "group by positions.symbol"
+    )
+    pv_plan = materialize(
+        db, "position_values", unique=True, delay=delay, key=("pos_id",),
+        maintenance=maintenance, delete_fraction=delete_mix,
+    )
+    se_plan = materialize(
+        db, "symbol_exposure", unique=True, unique_on=("symbol",), delay=delay,
+        maintenance=maintenance, delete_fraction=delete_mix,
+    )
+
+    events = make_deletion_events(
+        n_symbols, positions_per_symbol, n_events, duration,
+        delete_mix, delist_share, seed,
+    )
+    superseded: list = []
+    tasks = []
+    n_updates = n_opens = n_closeouts = n_delists = 0
+    for event in events:
+        kind, t = event[0], event[1]
+        if kind == "update":
+            body = _make_update_body(db, event[2], event[3])
+            n_updates += 1
+        elif kind == "open":
+            body = _make_open_body(db, event[2], event[3], event[4])
+            n_opens += 1
+        elif kind == "close":
+            body = _make_closeout_body(db, event[2])
+            n_closeouts += 1
+        else:
+            body = _make_delist_body(db, event[2], se_plan.function_name, superseded)
+            n_delists += 1
+        tasks.append(
+            Task(
+                body=body,
+                klass=kind,
+                release_time=t,
+                created_time=t,
+                value=10.0,
+                estimated_cpu=200e-6,
+            )
+        )
+    simulator = Simulator(db)
+    if injector is not None:
+        injector.enabled = True
+    wall_start = time.perf_counter()
+    simulator.run(arrivals=tasks)
+    wall_s = time.perf_counter() - wall_start
+    oracle_report = None
+    if oracle:
+        if injector is not None:
+            injector.enabled = False  # the oracle's recomputation runs clean
+        oracle_report = check_convergence(db)
+
+    metrics = db.metrics
+    plans = {"position_values": pv_plan, "symbol_exposure": se_plan}
+    stats_total = {
+        "tasks": 0, "deletions_seen": 0, "keys_marked": 0,
+        "rows_overdeleted": 0, "rows_rederived": 0, "rows_touched": 0,
+        "full_recomputes": 0,
+    }
+    for plan in plans.values():
+        for name in stats_total:
+            stats_total[name] += getattr(plan.stats, name)
+    cpu_maintenance = sum(
+        metrics.total_cpu(f"recompute:{plan.function_name}")
+        for plan in plans.values()
+    )
+    result = DeletionExperimentResult(
+        maintenance=maintenance,
+        strategies={name: plan.maintenance for name, plan in plans.items()},
+        delay=delay,
+        seed=seed,
+        delete_mix=delete_mix,
+        n_events=len(events),
+        n_updates=n_updates,
+        n_opens=n_opens,
+        n_closeouts=n_closeouts,
+        n_delists=n_delists,
+        n_maintenance_tasks=stats_total["tasks"],
+        deletions_seen=stats_total["deletions_seen"],
+        keys_marked=stats_total["keys_marked"],
+        rows_overdeleted=stats_total["rows_overdeleted"],
+        rows_rederived=stats_total["rows_rederived"],
+        rows_touched=stats_total["rows_touched"],
+        full_recomputes=stats_total["full_recomputes"],
+        superseded=len(superseded),
+        cpu_update=sum(
+            metrics.total_cpu(kind)
+            for kind in ("update", "open", "close", "delist")
+        ),
+        cpu_maintenance=cpu_maintenance,
+        end_time=db.clock.base,
+        wall_s=wall_s,
+        staleness=(
+            tracer.staleness.snapshot()
+            if isinstance(tracer, TraceCollector)
+            else None
+        ),
+        faults=faults or None,
+        faults_injected=db.faults.injected_count,
+        fault_retries=db.recovery.retry_count,
+        fault_drops=db.recovery.drop_count,
+        oracle_divergent=(
+            len(oracle_report.divergences) if oracle_report is not None else None
+        ),
+        oracle_rows=oracle_report.rows_checked if oracle_report is not None else 0,
+        oracle_report=oracle_report,
+    )
     if db_out is not None:
         db_out.append(db)
     return result

@@ -110,6 +110,12 @@ class CostModel:
     user_group_row: float = 5.0  # the same grouping done in user code
     task_create: float = 15.0
 
+    # --- derived-view maintenance (delete-and-rederive) ---
+    dred_mark: float = 2.0  # mark one candidate key during overdeletion
+    dred_overdelete_row: float = 6.0  # delete one possibly-supported derived row
+    dred_rederive_row: float = 3.0  # re-derive one surviving row (restricted query)
+    view_recompute_row: float = 2.5  # one row of a full view recomputation
+
     # --- scheduling (section 6.2) ---
     sched_enqueue: float = 4.0
     sched_dequeue: float = 4.0

@@ -777,8 +777,8 @@ class _SelectResolution:
         (record getter, offset, slot key) or None for materialized values."""
         desc = self._find(table, name)
         if desc is None:
-            if name == "commit_time":
-                return self._pseudo_getter("commit_time"), None
+            if name in ("commit_time", "commit_seq"):
+                return self._pseudo_getter(name), None
             where = f"table {table!r}" if table else "any table in scope"
             raise PlanError(f"unknown column {name!r} in {where}")
         return self.column_of(desc, name)
@@ -1172,7 +1172,9 @@ def _infer_type(expr: ast.Expr, order: list[SourceDesc], resolution: _SelectReso
         except PlanError:
             return ColumnType.REAL
         if desc is None:
-            return ColumnType.TIME if expr.name == "commit_time" else ColumnType.REAL
+            if expr.name == "commit_time":
+                return ColumnType.TIME
+            return ColumnType.INT if expr.name == "commit_seq" else ColumnType.REAL
         return desc.schema.column(expr.name).type
     if isinstance(expr, ast.Literal):
         if isinstance(expr.value, bool):

@@ -48,6 +48,7 @@ class Transaction:
         db._active_txns[self.txn_id] = self
         self.log = TransactionLog()
         self.commit_time: Optional[float] = None
+        self.commit_seq: Optional[int] = None
         self.begin_time = db.clock.now()
         self._read_locked_tables: set[str] = set()
         self._ix_locked_tables: set[str] = set()
@@ -182,6 +183,11 @@ class Transaction:
                 self.abort()
                 raise faults.error_for(fault, label)
         self.commit_time = self.db.clock.now()
+        # Virtual time can tie across commits; the sequence number is the
+        # tie-free "how much of history has this commit seen" discriminant
+        # used by view maintenance to tell whether a rederivation requery
+        # already reflected a pending task's source transaction.
+        self.commit_seq = self.db.next_commit_seq()
         persist = self.db.persist
         persisting = persist.enabled
         if persisting:
@@ -205,6 +211,7 @@ class Transaction:
                 if persisting:
                     persist.rollback_commit()
                 self.commit_time = None
+                self.commit_seq = None
                 self.abort()
                 raise
             unique.discard_undo()

@@ -289,3 +289,136 @@ class BatchingAdvisor:
             "window chosen at the diminishing-returns knee (paper section 8 rules "
             f"of thumb).{extra}"
         )
+
+
+# --------------------------------------------------------------------------
+# Maintenance-strategy advisor (insert-incremental vs DRed vs full recompute)
+
+
+@dataclass(frozen=True)
+class MaintenanceProfile:
+    """Workload + view shape inputs to the maintenance-strategy choice.
+
+    Args:
+        delete_fraction: fraction of base-data changes that are deletions
+            (or the delete half of a key-column update).
+        fanout: derived rows supported by one base row — the overdeletion
+            blast radius of deleting it.
+        rederive_rows: surviving base rows scanned to re-derive one marked
+            key (restricted-requery width).
+        view_rows: total derived rows, i.e. the cost driver of one full
+            recomputation.
+        incremental_ok: whether an insert-incremental fold exists for the
+            view (self-maintainable aggregates; false forces a choice
+            between DRed and full recompute).
+        multi_table: whether the view joins several base tables — the
+            incremental deletion path then needs partner-join work that a
+            single-table view does not.
+    """
+
+    delete_fraction: float
+    fanout: float
+    rederive_rows: float
+    view_rows: float
+    incremental_ok: bool = True
+    multi_table: bool = False
+
+
+@dataclass
+class MaintenanceReport:
+    """The maintenance advisor's choice plus the per-change cost estimates."""
+
+    strategy: str  # "incremental" | "dred" | "recompute"
+    costs: dict[str, float]  # per-change expected cost of every strategy
+    profile: MaintenanceProfile
+    rationale: str = ""
+
+
+class MaintenanceAdvisor:
+    """Chooses the deletion-maintenance strategy for one view's rules.
+
+    Per-change expected cost under a deletion mix ``d``:
+
+    * ``incremental`` — inserts pay the fold; deletions additionally pay
+      the partner-join delete work on multi-table views (a deleted base
+      row has to be joined against live partners to find its deltas,
+      which under-deletes when the partner died in the same transaction —
+      the bug class DRed exists to avoid).
+    * ``dred`` — inserts pay the same fold; deletions pay mark +
+      fanout × (overdelete + rederive_rows × rederive).
+    * ``recompute`` — every change pays ``view_rows`` × per-row recompute.
+
+    Ties break toward the cheaper machinery: incremental < dred <
+    recompute.
+    """
+
+    ORDER = ("incremental", "dred", "recompute")
+
+    def __init__(
+        self,
+        insert_cost: float,
+        delete_join_cost: float,
+        mark_cost: float,
+        overdelete_cost: float,
+        rederive_cost: float,
+        recompute_row_cost: float,
+    ) -> None:
+        self.insert_cost = insert_cost
+        self.delete_join_cost = delete_join_cost
+        self.mark_cost = mark_cost
+        self.overdelete_cost = overdelete_cost
+        self.rederive_cost = rederive_cost
+        self.recompute_row_cost = recompute_row_cost
+
+    @classmethod
+    def from_cost_model(cls, cost_model) -> "MaintenanceAdvisor":
+        """Derive the per-op coefficients from a simulator cost model."""
+        return cls(
+            insert_cost=cost_model.seconds("agg_update")
+            + cost_model.seconds("row_output"),
+            delete_join_cost=cost_model.seconds("join_probe")
+            + cost_model.seconds("row_scan"),
+            mark_cost=cost_model.seconds("dred_mark"),
+            overdelete_cost=cost_model.seconds("dred_overdelete_row"),
+            rederive_cost=cost_model.seconds("dred_rederive_row"),
+            recompute_row_cost=cost_model.seconds("view_recompute_row"),
+        )
+
+    def per_change_cost(self, strategy: str, profile: MaintenanceProfile) -> float:
+        """Expected cost of maintaining the view after one base change."""
+        d = min(max(profile.delete_fraction, 0.0), 1.0)
+        insert = profile.fanout * self.insert_cost
+        if strategy == "incremental":
+            if not profile.incremental_ok:
+                return float("inf")
+            delete_extra = (
+                profile.fanout * self.delete_join_cost if profile.multi_table else 0.0
+            )
+            return (1.0 - d) * insert + d * (insert + delete_extra)
+        if strategy == "dred":
+            delete_extra = self.mark_cost + profile.fanout * (
+                self.overdelete_cost + profile.rederive_rows * self.rederive_cost
+            )
+            return (1.0 - d) * insert + d * delete_extra
+        if strategy == "recompute":
+            return profile.view_rows * self.recompute_row_cost
+        raise ValueError(f"unknown maintenance strategy {strategy!r}")
+
+    def recommend(self, profile: MaintenanceProfile) -> MaintenanceReport:
+        costs = {
+            strategy: self.per_change_cost(strategy, profile)
+            for strategy in self.ORDER
+        }
+        # min() keeps the first of equals, and ORDER ranks the machinery
+        # from simplest to heaviest — ties go to the simpler strategy.
+        strategy = min(self.ORDER, key=lambda s: costs[s])
+        finite = {k: v for k, v in costs.items() if v != float("inf")}
+        rationale = (
+            f"deletion mix {profile.delete_fraction:.0%}, fan-out "
+            f"{profile.fanout:.1f}, view rows {profile.view_rows:.0f}: "
+            + ", ".join(f"{k}={v * 1e6:.1f}us" for k, v in finite.items())
+            + f" per change -> {strategy}"
+        )
+        return MaintenanceReport(
+            strategy=strategy, costs=costs, profile=profile, rationale=rationale
+        )

@@ -27,6 +27,39 @@ statistics when asked.  Projection views can additionally opt into
 ``compact`` (delta compaction keyed on the projection key): their apply
 function is last-write-wins per key, so folding the pending batch is
 invisible to the result.
+
+Maintenance strategies
+======================
+
+Deletions are the weak spot of pure delta maintenance: the delta queries
+join a transition table against the *surviving* base data, so when a
+deleted row's join partner died in the same transaction the join is empty
+and the derived row it supported is never retracted.  Three strategies are
+generated, chosen per view by ``maintenance=`` (or by the
+:class:`~repro.views.advisor.MaintenanceAdvisor` under ``auto`` with a
+deletion mix):
+
+* ``incremental`` — the classical delta fold.  On multi-table views it is
+  hardened with the DRed *mark* queries below so the empty-join deletion
+  anomaly cannot leave stale rows behind.
+* ``dred`` — delete-and-rederive.  Deletions (and the delete half of
+  key-column updates) do not attempt delta arithmetic at all: an
+  *overdeletion* pass marks every derived key the removed base rows could
+  have supported, then a *rederivation* pass re-queries only the marked
+  keys against the surviving base data, restoring rows that still have an
+  alternative derivation.  Insertions and value updates stay incremental.
+* ``recompute`` — every maintenance task truncates and repopulates the
+  backing table (the paper's wholesale recomputation, kept as the
+  baseline the benchmarks compare against).
+
+The mark queries are *anchored*: the first base table whose columns cover
+every view key through the WHERE clause's equality classes becomes the
+anchor.  The anchor's own rule marks keys straight from its transition
+table (no join — this is what makes the scheme airtight when the join
+partner died too), and every other table's rule marks keys by joining its
+transition against the live anchor table.  Views whose keys cannot be
+anchored fall back to a *wild* mark that triggers a full recompute of the
+view — over-deletion in the extreme, always safe.
 """
 
 from __future__ import annotations
@@ -35,9 +68,11 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from repro.core.rules import Rule
+from repro.core.transition import EXECUTE_ORDER
 from repro.errors import StripError
 from repro.sql import ast
 from repro.storage.schema import Column, ColumnType, Schema
+from repro.views.advisor import MaintenanceAdvisor, MaintenanceProfile, MaintenanceReport
 from repro.views.definition import ViewDefinition
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -45,10 +80,50 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.database import Database
 
 HIDDEN_COUNT = "maint_cnt"
+#: Mark-row flag column: 0 for an anchored key mark, 1 for the wild
+#: fallback (recompute the whole view).
+WILD_MARK = "maint_wild"
+#: Ordering columns projected by projection deltas so the apply fold can
+#: replay events in commit order (commit time, then execute order).
+ORDER_CT = "maint_ct"
+ORDER_ORD = "maint_ord"
+#: Commit-sequence column stamped onto aggregate delta rows.  A marked
+#: key's rederivation requery is ground truth for *every* commit made so
+#: far, including commits whose own maintenance tasks are still pending —
+#: their folded deltas for that key must be discarded or they would apply
+#: on top of a requery that already reflected them.
+MAINT_SEQ = "maint_seq"
+
+#: Strategies a view's generated rules can implement.
+STRATEGIES = ("incremental", "dred", "recompute")
 
 
 class UnsupportedViewError(StripError):
     """The view shape is outside the generator's supported classes."""
+
+
+@dataclass
+class MaintenanceStats:
+    """Apply-side counters for one maintained view (virtual-time free)."""
+
+    tasks: int = 0
+    deletions_seen: int = 0
+    keys_marked: int = 0
+    rows_overdeleted: int = 0
+    rows_rederived: int = 0
+    rows_touched: int = 0
+    full_recomputes: int = 0
+
+    def row(self) -> dict:
+        return {
+            "tasks": self.tasks,
+            "deletions_seen": self.deletions_seen,
+            "keys_marked": self.keys_marked,
+            "rows_overdeleted": self.rows_overdeleted,
+            "rows_rederived": self.rows_rederived,
+            "rows_touched": self.rows_touched,
+            "full_recomputes": self.full_recomputes,
+        }
 
 
 @dataclass
@@ -66,6 +141,12 @@ class MaintenancePlan:
     #: for aggregates, the caller's ``key`` for projections.  The fault
     #: subsystem's convergence oracle keys its row diff on these.
     key_columns: tuple = ()
+    #: Resolved maintenance strategy ("incremental" | "dred" | "recompute")
+    #: and what the caller asked for (may be "auto").
+    maintenance: str = "incremental"
+    requested: str = "auto"
+    stats: MaintenanceStats = field(default_factory=MaintenanceStats)
+    advice: Optional[MaintenanceReport] = None
 
 
 # --------------------------------------------------------------------------
@@ -180,6 +261,334 @@ def _columns_of_table(exprs: Iterable[ast.Expr], binding: str, schema: Schema) -
 
 
 # --------------------------------------------------------------------------
+# Anchored overdeletion marks
+# --------------------------------------------------------------------------
+
+
+def _conjuncts(where: Optional[ast.Expr]) -> list[ast.Expr]:
+    """Flatten a WHERE clause into its top-level AND conjuncts."""
+    if where is None:
+        return []
+    if isinstance(where, ast.BinaryOp) and where.op == "and":
+        return _conjuncts(where.left) + _conjuncts(where.right)
+    return [where]
+
+
+def _and_all(parts: Sequence[ast.Expr]) -> Optional[ast.Expr]:
+    combined: Optional[ast.Expr] = None
+    for part in parts:
+        combined = part if combined is None else ast.BinaryOp("and", combined, part)
+    return combined
+
+
+def _or_all(parts: Sequence[ast.Expr]) -> Optional[ast.Expr]:
+    combined: Optional[ast.Expr] = None
+    for part in parts:
+        combined = part if combined is None else ast.BinaryOp("or", combined, part)
+    return combined
+
+
+class _UnionFind:
+    """Equality classes over (binding, column) pairs."""
+
+    def __init__(self) -> None:
+        self.parent: dict[tuple, tuple] = {}
+
+    def find(self, item: tuple) -> tuple:
+        self.parent.setdefault(item, item)
+        root = item
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[item] != root:  # path compression
+            self.parent[item], item = root, self.parent[item]
+        return root
+
+    def union(self, a: tuple, b: tuple) -> None:
+        self.parent[self.find(a)] = self.find(b)
+
+    def members(self, item: tuple) -> list[tuple]:
+        root = self.find(item)
+        return [other for other in self.parent if self.find(other) == root]
+
+
+def _resolve_ref(
+    ref: ast.ColumnRef, bindings: dict[str, Schema]
+) -> Optional[tuple[str, str]]:
+    """Resolve a column reference to its (binding, column) source."""
+    if ref.table is not None:
+        schema = bindings.get(ref.table)
+        if schema is not None and schema.has_column(ref.name):
+            return (ref.table, ref.name)
+        return None
+    owners = [b for b, schema in bindings.items() if schema.has_column(ref.name)]
+    if len(owners) == 1:
+        return (owners[0], ref.name)
+    return None
+
+
+def _equality_classes(
+    conjuncts: Sequence[ast.Expr], bindings: dict[str, Schema]
+) -> _UnionFind:
+    """Union-find of columns linked by ``a.x = b.y`` WHERE conjuncts."""
+    uf = _UnionFind()
+    for conj in conjuncts:
+        if (
+            isinstance(conj, ast.BinaryOp)
+            and conj.op == "="
+            and isinstance(conj.left, ast.ColumnRef)
+            and isinstance(conj.right, ast.ColumnRef)
+        ):
+            left = _resolve_ref(conj.left, bindings)
+            right = _resolve_ref(conj.right, bindings)
+            if left is not None and right is not None:
+                uf.union(left, right)
+    return uf
+
+
+def _refs_within(expr: ast.Expr, bindings: dict[str, Schema], allowed: set[str]) -> bool:
+    """True when every column reference of ``expr`` resolves inside ``allowed``."""
+    for ref in ast.column_refs(expr):
+        source = _resolve_ref(ref, bindings)
+        if source is None or source[0] not in allowed:
+            return False
+    return True
+
+
+def _select_anchor(
+    select: ast.Select,
+    key_exprs: Sequence[tuple[str, ast.Expr]],
+    bindings: dict[str, Schema],
+) -> tuple[Optional[ast.TableRef], dict[str, str]]:
+    """Pick the first base table covering every view key via equality classes.
+
+    Returns ``(anchor_ref, {key_name: anchor_column})`` or ``(None, {})``
+    when no table covers all keys (the wild-mark fallback).
+    """
+    sources: list[tuple[str, tuple[str, str]]] = []
+    for key_name, expr in key_exprs:
+        if not isinstance(expr, ast.ColumnRef):
+            return None, {}
+        source = _resolve_ref(expr, bindings)
+        if source is None:
+            return None, {}
+        sources.append((key_name, source))
+    uf = _equality_classes(_conjuncts(select.where), bindings)
+    for ref in select.tables:
+        mapping: dict[str, str] = {}
+        for key_name, source in sources:
+            candidates = sorted(
+                column
+                for binding, column in uf.members(source)
+                if binding == ref.binding
+            )
+            if not candidates:
+                mapping = {}
+                break
+            mapping[key_name] = candidates[0]
+        if mapping:
+            return ref, mapping
+    return None, {}
+
+
+def _mark_queries(
+    select: ast.Select,
+    base: ast.TableRef,
+    anchor: Optional[ast.TableRef],
+    anchor_map: dict[str, str],
+    key_names: Sequence[str],
+    danger_columns: Sequence[str],
+    bindings: dict[str, Schema],
+) -> list[ast.RuleQuery]:
+    """The overdeletion mark queries for one base table's rule.
+
+    ``marks_del`` projects the candidate derived keys of every deleted base
+    row; ``marks_old`` does the same for the *old* image of updates that
+    changed a membership- or key-affecting (``danger``) column, identified
+    by the old-by-new ``execute_order`` self-join.  Both project a
+    ``maint_wild`` flag: 0 for anchored key marks, 1 for the wild fallback
+    that recomputes the whole view.
+    """
+    conjuncts = _conjuncts(select.where)
+    queries: list[ast.RuleQuery] = []
+
+    def danger_changed() -> Optional[ast.Expr]:
+        return _or_all(
+            [
+                ast.BinaryOp(
+                    "!=",
+                    ast.ColumnRef("old", column),
+                    ast.ColumnRef("new", column),
+                )
+                for column in danger_columns
+            ]
+        )
+
+    order_join = ast.BinaryOp(
+        "=",
+        ast.ColumnRef("old", EXECUTE_ORDER),
+        ast.ColumnRef("new", EXECUTE_ORDER),
+    )
+
+    if anchor is None:
+        wild_items = (ast.SelectItem(ast.Literal(1), WILD_MARK),)
+        queries.append(
+            ast.RuleQuery(
+                ast.Select(items=wild_items, tables=(ast.TableRef("deleted", None),)),
+                "marks_del",
+            )
+        )
+        changed = danger_changed()
+        if changed is not None:
+            queries.append(
+                ast.RuleQuery(
+                    ast.Select(
+                        items=wild_items,
+                        tables=(ast.TableRef("old", None), ast.TableRef("new", None)),
+                        where=ast.BinaryOp("and", order_join, changed),
+                    ),
+                    "marks_old",
+                )
+            )
+        return queries
+
+    if base.binding == anchor.binding:
+        # The anchor's transition alone carries the keys: no join, so this
+        # query still marks correctly when every join partner died too.
+        local = [
+            conj
+            for conj in conjuncts
+            if _refs_within(conj, bindings, {anchor.binding})
+        ]
+
+        def anchored(transition: str, extra: Sequence[ast.Expr]) -> ast.Select:
+            items = tuple(
+                [
+                    ast.SelectItem(ast.ColumnRef(transition, anchor_map[k]), k)
+                    for k in key_names
+                ]
+                + [ast.SelectItem(ast.Literal(0), WILD_MARK)]
+            )
+            where = _and_all(
+                [_substitute_table(conj, anchor.binding, transition) for conj in local]
+                + list(extra)
+            )
+            tables: tuple[ast.TableRef, ...]
+            if transition == "old":
+                tables = (ast.TableRef("old", None), ast.TableRef("new", None))
+            else:
+                tables = (ast.TableRef(transition, None),)
+            return ast.Select(items=items, tables=tables, where=where)
+
+        queries.append(ast.RuleQuery(anchored("deleted", ()), "marks_del"))
+        changed = danger_changed()
+        if changed is not None:
+            queries.append(
+                ast.RuleQuery(anchored("old", (order_join, changed)), "marks_old")
+            )
+        return queries
+
+    # Non-anchor table: join its transition against the live anchor through
+    # the WHERE conjuncts that mention only the two of them, projecting the
+    # keys from the anchor.  Conjuncts routed through third tables are
+    # dropped — that over-marks (a superset), never under-marks.
+    pair = [
+        conj
+        for conj in conjuncts
+        if _refs_within(conj, bindings, {base.binding, anchor.binding})
+    ]
+    key_items = tuple(
+        [
+            ast.SelectItem(ast.ColumnRef(anchor.binding, anchor_map[k]), k)
+            for k in key_names
+        ]
+        + [ast.SelectItem(ast.Literal(0), WILD_MARK)]
+    )
+    queries.append(
+        ast.RuleQuery(
+            ast.Select(
+                items=key_items,
+                tables=(ast.TableRef("deleted", None), anchor),
+                where=_and_all(
+                    [_substitute_table(conj, base.binding, "deleted") for conj in pair]
+                ),
+            ),
+            "marks_del",
+        )
+    )
+    changed = danger_changed()
+    if changed is not None:
+        queries.append(
+            ast.RuleQuery(
+                ast.Select(
+                    items=key_items,
+                    tables=(
+                        ast.TableRef("old", None),
+                        ast.TableRef("new", None),
+                        anchor,
+                    ),
+                    where=_and_all(
+                        [order_join, changed]
+                        + [_substitute_table(conj, base.binding, "old") for conj in pair]
+                    ),
+                ),
+                "marks_old",
+            )
+        )
+    return queries
+
+
+def _collect_marks(
+    ctx: "FunctionContext", key_names: Sequence[str], stats: MaintenanceStats
+) -> tuple[set[tuple], bool]:
+    """Read the mark bound tables: (marked keys, wild-recompute flag)."""
+    marked: set[tuple] = set()
+    wild = False
+    for bound_name in ("marks_del", "marks_old"):
+        if not ctx.has_bound(bound_name):
+            continue
+        for row in ctx.rows(bound_name):
+            ctx.charge("dred_mark")
+            if bound_name == "marks_del":
+                stats.deletions_seen += 1
+            if row.get(WILD_MARK):
+                wild = True
+            else:
+                marked.add(tuple(row[name] for name in key_names))
+    stats.keys_marked += len(marked)
+    return marked, wild
+
+
+def _full_recompute(
+    ctx: "FunctionContext",
+    table,
+    populate_select: ast.Select,
+    stats: MaintenanceStats,
+    key_offsets: Optional[Sequence[int]] = None,
+) -> None:
+    """Truncate the backing table and repopulate from the base tables.
+
+    ``key_offsets`` (keyed projections only) folds the repopulation to one
+    row per key, last in query order winning — matching the incremental
+    apply path, whose per-key upsert never holds two rows for one key.
+    """
+    stats.full_recomputes += 1
+    doomed = list(table.scan())
+    for record in doomed:
+        ctx.txn.delete_record(table, record)
+    rows = ctx.db.run_select(populate_select, ctx.txn).rows()
+    if key_offsets is not None:
+        folded: dict[tuple, list] = {}
+        for values in rows:
+            folded[tuple(values[i] for i in key_offsets)] = values
+        rows = list(folded.values())
+    if rows:
+        ctx.charge("view_recompute_row", len(rows))
+    for values in rows:
+        ctx.txn.insert_record(table, values)
+    stats.rows_touched += len(doomed) + len(rows)
+
+
+# --------------------------------------------------------------------------
 # materialize
 # --------------------------------------------------------------------------
 
@@ -192,6 +601,8 @@ def materialize(
     delay: float = 0.0,
     key: Optional[Sequence[str]] = None,
     compact: bool = False,
+    maintenance: str = "auto",
+    delete_fraction: float = 0.0,
 ) -> MaintenancePlan:
     """Turn the registered view into a maintained standard table.
 
@@ -205,9 +616,21 @@ def materialize(
     pending batch to net effect per key is invisible to the result.
     Aggregate deltas are *summed* contributions, not idempotent per key,
     so compaction there is rejected.
+
+    ``maintenance`` picks the deletion-maintenance strategy
+    (``incremental`` | ``dred`` | ``recompute``); the default ``auto``
+    keeps the classical incremental path unless ``delete_fraction`` (the
+    expected deletion share of base changes) is positive, in which case
+    the :class:`~repro.views.advisor.MaintenanceAdvisor` chooses from the
+    cost model and the populated sizes.
     """
     if compact and not unique:
         raise UnsupportedViewError("compact maintenance requires unique batching")
+    if maintenance not in ("auto",) + STRATEGIES:
+        raise UnsupportedViewError(
+            f"unknown maintenance strategy {maintenance!r}; "
+            f"use auto, {', '.join(STRATEGIES)}"
+        )
     view = db.catalog.view(view_name)
     select = view.select
     info = _analyze(select)
@@ -230,6 +653,7 @@ def materialize(
             raise UnsupportedViewError(
                 f"view {view_name!r} reads {ref.name!r}, which is not a standard table"
             )
+    base_rows = sum(len(db.catalog.table(ref.name)) for ref in base_refs)
 
     # Replace the view with its backing table.
     view.bump()
@@ -240,18 +664,71 @@ def materialize(
     backing = db.catalog.create_table(view_name, Schema(columns))
     view.backing_table = view_name
     plan_record = MaintenancePlan(view, view_name, kind=info["kind"])
+    plan_record.requested = maintenance
 
     if info["kind"] == "aggregate":
-        _materialize_aggregate(db, view, info, plan_record, unique, unique_on, delay)
+        incremental = all(
+            agg.name in ("sum", "count", "avg") for agg, _n in info["aggs"]
+        )
+        plan_record.key_columns = tuple(name for _e, name in info["groups"])
+        populate_select = _aggregate_populate_select(select, info)
+        key_exprs = [(name, expr) for expr, name in info["groups"]]
     else:
+        incremental = True  # the targeted per-key upsert is delta-driven
         key_columns = tuple(key) if key else (out_columns[0][0],)
         for column in key_columns:
             if column not in [name for name, _t in out_columns]:
                 raise UnsupportedViewError(f"key column {column!r} is not selected")
         plan_record.compact = compact
         plan_record.key_columns = key_columns
+        populate_select = select
+        by_name = {name: expr for expr, name in info["items"]}
+        key_exprs = [(name, by_name[name]) for name in key_columns]
+
+    # Populate before wiring rules: the strategy choice reads the sizes.
+    txn = db.begin()
+    for values in db.run_select(populate_select, txn).rows():
+        txn.insert_record(backing, values)
+    txn.commit()
+
+    strategy = maintenance
+    if maintenance == "auto":
+        if delete_fraction <= 0:
+            strategy = "incremental"
+        else:
+            view_rows = len(backing)
+            profile = MaintenanceProfile(
+                delete_fraction=delete_fraction,
+                fanout=max(1.0, view_rows / max(base_rows, 1)),
+                rederive_rows=base_rows / max(view_rows, 1),
+                view_rows=float(view_rows),
+                incremental_ok=(info["kind"] == "projection") or incremental,
+                multi_table=len(base_refs) > 1,
+            )
+            advice = MaintenanceAdvisor.from_cost_model(db.cost_model).recommend(
+                profile
+            )
+            plan_record.advice = advice
+            strategy = advice.strategy
+    plan_record.maintenance = strategy
+
+    bindings = {
+        ref.binding: db.catalog.table(ref.name).schema for ref in base_refs
+    }
+    anchor, anchor_map = _select_anchor(select, key_exprs, bindings)
+
+    if info["kind"] == "aggregate":
+        plan_record.incremental = incremental
+        _materialize_aggregate(
+            db, view, info, plan_record, unique, unique_on, delay,
+            strategy, anchor, anchor_map, bindings, populate_select,
+        )
+    else:
+        plan_record.incremental = False
         _materialize_projection(
-            db, view, info, plan_record, key_columns, unique, unique_on, delay, compact
+            db, view, info, plan_record, plan_record.key_columns,
+            unique, unique_on, delay, compact,
+            strategy, anchor, anchor_map, bindings,
         )
 
     db.materialized_views[view_name] = plan_record
@@ -269,24 +746,16 @@ def _group_key_names(info: dict) -> list[str]:
     return [name for _expr, name in info["groups"]]
 
 
-def _populate_aggregate(db: "Database", view: ViewDefinition, info: dict) -> None:
-    select = view.select
-    groups = info["groups"]
-    aggs = info["aggs"]
-    items = [ast.SelectItem(expr, name) for expr, name in groups]
-    items.extend(ast.SelectItem(expr, name) for expr, name in aggs)
+def _aggregate_populate_select(select: ast.Select, info: dict) -> ast.Select:
+    items = [ast.SelectItem(expr, name) for expr, name in info["groups"]]
+    items.extend(ast.SelectItem(expr, name) for expr, name in info["aggs"])
     items.append(ast.SelectItem(ast.FuncCall("count", (), star=True), HIDDEN_COUNT))
-    populate = ast.Select(
+    return ast.Select(
         items=tuple(items),
         tables=select.tables,
         where=select.where,
         group_by=select.group_by,
     )
-    txn = db.begin()
-    table = db.catalog.table(view.name)
-    for values in db.run_select(populate, txn).rows():
-        txn.insert_record(table, values)
-    txn.commit()
 
 
 def _materialize_aggregate(
@@ -297,17 +766,20 @@ def _materialize_aggregate(
     unique: bool,
     unique_on: Sequence[str],
     delay: float,
+    strategy: str,
+    anchor: Optional[ast.TableRef],
+    anchor_map: dict[str, str],
+    bindings: dict[str, Schema],
+    populate_select: ast.Select,
 ) -> None:
     select = view.select
     groups: list[tuple[ast.Expr, str]] = info["groups"]
     aggs: list[tuple[ast.FuncCall, str]] = info["aggs"]
-    incremental = all(agg.name in ("sum", "count", "avg") for agg, _n in aggs)
-    plan_record.incremental = incremental
+    incremental = plan_record.incremental
     function_name = f"maintain_{view.name}"
     plan_record.function_name = function_name
-    plan_record.key_columns = tuple(_group_key_names(info))
-
-    _populate_aggregate(db, view, info)
+    stats = plan_record.stats
+    multi_table = len(select.tables) > 1
 
     group_names = _group_key_names(info)
     agg_names = [name for _a, name in aggs]
@@ -326,6 +798,7 @@ def _materialize_aggregate(
             else:
                 arg = _substitute_table(agg.args[0], base.binding, transition)
             items.append(ast.SelectItem(arg, f"arg_{name}"))
+        items.append(ast.SelectItem(ast.ColumnRef(None, "commit_seq"), MAINT_SEQ))
         return items
 
     for base in select.tables:
@@ -337,36 +810,134 @@ def _materialize_aggregate(
             base.binding,
             schema,
         )
+        # Columns whose change can move a row between groups or in/out of
+        # the view: the group keys and the WHERE-referenced columns, but
+        # not pure aggregate arguments (those stay incremental).
+        danger = _columns_of_table(
+            [expr for expr, _n in groups]
+            + ([select.where] if select.where is not None else []),
+            base.binding,
+            schema,
+        )
         events = (
             ast.Event("inserted"),
             ast.Event("deleted"),
             ast.Event("updated", tuple(sorted(relevant))),
         )
-        evaluate = (
-            ast.RuleQuery(_delta_select(select, base, "inserted", delta_items(base, "inserted")), "plus_rows"),
-            ast.RuleQuery(_delta_select(select, base, "new", delta_items(base, "new")), "plus_upd"),
-            ast.RuleQuery(_delta_select(select, base, "deleted", delta_items(base, "deleted")), "minus_rows"),
-            ast.RuleQuery(_delta_select(select, base, "old", delta_items(base, "old")), "minus_upd"),
-        )
+        deltas = {
+            "plus_rows": ast.RuleQuery(
+                _delta_select(select, base, "inserted", delta_items(base, "inserted")),
+                "plus_rows",
+            ),
+            "plus_upd": ast.RuleQuery(
+                _delta_select(select, base, "new", delta_items(base, "new")),
+                "plus_upd",
+            ),
+            "minus_rows": ast.RuleQuery(
+                _delta_select(select, base, "deleted", delta_items(base, "deleted")),
+                "minus_rows",
+            ),
+            "minus_upd": ast.RuleQuery(
+                _delta_select(select, base, "old", delta_items(base, "old")),
+                "minus_upd",
+            ),
+        }
+        if strategy == "dred":
+            # Deleted keys are a subset of the marked keys, so the minus
+            # delta of deletions is dropped entirely: deletions pay marking
+            # plus rederivation, never delta arithmetic.
+            evaluate = [deltas["plus_rows"], deltas["plus_upd"], deltas["minus_upd"]]
+            evaluate.extend(
+                _mark_queries(
+                    select, base, anchor, anchor_map, group_names,
+                    sorted(danger), bindings,
+                )
+            )
+        elif strategy == "incremental" and multi_table:
+            # The empty-join hardening: a deleted row whose join partner
+            # died in the same transaction produces no minus delta, so the
+            # marks catch the affected groups for requery.
+            evaluate = list(deltas.values())
+            evaluate.extend(
+                _mark_queries(
+                    select, base, anchor, anchor_map, group_names,
+                    sorted(danger), bindings,
+                )
+            )
+        else:
+            evaluate = list(deltas.values())
         rule = Rule(
             name=f"maintain_{view.name}_{base.binding}",
             table=base.name,
             events=events,
             condition=(),
-            evaluate=evaluate,
+            evaluate=tuple(evaluate),
             function=function_name,
             unique=unique,
             unique_on=tuple(unique_on),
             after=delay,
+            maintenance=strategy,
         )
         db.create_rule(rule)
         plan_record.rules.append(rule)
 
-    view_select = select  # captured for MIN/MAX group recomputation
+    view_select = select  # captured for per-group recomputation
     group_exprs = [expr for expr, _n in groups]
 
+    def _requery_group(ctx, table, key, record, dred: bool) -> None:
+        """Recompute one group from the base tables (restricted requery)."""
+        where = view_select.where
+        for expr, value in zip(group_exprs, key):
+            condition = ast.BinaryOp("=", expr, ast.Literal(value))
+            where = condition if where is None else ast.BinaryOp("and", where, condition)
+        items = [ast.SelectItem(expr, name) for expr, name in groups]
+        items.extend(ast.SelectItem(agg, name) for agg, name in aggs)
+        items.append(ast.SelectItem(ast.FuncCall("count", (), star=True), HIDDEN_COUNT))
+        fresh = ast.Select(
+            items=tuple(items),
+            tables=view_select.tables,
+            where=where,
+            group_by=view_select.group_by,
+        )
+        rows = ctx.db.run_select(fresh, ctx.txn).rows()
+        if record is not None:
+            if dred:
+                ctx.charge("dred_overdelete_row")
+                stats.rows_overdeleted += 1
+            ctx.txn.delete_record(table, record)
+            stats.rows_touched += 1
+        if rows:
+            if dred:
+                ctx.charge("dred_rederive_row", len(rows))
+                stats.rows_rederived += len(rows)
+            for values in rows:
+                ctx.txn.insert_record(table, values)
+            stats.rows_touched += len(rows)
+
+    # Commit-seq horizons left behind by requeries.  A rederivation (or a
+    # wild full recompute) reads the *live* base tables, so it reflects
+    # every commit made so far — including commits whose maintenance tasks
+    # are still in the queue.  When those tasks finally run, their folded
+    # deltas for the requeried keys have already been counted and must be
+    # skipped; the per-row MAINT_SEQ against these horizons decides.
+    # (Bounded by the view's distinct key count, like the table itself.)
+    rederived_at: dict[tuple, int] = {}
+    recomputed_at = [0]
+
     def apply_deltas(ctx: "FunctionContext") -> None:
-        """Fold all four delta tables into the backing table."""
+        """Fold the delta tables into the backing table; marked keys are
+        overdeleted and rederived from the surviving base data instead."""
+        stats.tasks += 1
+        table = ctx.db.catalog.table(view.name)
+        schema = table.schema
+        if strategy == "recompute":
+            _full_recompute(ctx, table, populate_select, stats)
+            return
+        marked, wild = _collect_marks(ctx, group_names, stats)
+        if wild:
+            _full_recompute(ctx, table, populate_select, stats)
+            recomputed_at[0] = ctx.db.last_commit_seq
+            return
         changes: dict[tuple, list] = {}
         for bound_name, sign in (
             ("plus_rows", 1),
@@ -378,6 +949,10 @@ def _materialize_aggregate(
                 continue
             for row in ctx.rows(bound_name):
                 key = tuple(row[name] for name in group_names)
+                seq = row.get(MAINT_SEQ) or 0
+                horizon = max(recomputed_at[0], rederived_at.get(key, 0))
+                if seq and seq <= horizon:
+                    continue  # a requery already reflected this commit
                 entry = changes.get(key)
                 if entry is None:
                     entry = changes[key] = [0] + [0.0] * len(agg_names)
@@ -386,23 +961,38 @@ def _materialize_aggregate(
                     value = row[f"arg_{name}"]
                     if value is not None:
                         entry[1 + i] += sign * value
-        if not changes:
-            return
-        table = ctx.db.catalog.table(view.name)
-        schema = table.schema
         key_offsets = [schema.offset(name) for name in group_names]
         cnt_offset = schema.offset(HIDDEN_COUNT)
-        for key, entry in changes.items():
-            ctx.charge("cursor_fetch")
-            record = next(
+
+        def find(key):
+            return next(
                 (
                     r
-                    for r in table.lookup(tuple(group_names), key if len(key) > 1 else key[0])
+                    for r in table.lookup(
+                        tuple(group_names), key if len(key) > 1 else key[0]
+                    )
                 ),
                 None,
             )
+
+        # Marked keys are requeried against the surviving base data — the
+        # requery is ground truth at apply time, so any folded deltas for
+        # the same key are superseded and must be discarded (a delta
+        # already visible to the requery would otherwise apply twice).
+        for key in marked:
+            changes.pop(key, None)
+        horizon = ctx.db.last_commit_seq
+        for key in sorted(marked, key=repr):
+            ctx.charge("cursor_fetch")
+            _requery_group(ctx, table, key, find(key), dred=True)
+            rederived_at[key] = horizon
+        if not changes:
+            return
+        for key, entry in changes.items():
+            ctx.charge("cursor_fetch")
+            record = find(key)
             if not incremental:
-                _recompute_group(ctx, view_select, info, table, key, record)
+                _requery_group(ctx, table, key, record, dred=False)
                 continue
             count_delta = entry[0]
             if record is None:
@@ -421,10 +1011,12 @@ def _materialize_aggregate(
                         values[schema.offset(name)] = entry[1 + i]
                 values[cnt_offset] = count_delta
                 ctx.txn.insert_record(table, values)
+                stats.rows_touched += 1
                 continue
             new_count = record.values[cnt_offset] + count_delta
             if new_count <= 0:
                 ctx.txn.delete_record(table, record)
+                stats.rows_touched += 1
                 continue
             values = list(record.values)
             values[cnt_offset] = new_count
@@ -439,27 +1031,7 @@ def _materialize_aggregate(
                     old_sum = (values[offset] or 0.0) * record.values[cnt_offset]
                     values[offset] = (old_sum + entry[1 + i]) / new_count
             ctx.txn.update_record(table, record, values)
-
-    def _recompute_group(ctx, view_select, info, table, key, record):
-        """MIN/MAX (non-incremental): recompute one group from base tables."""
-        where = view_select.where
-        for expr, value in zip(group_exprs, key):
-            condition = ast.BinaryOp("=", expr, ast.Literal(value))
-            where = condition if where is None else ast.BinaryOp("and", where, condition)
-        items = [ast.SelectItem(expr, name) for expr, name in groups]
-        items.extend(ast.SelectItem(agg, name) for agg, name in aggs)
-        items.append(ast.SelectItem(ast.FuncCall("count", (), star=True), HIDDEN_COUNT))
-        fresh = ast.Select(
-            items=tuple(items),
-            tables=view_select.tables,
-            where=where,
-            group_by=view_select.group_by,
-        )
-        rows = ctx.db.run_select(fresh, ctx.txn).rows()
-        if record is not None:
-            ctx.txn.delete_record(table, record)
-        if rows:
-            ctx.txn.insert_record(table, rows[0])
+            stats.rows_touched += 1
 
     db.register_function(function_name, apply_deltas, replace=True)
 
@@ -473,28 +1045,34 @@ def _materialize_projection(
     unique: bool,
     unique_on: Sequence[str],
     delay: float,
-    compact: bool = False,
+    compact: bool,
+    strategy: str,
+    anchor: Optional[ast.TableRef],
+    anchor_map: dict[str, str],
+    bindings: dict[str, Schema],
 ) -> None:
     select = view.select
     items: list[tuple[ast.Expr, str]] = info["items"]
     function_name = f"maintain_{view.name}"
     plan_record.function_name = function_name
-    plan_record.incremental = False
-
-    # Populate.
-    txn = db.begin()
-    table = db.catalog.table(view.name)
-    for values in db.run_select(select, txn).rows():
-        txn.insert_record(table, values)
-    txn.commit()
+    stats = plan_record.stats
+    multi_table = len(select.tables) > 1
 
     column_names = [name for _e, name in items]
+    key_exprs = {name: expr for expr, name in items if name in key_columns}
 
     def projected(base: ast.TableRef, transition: str) -> list[ast.SelectItem]:
-        return [
+        out = [
             ast.SelectItem(_substitute_table(expr, base.binding, transition), name)
             for expr, name in items
         ]
+        # Ordering columns so the apply fold can replay the batch's events
+        # in true order: bind-time commit time, then within-transaction
+        # execute order.  A delete and its reinsert can then never pair up
+        # the wrong way round, whatever order the bound tables arrive in.
+        out.append(ast.SelectItem(ast.ColumnRef(None, "commit_time"), ORDER_CT))
+        out.append(ast.SelectItem(ast.ColumnRef(transition, EXECUTE_ORDER), ORDER_ORD))
+        return out
 
     for base in select.tables:
         schema = db.catalog.table(base.name).schema
@@ -504,66 +1082,178 @@ def _materialize_projection(
             base.binding,
             schema,
         )
+        danger = _columns_of_table(
+            [expr for expr, name in items if name in key_columns]
+            + ([select.where] if select.where is not None else []),
+            base.binding,
+            schema,
+        )
         events = (
             ast.Event("inserted"),
             ast.Event("deleted"),
             ast.Event("updated", tuple(sorted(relevant))),
         )
-        evaluate = (
-            ast.RuleQuery(_delta_select(select, base, "inserted", projected(base, "inserted")), "added"),
-            ast.RuleQuery(_delta_select(select, base, "new", projected(base, "new")), "refreshed"),
-            ast.RuleQuery(_delta_select(select, base, "deleted", projected(base, "deleted")), "removed"),
+        deltas = {
+            "added": ast.RuleQuery(
+                _delta_select(select, base, "inserted", projected(base, "inserted")),
+                "added",
+            ),
+            "refreshed": ast.RuleQuery(
+                _delta_select(select, base, "new", projected(base, "new")),
+                "refreshed",
+            ),
+            "removed": ast.RuleQuery(
+                _delta_select(select, base, "deleted", projected(base, "deleted")),
+                "removed",
+            ),
             # Old images of updates: their keys may have left the view (a
-            # key-column update), so they are deleted before the refreshed
+            # key-column update), so they are retired before the refreshed
             # rows are applied.
-            ast.RuleQuery(_delta_select(select, base, "old", projected(base, "old")), "stale"),
-        )
+            "stale": ast.RuleQuery(
+                _delta_select(select, base, "old", projected(base, "old")),
+                "stale",
+            ),
+        }
+        if strategy == "dred":
+            evaluate = [deltas["added"], deltas["refreshed"]]
+            evaluate.extend(
+                _mark_queries(
+                    select, base, anchor, anchor_map, key_columns,
+                    sorted(danger), bindings,
+                )
+            )
+        elif strategy == "incremental" and multi_table:
+            evaluate = list(deltas.values())
+            evaluate.extend(
+                _mark_queries(
+                    select, base, anchor, anchor_map, key_columns,
+                    sorted(danger), bindings,
+                )
+            )
+        else:
+            evaluate = list(deltas.values())
         rule = Rule(
             name=f"maintain_{view.name}_{base.binding}",
             table=base.name,
             events=events,
             condition=(),
-            evaluate=evaluate,
+            evaluate=tuple(evaluate),
             function=function_name,
             unique=unique,
             unique_on=tuple(unique_on),
             compact_on=key_columns if compact else (),
             after=delay,
+            maintenance=strategy,
         )
         db.create_rule(rule)
         plan_record.rules.append(rule)
 
+    key_offsets = [column_names.index(name) for name in key_columns]
+
     def apply_projection(ctx: "FunctionContext") -> None:
+        stats.tasks += 1
         table = ctx.db.catalog.table(view.name)
-        schema = table.schema
-        key_offsets = [schema.offset(name) for name in key_columns]
+        if strategy == "recompute":
+            _full_recompute(ctx, table, select, stats, key_offsets=key_offsets)
+            return
 
         def key_of(row: dict) -> tuple:
             return tuple(row[name] for name in key_columns)
 
-        def find(key: tuple):
+        def find_all(key: tuple) -> list:
             lookup_key = key if len(key) > 1 else key[0]
-            return next(iter(table.lookup(key_columns, lookup_key)), None)
+            return list(table.lookup(key_columns, lookup_key))
 
-        for doomed in ("removed", "stale"):
-            if not ctx.has_bound(doomed):
-                continue
-            for row in ctx.rows(doomed):
-                record = find(key_of(row))
-                if record is not None:
-                    ctx.txn.delete_record(table, record)
-        latest: dict[tuple, dict] = {}
-        for bound_name in ("added", "refreshed"):
+        def rederive_key(key: tuple) -> None:
+            # Overdelete every row of the marked key, then restore the
+            # rows that still derive from the surviving base data.
+            doomed = find_all(key)
+            for record in doomed:
+                ctx.charge("dred_overdelete_row")
+                ctx.txn.delete_record(table, record)
+            stats.rows_overdeleted += len(doomed)
+            stats.rows_touched += len(doomed)
+            where = select.where
+            for name, value in zip(key_columns, key):
+                condition = ast.BinaryOp("=", key_exprs[name], ast.Literal(value))
+                where = (
+                    condition if where is None else ast.BinaryOp("and", where, condition)
+                )
+            fresh = ast.Select(
+                items=tuple(ast.SelectItem(expr, name) for expr, name in items),
+                tables=select.tables,
+                where=where,
+            )
+            rows = ctx.db.run_select(fresh, ctx.txn).rows()
+            if rows:
+                # The requery is pinned to one key, so duplicate base rows
+                # all land on it: keep the last, matching the per-key
+                # upsert the incremental apply performs.
+                rows = rows[-1:]
+                ctx.charge("dred_rederive_row", len(rows))
+                for values in rows:
+                    ctx.txn.insert_record(table, values)
+                stats.rows_rederived += len(rows)
+                stats.rows_touched += len(rows)
+
+        marked, wild = _collect_marks(ctx, key_columns, stats)
+        if wild:
+            _full_recompute(ctx, table, select, stats, key_offsets=key_offsets)
+            return
+
+        # Transition-aware ordered fold: every delta row carries its commit
+        # time and execute order, so per key the *latest* event decides the
+        # outcome.  Removal events (removed/stale) rank below upserts at
+        # the same position because an update's old and new image share one
+        # execute order and the new image must win; across positions the
+        # ordering columns decide, so a key-column update chain retires its
+        # intermediate keys instead of resurrecting them.
+        latest: dict[tuple, tuple] = {}
+        seq = 0
+        for bound_name, rank in (
+            ("removed", 0),
+            ("stale", 0),
+            ("added", 1),
+            ("refreshed", 1),
+        ):
             if not ctx.has_bound(bound_name):
                 continue
             for row in ctx.rows(bound_name):
-                latest[key_of(row)] = row  # last write wins within the batch
-        for key, row in latest.items():
+                key = key_of(row)
+                order = (
+                    row.get(ORDER_CT) or 0.0,
+                    row.get(ORDER_ORD) or 0,
+                    rank,
+                    seq,
+                )
+                seq += 1
+                prev = latest.get(key)
+                if prev is None or order > prev[0]:
+                    latest[key] = (order, rank, row)
+
+        # Marked keys are rederived from base ground truth; their folded
+        # events are superseded (the requery already reflects them).
+        for key in marked:
+            latest.pop(key, None)
+        for key in sorted(marked, key=repr):
+            rederive_key(key)
+
+        for key, (_order, rank, row) in latest.items():
+            ctx.charge("cursor_fetch")
+            records = find_all(key)
+            if rank == 0:  # the key's final event removed it from the view
+                for record in records:
+                    ctx.txn.delete_record(table, record)
+                stats.rows_touched += len(records)
+                continue
             values = [row[name] for name in column_names]
-            record = find(key)
-            if record is None:
-                ctx.txn.insert_record(table, values)
+            if records:
+                ctx.txn.update_record(table, records[0], values)
+                for record in records[1:]:
+                    ctx.txn.delete_record(table, record)
+                stats.rows_touched += len(records)
             else:
-                ctx.txn.update_record(table, record, values)
+                ctx.txn.insert_record(table, values)
+                stats.rows_touched += 1
 
     db.register_function(function_name, apply_projection, replace=True)

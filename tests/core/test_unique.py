@@ -231,3 +231,122 @@ class TestPinning:
         table = task.bound_tables["m"]
         db.drain()
         assert table.retired
+
+
+class TestUnionPartitioning:
+    """A unique column present in *several* bound tables: each owner is
+    partitioned by the full key and the key space is the union of the
+    owners' keys (a delisting batch and the live rows it dooms must land
+    on one task per key, not a cross product)."""
+
+    def setup_rule(self, db, seen):
+        db.execute("create table u (k text, n real)")
+
+        def fn(ctx):
+            seen.append(
+                (
+                    ctx.task.unique_key,
+                    [r["k"] for r in ctx.bound("ma").to_dicts()],
+                    [r["k"] for r in ctx.bound("mb").to_dicts()],
+                )
+            )
+
+        db.register_function("fu", fn)
+        # evaluate (not condition) queries: the rule must fire even when
+        # one of the bound tables comes up empty.
+        db.execute(
+            "create rule ru on t when inserted "
+            "then evaluate select k, v from inserted bind as ma, "
+            "select k, n from u bind as mb "
+            "execute fu unique on k after 1.0 seconds"
+        )
+
+    def test_key_space_is_union_of_owner_keys(self, db):
+        seen = []
+        self.setup_rule(db, seen)
+        txn = db.begin()
+        txn.insert("u", {"k": "b", "n": 1.0})
+        txn.insert("u", {"k": "c", "n": 2.0})
+        txn.commit()
+        db.execute("insert into t values ('a', 'g', 1.0)")
+        keys = sorted(t.unique_key for t in db.unique_manager.pending_tasks("fu"))
+        assert keys == [("a",), ("b",), ("c",)]
+
+    def test_owner_partitions_filtered_per_key(self, db):
+        seen = []
+        self.setup_rule(db, seen)
+        txn = db.begin()
+        txn.insert("u", {"k": "a", "n": 1.0})
+        txn.insert("u", {"k": "b", "n": 2.0})
+        txn.commit()
+        db.execute("insert into t values ('a', 'g', 1.0)")
+        db.drain()
+        by_key = {key: (ma, mb) for key, ma, mb in seen}
+        # Key "a" appears in both owners; key "b" only in the second —
+        # its partition of the first owner is empty, not absent.
+        assert by_key[("a",)] == (["a"], ["a"])
+        assert by_key[("b",)] == ([], ["b"])
+
+    def test_partial_key_overlap_is_ambiguous(self, db):
+        db.execute("create table u (k text, n real)")
+        db.register_function("fa", lambda ctx: None)
+        db.execute(
+            "create rule ra on t when inserted "
+            "then evaluate select k, grp, v from inserted bind as ma, "
+            "select k, n from u bind as mb "
+            "execute fa unique on k, grp after 1.0 seconds"
+        )
+        # mb owns k but not grp: the historical "ambiguous" rejection.
+        with pytest.raises(Exception, match="ambiguous"):
+            db.execute("insert into t values ('a', 'g', 1.0)")
+
+    def test_absorbs_into_pending_union_task(self, db):
+        seen = []
+        self.setup_rule(db, seen)
+        db.execute("insert into t values ('a', 'g', 1.0)")
+        db.execute("insert into t values ('a', 'g', 2.0)")
+        assert len(db.unique_manager.pending_tasks("fu")) == 1
+        db.drain()
+        assert [key for key, _ma, _mb in seen] == [("a",)]
+        assert seen[0][1] == ["a", "a"]
+
+
+class TestSupersede:
+    def test_supersede_aborts_pending_task(self, db):
+        seen = []
+        install(db, "unique on k", seen)
+        db.execute("insert into t values ('a', 'g', 1.0)")
+        task = db.unique_manager.supersede("f", ("a",), db.clock.now())
+        assert task is not None
+        assert task.state is TaskState.ABORTED
+        assert db.unique_manager.pending_tasks("f") == []
+        db.drain()
+        assert seen == []  # the aborted task never ran
+
+    def test_supersede_unknown_key_is_noop(self, db):
+        seen = []
+        install(db, "unique on k", seen)
+        db.execute("insert into t values ('a', 'g', 1.0)")
+        assert db.unique_manager.supersede("f", ("zz",), db.clock.now()) is None
+        assert db.unique_manager.supersede("nofn", ("a",), db.clock.now()) is None
+        db.drain()
+        assert len(seen) == 1
+
+    def test_new_firing_after_supersede_opens_fresh_task(self, db):
+        seen = []
+        install(db, "unique on k", seen)
+        db.execute("insert into t values ('a', 'g', 1.0)")
+        db.unique_manager.supersede("f", ("a",), db.clock.now())
+        db.execute("insert into t values ('a', 'g', 2.0)")
+        db.drain()
+        # Only the post-supersede firing's row reaches the function.
+        assert seen == [[{"k": "a", "grp": "g", "v": 2.0}]]
+
+    def test_superseded_task_released_its_bound_tables(self, db):
+        seen = []
+        install(db, "unique on k", seen)
+        db.execute("insert into t values ('a', 'g', 1.0)")
+        task = db.unique_manager.pending_tasks("f")[0]
+        table = task.bound_tables["m"]
+        db.unique_manager.supersede("f", ("a",), db.clock.now())
+        assert table.retired

@@ -71,6 +71,23 @@ class TestUnitTracker:
         assert tracker.outstanding() == 0
         assert not tracker.by_view  # nothing was ever reflected
 
+    def test_superseded_task_counts_mutations_as_reflected(self):
+        """A deletion that moots a pending task IS the reflection of its
+        mutations — they are finished business, not losses."""
+        tracker = StalenessTracker()
+        task = make_task(created=0.0)
+        tracker.on_task_new(task, 0.0)
+        tracker.on_task_append(task, 1.0)
+        tracker.on_task_superseded(task, 3.0)
+        assert tracker.outstanding() == 0
+        assert tracker.reflected == 2
+        assert tracker.reflected_by_delete == 2
+        assert tracker.lost == 0
+        hist = tracker.by_view["f"]
+        assert hist.count == 2
+        assert hist.max == pytest.approx(3.0)
+        assert tracker.snapshot()["reflected_by_delete"] == 2
+
     def test_watermark_tracks_oldest_stamp(self):
         tracker = StalenessTracker()
         assert tracker.watermark(5.0) == 0.0
@@ -96,7 +113,14 @@ class TestUnitTracker:
         tracker.on_task_new(task, 0.0)
         tracker.on_task_done(task, 1.0)
         snap = tracker.snapshot()
-        assert set(snap) == {"views", "rules", "reflected", "lost", "outstanding"}
+        assert set(snap) == {
+            "views",
+            "rules",
+            "reflected",
+            "reflected_by_delete",
+            "lost",
+            "outstanding",
+        }
         assert snap["reflected"] == 1
         assert snap["views"]["f"]["count"] == 1
 

@@ -7,8 +7,13 @@ from repro.pta.workload import (
     ExperimentResult,
     clear_caches,
     get_trace,
+    run_deletion_experiment,
     run_experiment,
     sweep,
+)
+
+TINY_DELETION = dict(
+    n_symbols=6, positions_per_symbol=3, n_events=80, duration=20.0, seed=0
 )
 
 
@@ -124,6 +129,83 @@ class TestSweep:
         results = sweep(Scale.tiny(), "comps", ["unique"], [0.5, 1.5, 3.0])
         counts = [r.n_recomputes for r in results]
         assert counts == sorted(counts, reverse=True)
+
+
+class TestDeletionExperiment:
+    @pytest.fixture(scope="class")
+    def tiny_runs(self):
+        return {
+            strategy: run_deletion_experiment(
+                maintenance=strategy, **TINY_DELETION
+            )
+            for strategy in ("incremental", "dred", "recompute")
+        }
+
+    def test_every_strategy_converges(self, tiny_runs):
+        for strategy, result in tiny_runs.items():
+            assert result.oracle_divergent == 0, strategy
+            assert result.oracle_rows > 0, strategy  # non-vacuous check
+
+    def test_workload_is_deletion_heavy(self, tiny_runs):
+        for strategy, result in tiny_runs.items():
+            assert result.n_deletions > 0
+            assert result.n_closeouts > 0 and result.n_delists > 0
+            if strategy != "recompute":
+                # deletions_seen counts mark rows; recompute rules bind
+                # no marks — they truncate and repopulate regardless.
+                assert result.deletions_seen > 0
+
+    def test_strategy_resolution(self, tiny_runs):
+        for strategy, result in tiny_runs.items():
+            assert set(result.strategies.values()) == {strategy}
+
+    def test_dred_passes_exercised(self, tiny_runs):
+        dred = tiny_runs["dred"]
+        assert dred.keys_marked > 0
+        assert dred.rows_overdeleted > 0
+        assert dred.rows_rederived > 0
+        assert dred.full_recomputes == 0
+
+    def test_dred_beats_recompute_on_rows_per_deletion(self, tiny_runs):
+        dred = tiny_runs["dred"]
+        recompute = tiny_runs["recompute"]
+        assert recompute.full_recomputes > 0
+        assert dred.rows_touched_per_deletion < recompute.rows_touched_per_deletion
+
+    def test_delistings_supersede_pending_tasks(self, tiny_runs):
+        assert tiny_runs["dred"].superseded > 0
+
+    def test_deterministic(self):
+        first = run_deletion_experiment(maintenance="dred", **TINY_DELETION)
+        second = run_deletion_experiment(maintenance="dred", **TINY_DELETION)
+        assert first.rows_touched == second.rows_touched
+        assert first.end_time == second.end_time
+
+    def test_auto_consults_advisor(self):
+        result = run_deletion_experiment(maintenance="auto", **TINY_DELETION)
+        assert set(result.strategies.values()) <= {
+            "incremental", "dred", "recompute"
+        }
+        assert result.oracle_divergent == 0
+
+    def test_faulted_run_converges(self):
+        from repro.bench.experiments import DEFAULT_FAULT_PLAN
+
+        result = run_deletion_experiment(
+            maintenance="dred",
+            faults=DEFAULT_FAULT_PLAN,
+            fault_seed=1,
+            **TINY_DELETION,
+        )
+        assert result.faults_injected > 0
+        assert result.oracle_divergent == 0
+        assert result.oracle_rows > 0
+
+    def test_row_shape(self, tiny_runs):
+        row = tiny_runs["dred"].row()
+        assert row["maintenance"] == "dred"
+        assert row["n_deletions"] > 0
+        assert "rows_per_deletion" in row and "oracle_divergent" in row
 
 
 class TestMaintenanceOverheadAttribution:

@@ -1,0 +1,448 @@
+"""Delete-and-rederive maintenance and the deletion-path regressions.
+
+Covers the DRed strategy end to end (overdeletion marks, restricted
+rederivation, wild fallback), the explicit ``recompute`` strategy, the
+advisor's strategy selection, and the two deletion-path bugs fixed
+alongside: the empty-group stale row (a group whose last supporting base
+rows die in a task that also touches other groups) and the key-column
+update chains in the projection path under ``compact on``.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.database import Database
+from repro.fault import check_convergence
+from repro.views.maintain import STRATEGIES, UnsupportedViewError, materialize
+
+
+def multi(db, statements):
+    """Run several statements in one transaction (one rule firing)."""
+    txn = db.begin()
+    for statement in statements:
+        db.execute_in_txn(statement, txn)
+    txn.commit()
+
+
+def join_db():
+    db = Database()
+    db.execute_script(
+        """
+        create table x (a text, b real);
+        create table rates (a text, factor real);
+        insert into x values ('g1', 1.0), ('g1', 2.0), ('g2', 5.0);
+        insert into rates values ('g1', 2.0), ('g2', 3.0);
+        """
+    )
+    return db
+
+
+AGG_VIEW = (
+    "create view v as select x.a as a, sum(b * factor) as total "
+    "from x, rates where x.a = rates.a group by x.a"
+)
+MIN_VIEW = (
+    "create view v as select x.a as a, min(b * factor) as lo "
+    "from x, rates where x.a = rates.a group by x.a"
+)
+PROJ_VIEW = (
+    "create view v as select b, x.a as a, b * factor as scaled "
+    "from x, rates where x.a = rates.a"
+)
+
+
+def fresh_rows(db, select):
+    return sorted(db.query(select).rows())
+
+
+def view_rows(db, cols):
+    return sorted(db.query(f"select {cols} from v").rows())
+
+
+# ---------------------------------------------------------------------------
+# Satellite 1: the empty-group stale row.
+# ---------------------------------------------------------------------------
+
+
+class TestEmptyGroupRegression:
+    """Deleting a group's last supporting rows in a task that also touches
+    other groups must delete the derived row — the group-key iteration used
+    to skip keys whose post-delete bind set joined to nothing."""
+
+    KILL_G2 = [
+        "delete from x where a = 'g2'",
+        "delete from rates where a = 'g2'",
+        "insert into x values ('g1', 3.0)",
+    ]
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_sum_join(self, strategy):
+        db = join_db()
+        db.execute(AGG_VIEW)
+        materialize(db, "v", maintenance=strategy)
+        multi(db, self.KILL_G2)
+        db.drain()
+        assert view_rows(db, "a, total") == [["g1", 12.0]]
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_min_join(self, strategy):
+        """MIN/MAX groups go through _recompute_group — same fix applies."""
+        db = join_db()
+        db.execute(MIN_VIEW)
+        materialize(db, "v", maintenance=strategy)
+        multi(db, self.KILL_G2)
+        db.drain()
+        assert view_rows(db, "a, lo") == [["g1", 2.0]]
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_projection_join(self, strategy):
+        db = join_db()
+        db.execute(PROJ_VIEW)
+        materialize(db, "v", key=("b", "a"), maintenance=strategy)
+        multi(db, ["delete from x where a = 'g2'", "delete from rates where a = 'g2'"])
+        db.drain()
+        assert view_rows(db, "b, a, scaled") == [[1.0, "g1", 2.0], [2.0, "g1", 4.0]]
+
+    def test_only_dead_group_touched(self):
+        """The narrow case: the task maintains nothing BUT the dead group."""
+        db = join_db()
+        db.execute(AGG_VIEW)
+        materialize(db, "v")
+        multi(db, ["delete from x where a = 'g2'", "delete from rates where a = 'g2'"])
+        db.drain()
+        assert view_rows(db, "a, total") == [["g1", 6.0]]
+
+
+# ---------------------------------------------------------------------------
+# Satellite 2: key-column update chains in the projection path.
+# ---------------------------------------------------------------------------
+
+
+class TestProjectionKeyUpdates:
+    CHAINS = [
+        ("key-upd", ["update x set b = 20.0 where b = 2.0"]),
+        (
+            "key-upd-twice",
+            [
+                "update x set b = 20.0 where b = 2.0",
+                "update x set b = 30.0 where b = 20.0",
+            ],
+        ),
+        (
+            "key-upd-back",
+            [
+                "update x set b = 20.0 where b = 2.0",
+                "update x set b = 2.0 where b = 20.0",
+            ],
+        ),
+        (
+            "del-reinsert",
+            ["delete from x where b = 2.0", "insert into x values ('g1', 2.0)"],
+        ),
+        ("join-col-upd", ["update x set a = 'g2' where b = 1.0"]),
+        (
+            "join-col-upd-back",
+            [
+                "update x set a = 'g2' where b = 1.0",
+                "update x set a = 'g1' where b = 1.0",
+            ],
+        ),
+    ]
+
+    @pytest.mark.parametrize("compact", [False, True], ids=["plain", "compact"])
+    @pytest.mark.parametrize("name,chain", CHAINS, ids=[c[0] for c in CHAINS])
+    def test_batched_chain(self, compact, name, chain):
+        db = join_db()
+        db.execute(PROJ_VIEW)
+        materialize(db, "v", key=("b", "a"), unique=True, delay=1.0, compact=compact)
+        for statement in chain:
+            db.execute(statement)
+        db.drain()
+        want = fresh_rows(
+            db,
+            "select b, x.a as a, b * factor as scaled "
+            "from x, rates where x.a = rates.a",
+        )
+        assert view_rows(db, "b, a, scaled") == want
+
+    def test_single_txn_key_update_under_compaction(self):
+        """The original report: delete/reinsert pair folded away by
+        compaction must not lose the update."""
+        db = join_db()
+        db.execute(PROJ_VIEW)
+        materialize(db, "v", key=("b", "a"), unique=True, delay=1.0, compact=True)
+        multi(
+            db,
+            [
+                "update x set b = 20.0 where b = 2.0",
+                "update x set b = 21.0 where b = 20.0",
+                "update x set b = 22.0 where b = 21.0",
+            ],
+        )
+        db.drain()
+        assert [22.0, "g1", 44.0] in view_rows(db, "b, a, scaled")
+        assert all(
+            row[0] not in (2.0, 20.0, 21.0)
+            for row in view_rows(db, "b, a, scaled")
+        )
+
+
+# ---------------------------------------------------------------------------
+# DRed specifics.
+# ---------------------------------------------------------------------------
+
+
+class TestDRed:
+    def test_all_rows_deleted(self):
+        db = join_db()
+        db.execute(AGG_VIEW)
+        materialize(db, "v", maintenance="dred")
+        multi(db, ["delete from x", "delete from rates"])
+        db.drain()
+        assert view_rows(db, "a, total") == []
+
+    def test_alternative_derivation_survives(self):
+        """Overdeletion marks the key, rederivation restores it from the
+        surviving base rows — the DRed signature move."""
+        db = join_db()
+        db.execute(AGG_VIEW)
+        plan = materialize(db, "v", maintenance="dred")
+        db.execute("delete from x where b = 1.0")  # g1 keeps its b=2.0 row
+        db.drain()
+        assert view_rows(db, "a, total") == [["g1", 4.0], ["g2", 15.0]]
+        assert plan.stats.keys_marked >= 1
+        assert plan.stats.rows_rederived >= 1
+        assert plan.stats.full_recomputes == 0
+
+    def test_update_of_group_column_rederives(self):
+        db = join_db()
+        db.execute(AGG_VIEW)
+        materialize(db, "v", maintenance="dred")
+        db.execute("update x set a = 'g2' where b = 1.0")
+        db.drain()
+        assert view_rows(db, "a, total") == fresh_rows(
+            db,
+            "select x.a as a, sum(b * factor) as total "
+            "from x, rates where x.a = rates.a group by x.a",
+        )
+
+    def test_value_only_update_stays_incremental(self):
+        """Updates that touch no key/where column must not trigger marks."""
+        db = join_db()
+        db.execute(AGG_VIEW)
+        plan = materialize(db, "v", maintenance="dred")
+        db.execute("update x set b = 10.0 where b = 1.0")
+        db.drain()
+        assert view_rows(db, "a, total") == [["g1", 24.0], ["g2", 15.0]]
+        assert plan.stats.keys_marked == 0
+
+    def test_stats_counters(self):
+        db = join_db()
+        db.execute(AGG_VIEW)
+        plan = materialize(db, "v", maintenance="dred")
+        multi(db, ["delete from x where a = 'g2'", "delete from rates where a = 'g2'"])
+        db.drain()
+        stats = plan.stats.row()
+        assert stats["tasks"] >= 1
+        assert stats["deletions_seen"] >= 1
+        assert stats["keys_marked"] >= 1
+        assert plan.maintenance == "dred"
+
+    def test_single_table_aggregate(self):
+        db = Database()
+        db.execute_script(
+            """
+            create table x (a text, b real);
+            insert into x values ('g1', 1.0), ('g1', 2.0), ('g2', 5.0);
+            """
+        )
+        db.execute("create view v as select a, sum(b) as total from x group by a")
+        materialize(db, "v", maintenance="dred")
+        db.execute("delete from x where b = 2.0")
+        db.drain()
+        assert view_rows(db, "a, total") == [["g1", 1.0], ["g2", 5.0]]
+        db.execute("delete from x where a = 'g1'")
+        db.drain()
+        assert view_rows(db, "a, total") == [["g2", 5.0]]
+
+
+class TestRecomputeStrategy:
+    def test_truncate_and_repopulate(self):
+        db = join_db()
+        db.execute(AGG_VIEW)
+        plan = materialize(db, "v", maintenance="recompute")
+        db.execute("delete from x where b = 1.0")
+        db.drain()
+        assert view_rows(db, "a, total") == [["g1", 4.0], ["g2", 15.0]]
+        assert plan.stats.full_recomputes >= 1
+
+    def test_insert_also_recomputes(self):
+        db = join_db()
+        db.execute(AGG_VIEW)
+        materialize(db, "v", maintenance="recompute")
+        db.execute("insert into x values ('g2', 1.0)")
+        db.drain()
+        assert view_rows(db, "a, total") == [["g1", 6.0], ["g2", 18.0]]
+
+
+class TestStrategySelection:
+    def test_auto_without_deletions_is_incremental(self):
+        db = join_db()
+        db.execute(AGG_VIEW)
+        plan = materialize(db, "v")
+        assert plan.maintenance == "incremental"
+        assert plan.requested == "auto"
+        assert plan.advice is None
+
+    def test_auto_with_delete_fraction_consults_advisor(self):
+        db = join_db()
+        db.execute(AGG_VIEW)
+        plan = materialize(db, "v", delete_fraction=0.5)
+        assert plan.advice is not None
+        assert plan.maintenance == plan.advice.strategy
+        assert plan.maintenance in STRATEGIES
+
+    def test_explicit_override_skips_advisor(self):
+        db = join_db()
+        db.execute(AGG_VIEW)
+        plan = materialize(db, "v", maintenance="dred", delete_fraction=0.9)
+        assert plan.maintenance == "dred"
+        assert plan.advice is None
+
+    def test_unknown_strategy_rejected(self):
+        db = join_db()
+        db.execute(AGG_VIEW)
+        with pytest.raises(UnsupportedViewError):
+            materialize(db, "v", maintenance="magic")
+
+    def test_rules_carry_strategy_tag(self):
+        db = join_db()
+        db.execute(AGG_VIEW)
+        plan = materialize(db, "v", maintenance="dred")
+        assert all(rule.maintenance == "dred" for rule in plan.rules)
+
+
+# ---------------------------------------------------------------------------
+# Satellite 4: deletion-heavy metamorphic suite.
+# ---------------------------------------------------------------------------
+
+#: Operations over a bounded universe: two group keys, small value pool.
+_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("insert"),
+            st.sampled_from(["g1", "g2", "g3"]),
+            st.sampled_from([1.0, 2.0, 3.0, 5.0]),
+        ),
+        st.tuples(st.just("delete_b"), st.sampled_from([1.0, 2.0, 3.0, 5.0])),
+        st.tuples(st.just("delete_a"), st.sampled_from(["g1", "g2", "g3"])),
+        st.tuples(
+            st.just("update_b"),
+            st.sampled_from([1.0, 2.0, 3.0, 5.0]),
+            st.sampled_from([1.0, 2.0, 3.0, 5.0]),
+        ),
+        st.tuples(
+            st.just("update_a"),
+            st.sampled_from(["g1", "g2", "g3"]),
+            st.sampled_from(["g1", "g2", "g3"]),
+        ),
+        st.tuples(st.just("delete_rate"), st.sampled_from(["g1", "g2", "g3"])),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def _apply_ops(db, ops, batch):
+    statements = []
+    for op in ops:
+        if op[0] == "insert":
+            statements.append(f"insert into x values ('{op[1]}', {op[2]})")
+        elif op[0] == "delete_b":
+            statements.append(f"delete from x where b = {op[1]}")
+        elif op[0] == "delete_a":
+            statements.append(f"delete from x where a = '{op[1]}'")
+        elif op[0] == "update_b":
+            statements.append(f"update x set b = {op[2]} where b = {op[1]}")
+        elif op[0] == "update_a":
+            statements.append(f"update x set a = '{op[2]}' where a = '{op[1]}'")
+        else:
+            statements.append(f"delete from rates where a = '{op[1]}'")
+    if batch:
+        multi(db, statements)
+    else:
+        for statement in statements:
+            db.execute(statement)
+
+
+class TestMetamorphic:
+    """DRed, incremental, and full recompute must all equal the from-scratch
+    query (and therefore each other) after any interleaving, batched into
+    one transaction or spread across many."""
+
+    def _run(self, view_sql, expected_sql, cols, ops, batch, key=None):
+        results = []
+        for strategy in STRATEGIES:
+            db = join_db()
+            db.execute_script("insert into rates values ('g3', 4.0);")
+            db.execute(view_sql)
+            materialize(
+                db, "v", maintenance=strategy, **({"key": key} if key else {})
+            )
+            _apply_ops(db, ops, batch)
+            db.drain()
+            got = [tuple(row) for row in view_rows(db, cols)]
+            # Duplicate base rows fold to one keyed row in the maintained
+            # projection (same key implies identical projected values here),
+            # so the from-scratch expectation is deduplicated — but `got` is
+            # not, which would expose spurious per-key duplicates.
+            want = sorted(set(tuple(row) for row in fresh_rows(db, expected_sql)))
+            assert got == want, f"{strategy} diverged: {got} != {want}"
+            report = check_convergence(db)
+            assert report.ok, f"{strategy}: {report.format()}"
+            results.append(got)
+        assert results[0] == results[1] == results[2]
+
+    @settings(
+        max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(ops=_ops, batch=st.booleans())
+    def test_aggregate_join(self, ops, batch):
+        self._run(
+            AGG_VIEW,
+            "select x.a as a, sum(b * factor) as total "
+            "from x, rates where x.a = rates.a group by x.a",
+            "a, total",
+            ops,
+            batch,
+        )
+
+    @settings(
+        max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(ops=_ops, batch=st.booleans())
+    def test_projection_join(self, ops, batch):
+        self._run(
+            PROJ_VIEW,
+            "select b, x.a as a, b * factor as scaled "
+            "from x, rates where x.a = rates.a",
+            "b, a, scaled",
+            ops,
+            batch,
+            key=("b", "a"),
+        )
+
+    @settings(
+        max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(ops=_ops)
+    def test_min_aggregate(self, ops):
+        self._run(
+            MIN_VIEW,
+            "select x.a as a, min(b * factor) as lo "
+            "from x, rates where x.a = rates.a group by x.a",
+            "a, lo",
+            ops,
+            batch=True,
+        )
