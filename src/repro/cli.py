@@ -118,6 +118,27 @@ def _write_stats(collector: TraceCollector, path: str, title: str) -> None:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.errors import InjectedCrashError
 
+    if getattr(args, "replicas", 0):
+        incompatible = [
+            flag
+            for flag, is_set in (
+                ("--policy", args.policy != "fifo"),
+                ("--processors", args.processors != 1),
+                ("--drop-late", args.drop_late),
+                ("--update-deadline", args.update_deadline is not None),
+                ("--compact", args.compact),
+                ("--checkpoint-every", args.checkpoint_every is not None),
+            )
+            if is_set
+        ]
+        if incompatible:
+            raise SystemExit(
+                f"--replicas does not combine with {', '.join(incompatible)} "
+                "(replication pins the scheduler defaults and forbids "
+                "periodic checkpoints; see docs/REPLICATION.md)"
+            )
+        return _cmd_replicate(args)
+
     scale = _scale_of(args.scale)
     collector = _make_collector(args)
     try:
@@ -187,6 +208,111 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         if not result.oracle_report.ok:
             return 1
     return 0
+
+
+def _replication_network(args: argparse.Namespace):
+    """NetworkConfig from the CLI knobs (defaults when delegating from
+    the experiment subcommand, which lacks the --net-* flags)."""
+    from repro.replic import NetworkConfig
+
+    return NetworkConfig(
+        latency=getattr(args, "net_latency", 0.02),
+        bandwidth=getattr(args, "net_bandwidth", 10e6),
+        jitter=getattr(args, "net_jitter", 0.0),
+        drop=getattr(args, "net_drop", 0.0),
+        reorder=getattr(args, "net_reorder", 0.0),
+        reorder_delay=getattr(args, "net_reorder_delay", 0.05),
+    )
+
+
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    """Run one PTA experiment on a WAL-shipping replication cluster."""
+    from repro.replic import run_replicated_experiment
+
+    scale = _scale_of(args.scale)
+    collector = _make_collector(args)
+    result = run_replicated_experiment(
+        scale,
+        view=args.view,
+        variant=args.variant,
+        delay=args.delay,
+        seed=args.seed,
+        replicas=max(getattr(args, "replicas", 0) or 2, 1),
+        mode=getattr(args, "repl_mode", "async"),
+        wal_dir=getattr(args, "wal_dir", None),
+        network=_replication_network(args),
+        net_seed=getattr(args, "net_seed", 0),
+        batch_records=getattr(args, "repl_batch", 8),
+        resend_timeout=getattr(args, "resend_timeout", 0.25),
+        faults=getattr(args, "faults", None),
+        fault_seed=getattr(args, "fault_seed", 0),
+        max_retries=getattr(args, "max_retries", 5),
+        retry_backoff=getattr(args, "retry_backoff", 0.25),
+        tracer=collector,
+    )
+    print(
+        format_table(
+            [result.row()],
+            f"Replicated experiment ({result.mode}, "
+            f"{result.replicas} replicas)",
+        )
+    )
+    lag_rows = []
+    for stats in result.replica_stats:
+        lag = stats["apply_lag"]
+        lag_rows.append(
+            {
+                "replica": stats["name"],
+                "applied_lsn": stats["applied_lsn"],
+                "acked_lsn": stats["acked_lsn"],
+                "frames": stats["frames_received"],
+                "stale": stats["frames_stale"],
+                "buffered": stats["frames_buffered"],
+                "lag_p50_ms": round(lag["p50"] * 1e3, 3),
+                "lag_p95_ms": round(lag["p95"] * 1e3, 3),
+                "lag_max_ms": round(lag["max"] * 1e3, 3),
+                "behind_s": round(stats["lag_behind_primary_s"], 3),
+            }
+        )
+    print(format_table(lag_rows, "Replica apply lag (commit -> apply)"))
+    if result.mode == "semisync":
+        print(
+            f"semisync: {result.commit_waits} commits waited "
+            f"{result.commit_wait_mean * 1e3:.1f}ms mean "
+            f"({result.commit_wait_max * 1e3:.1f}ms max) for the first ack"
+        )
+    if result.faults is not None:
+        print(
+            f"faults: {result.faults_injected} injected from plan "
+            f"{result.faults!r} seed {getattr(args, 'fault_seed', 0)}"
+        )
+    if result.crashed:
+        print("primary crashed mid-run; failover drill:")
+        print(result.failover.describe())
+    else:
+        if result.oracle_report is not None:
+            print(result.oracle_report.format())
+        for name, report in sorted(result.equivalence_reports.items()):
+            verdict = "identical" if report.ok else "DIVERGENT"
+            print(
+                f"replica {name}: {verdict} "
+                f"({report.rows_checked} rows across "
+                f"{len(report.views_checked)} tables)"
+            )
+            if not report.ok:
+                print(report.format())
+    if collector is not None:
+        _freshness_sections(collector)
+        if getattr(args, "trace_out", None):
+            _write_trace(collector, args.trace_out)
+        if getattr(args, "stats_out", None):
+            _write_stats(
+                collector,
+                args.stats_out,
+                f"Trace statistics (replicated {args.view}/{args.variant}, "
+                f"{result.mode})",
+            )
+    return 0 if result.converged else 1
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -542,7 +668,97 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach a trace collector even without --trace-out/--stats-out "
         "(prints staleness and cost-attribution tables after the run)",
     )
+    experiment.add_argument(
+        "--replicas", type=int, default=0, metavar="N",
+        help="attach N hot-standby replicas over WAL shipping (delegates to "
+        "the replicate subcommand's harness; see docs/REPLICATION.md)",
+    )
+    experiment.add_argument(
+        "--repl-mode", choices=["async", "semisync"], default="async",
+        help="replication commit mode when --replicas > 0 (semisync blocks "
+        "each commit until the first standby acks it)",
+    )
     experiment.set_defaults(fn=_cmd_experiment)
+
+    replicate = sub.add_parser(
+        "replicate",
+        help="run one PTA experiment on a WAL-shipping replication cluster "
+        "(hot standbys, simulated network, optional failover drill)",
+    )
+    replicate.add_argument("--view", choices=["comps", "options"], default="comps")
+    replicate.add_argument(
+        "--variant",
+        choices=["nonunique", "unique", "on_symbol", "on_comp", "on_option"],
+        default="unique",
+    )
+    replicate.add_argument("--delay", type=float, default=1.0)
+    replicate.add_argument("--scale", default="tiny")
+    replicate.add_argument("--seed", type=int, default=0)
+    replicate.add_argument(
+        "--replicas", type=int, default=2, metavar="N",
+        help="number of hot-standby replicas (default 2)",
+    )
+    replicate.add_argument(
+        "--repl-mode", choices=["async", "semisync"], default="async",
+        help="async: shipping rides between tasks, commits never wait; "
+        "semisync: each commit waits for the first standby's ack",
+    )
+    replicate.add_argument(
+        "--net-latency", type=float, default=0.02, metavar="SECONDS",
+        help="one-way channel latency in virtual seconds (default 0.02)",
+    )
+    replicate.add_argument(
+        "--net-bandwidth", type=float, default=10e6, metavar="BYTES_PER_S",
+        help="channel bandwidth in bytes/virtual-second (default 10e6)",
+    )
+    replicate.add_argument(
+        "--net-jitter", type=float, default=0.0, metavar="SECONDS",
+        help="uniform extra delay in [0, JITTER) per message (default 0)",
+    )
+    replicate.add_argument(
+        "--net-drop", type=float, default=0.0, metavar="P",
+        help="per-message drop probability (default 0; go-back-N resends)",
+    )
+    replicate.add_argument(
+        "--net-reorder", type=float, default=0.0, metavar="P",
+        help="probability a message is held back and arrives late (default 0)",
+    )
+    replicate.add_argument(
+        "--net-seed", type=int, default=0,
+        help="seed for the simulated network (drops, jitter, reorders)",
+    )
+    replicate.add_argument(
+        "--repl-batch", type=int, default=8, metavar="RECORDS",
+        help="max WAL records batched into one shipped frame (default 8)",
+    )
+    replicate.add_argument(
+        "--resend-timeout", type=float, default=0.25, metavar="SECONDS",
+        help="go-back-N retransmission timeout in virtual seconds",
+    )
+    replicate.add_argument(
+        "--wal-dir", metavar="DIR", default=None,
+        help="WAL/checkpoint directory (default: a fresh temp directory)",
+    )
+    replicate.add_argument(
+        "--faults", metavar="PLAN", default=None,
+        help="fault plan; may target the network (ship.send / ship.ack / "
+        "apply.frame) and the engine; a wal.append crash turns the run "
+        "into a failover drill (see docs/FAULTS.md, docs/REPLICATION.md)",
+    )
+    replicate.add_argument("--fault-seed", type=int, default=0)
+    replicate.add_argument("--max-retries", type=int, default=5)
+    replicate.add_argument("--retry-backoff", type=float, default=0.25)
+    replicate.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write a trace of the run (includes per-replica "
+        "counter.replication_lag tracks in the Chrome export)",
+    )
+    replicate.add_argument(
+        "--stats-out", metavar="PATH",
+        help="write a plain-text stats report ('-' for stdout)",
+    )
+    replicate.add_argument("--obs", action="store_true")
+    replicate.set_defaults(fn=_cmd_replicate)
 
     stats = sub.add_parser(
         "stats",

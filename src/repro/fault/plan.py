@@ -49,6 +49,13 @@ POINTS: dict[str, frozenset[str]] = {
     "wal.append": frozenset({"crash"}),  # persist/manager.py _log(), pre-append
     "wal.flush": frozenset({"crash"}),  # persist/manager.py _log(), pre-flush
     "checkpoint.write": frozenset({"crash"}),  # persist/manager.py checkpoint()
+    # Replication network seams (repro/replic/): consumed via check(), not
+    # check_raise() — "drop" loses the message instead of raising, "delay"
+    # adds ARG seconds of extra transit time.  Retransmission must recover
+    # from both (docs/REPLICATION.md).
+    "ship.send": frozenset({"drop", "delay"}),  # replic/channel.py send()
+    "ship.ack": frozenset({"drop", "delay"}),  # replic/channel.py (ack path)
+    "apply.frame": frozenset({"drop"}),  # replic/shipper.py _deliver()
 }
 
 _SPEC_RE = re.compile(

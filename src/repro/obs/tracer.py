@@ -43,6 +43,10 @@ Event taxonomy (``TraceEvent.kind``):
                             unreflected) mutations (a Chrome counter track)
 ``counter.staleness``       the staleness watermark in virtual seconds
 ``counter.backpressure``    the admission signal in [0, 1]
+``counter.replication_lag`` a standby's apply lag in virtual seconds — how
+                            far a commit's arrival at the replica trailed
+                            its commit time on the primary (one Chrome
+                            counter track per replica, beside staleness)
 ========================  ====================================================
 
 The collector composes the second observability layer from three parts it
@@ -140,6 +144,11 @@ class Tracer:
     def persist_flush(self, kind: str, nbytes: int, lsn: int, now: float) -> None: ...
     def persist_checkpoint(
         self, path: str, nbytes: int, tables: int, tasks: int, now: float
+    ) -> None: ...
+
+    # --------------------------------------------------------- replication
+    def replication_lag(
+        self, replica: str, lag: float, lsn: int, now: float
     ) -> None: ...
 
 
@@ -447,6 +456,24 @@ class TraceCollector(Tracer):
         self._emit(
             now, "persist.checkpoint", "checkpoint", track="persist",
             bytes=nbytes, tables=tables, pending_tasks=tasks,
+        )
+
+    # --------------------------------------------------------- replication
+
+    def replication_lag(
+        self, replica: str, lag: float, lsn: int, now: float
+    ) -> None:
+        """One commit record applied on a standby: ``lag`` virtual seconds
+        after the primary committed it.  Keeps a per-replica histogram and
+        mirrors the value onto a per-replica Chrome counter track so the
+        lag plots right beside the staleness watermark."""
+        self.metrics.counter("replication_applies").inc()
+        self.metrics.histogram(
+            f"replication_lag_s[{replica}]", lo=1e-4, hi=1e3, factor=2.0
+        ).record(max(lag, 0.0))
+        self._emit(
+            now, "counter.replication_lag", replica,
+            track=f"replication-{replica}", lag_s=lag, lsn=lsn,
         )
 
     # --------------------------------------------------------- time series

@@ -30,19 +30,27 @@ from repro.persist.checkpoint import (
     write_snapshot,
 )
 from repro.persist.manager import NullPersistence, PersistenceManager
-from repro.persist.recovery import RecoveryReport, recover
-from repro.persist.wal import WriteAheadLog, encode_record, iter_frames, read_wal
+from repro.persist.recovery import RecoveryReport, WalApplier, recover
+from repro.persist.wal import (
+    WriteAheadLog,
+    encode_record,
+    iter_frames,
+    read_wal,
+    read_wal_from,
+)
 
 __all__ = [
     "NullPersistence",
     "PersistenceManager",
     "RecoveryReport",
+    "WalApplier",
     "WriteAheadLog",
     "build_snapshot",
     "encode_record",
     "iter_frames",
     "load_snapshot",
     "read_wal",
+    "read_wal_from",
     "record_to_task",
     "recover",
     "restore_snapshot",

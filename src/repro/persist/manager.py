@@ -109,6 +109,12 @@ class PersistenceManager:
         self.records_logged = 0
         self.checkpoint_count = 0
         self._last_checkpoint_time: Optional[float] = None
+        # Set by the replication cluster: an object with
+        # ``on_record(kind, lsn, now) -> float`` called after every flush.
+        # A non-zero return is virtual seconds the committing task must
+        # wait for standby acknowledgement (semi-synchronous mode); the
+        # wait lands on the active meter exactly like an injected delay.
+        self.shipper = None
         next_lsn = (self.wal.last_lsn or 0) + 1
         snapshot = load_snapshot(self.checkpoint_path)
         if snapshot is not None:
@@ -135,6 +141,13 @@ class PersistenceManager:
         self.records_logged += 1
         if db.tracer.enabled:
             db.tracer.persist_flush(payload["kind"], nbytes, payload["lsn"], db.clock.now())
+        if self.shipper is not None:
+            wait = self.shipper.on_record(payload["kind"], payload["lsn"], db.clock.now())
+            if wait > 0.0:
+                meter = db.clock.active_meter
+                if meter is not None:
+                    meter.total += wait
+                    meter.ops["repl_commit_wait"] += 1
 
     # ----------------------------------------------------- commit events
 
@@ -282,4 +295,10 @@ class PersistenceManager:
         return True
 
     def close(self) -> None:
+        self.wal.close()
+
+    def abandon(self) -> None:
+        """Close without flushing buffered appends — the simulated process
+        died, and records it never flushed must not become durable."""
+        self.wal._pending.clear()
         self.wal.close()

@@ -144,6 +144,127 @@ def _apply_compact_finalize(task: "Task") -> None:
         ]
 
 
+class WalApplier:
+    """Applies WAL records to a database in LSN order, idempotently.
+
+    This is the replay loop shared by crash recovery (:func:`recover`,
+    which applies the whole tail once) and the replication standby
+    (:class:`repro.replic.standby.Standby`, which applies shipped frames
+    continuously).  Idempotence is structural: every record carries a
+    monotone ``lsn`` and :meth:`apply` skips anything at or below
+    ``applied_lsn``, so re-applying an overlapping range — a checkpoint
+    that raced WAL truncation, a retransmitted replication frame — is a
+    no-op.  ``pending`` maps *logged* task ids to resurrected
+    :class:`~repro.txn.tasks.Task` objects; ``running`` marks the ids
+    with a ``task_started`` record but no retirement (the orphans).
+    """
+
+    def __init__(
+        self,
+        db: "Database",
+        start_lsn: int,
+        pending: Optional[dict[int, "Task"]] = None,
+        start_time: float = 0.0,
+        report: Optional[RecoveryReport] = None,
+    ) -> None:
+        self.db = db
+        self.applied_lsn = start_lsn
+        self.pending: dict[int, "Task"] = pending if pending is not None else {}
+        self.running: set[int] = set()
+        self.max_time = start_time
+        self.report = report if report is not None else RecoveryReport(wal_dir="")
+
+    def apply(self, record: dict) -> bool:
+        """Apply one record; returns False when it was already applied."""
+        lsn = record.get("lsn", 0)
+        if lsn <= self.applied_lsn:
+            return False
+        db = self.db
+        pending = self.pending
+        report = self.report
+        report.records_replayed += 1
+        kind = record["kind"]
+        if kind == "commit":
+            self.max_time = max(self.max_time, record["time"])
+            for op in record["ops"]:
+                _apply_op(db, op)
+                report.ops_applied += 1
+            for task_record in record["tasks_new"]:
+                pending[task_record["task_id"]] = record_to_task(db, task_record)
+                report.tasks_from_wal += 1
+            for absorb in record["absorbs"]:
+                task = pending.get(absorb["task_id"])
+                if task is not None:
+                    _apply_absorb(task, absorb["bound"])
+            finished = record.get("finished_task")
+            if finished is not None:
+                if pending.pop(finished, None) is not None:
+                    report.tasks_retired += 1
+                self.running.discard(finished)
+        elif kind == "task_started":
+            if record["task_id"] in pending:
+                self.running.add(record["task_id"])
+        elif kind == "task_finished":
+            if pending.pop(record["task_id"], None) is not None:
+                report.tasks_retired += 1
+            self.running.discard(record["task_id"])
+        elif kind == "task_requeued":
+            task = pending.get(record["task_id"])
+            if task is not None:
+                task.release_time = record["release_time"]
+                task.retries = record["retries"]
+            self.running.discard(record["task_id"])
+        elif kind == "task_compact":
+            task = pending.get(record["task_id"])
+            if task is not None:
+                _apply_compact_finalize(task)
+        else:
+            raise PersistenceError(f"replay: unknown WAL record kind {kind!r}")
+        self.applied_lsn = lsn
+        return True
+
+    def resurrect(
+        self,
+        max_retries: int = 5,
+        backoff: float = 0.25,
+        multiplier: float = 2.0,
+    ) -> list["Task"]:
+        """Re-enqueue every pending task; orphans go through the retry
+        budget (:class:`repro.fault.recovery.RetryPolicy` semantics).
+        Advances the clock to the latest replayed commit time first so
+        backoff deadlines land in the future."""
+        db = self.db
+        report = self.report
+        max_time = max(self.max_time, db.clock.base)
+        db.clock.set_base(max_time)
+        report.recovered_now = max_time
+        resurrected: list["Task"] = []
+        for old_id in sorted(self.pending):
+            task = self.pending[old_id]
+            if old_id in self.running:
+                # Orphan: started but never retired — its effects were not
+                # durable, so re-run it, but through the retry budget rather
+                # than blindly (repro.fault.recovery semantics).
+                if task.retries >= max_retries:
+                    task.retire_bound_tables()
+                    report.orphans_dropped += 1
+                    continue
+                task.retries += 1
+                task.release_time = max(
+                    task.release_time,
+                    max_time + backoff * multiplier ** (task.retries - 1),
+                )
+                report.orphans_retried += 1
+            db.task_manager.enqueue(task)
+            db.unique_manager.readopt(task)
+            report.tasks_resurrected += 1
+            resurrected.append(task)
+        report.resurrected.extend(resurrected)
+        self.pending.clear()
+        self.running.clear()
+        return resurrected
+
+
 def recover(
     db: "Database",
     wal_dir: str,
@@ -178,72 +299,14 @@ def recover(
     report.wal_records = len(records)
     report.torn_bytes = torn
 
-    running: set[int] = set()
-    max_time = snapshot["now"]
-
+    applier = WalApplier(
+        db,
+        start_lsn=snapshot["lsn"],
+        pending=pending,
+        start_time=snapshot["now"],
+        report=report,
+    )
     for record in records:
-        if record.get("lsn", 0) <= snapshot["lsn"]:
-            continue
-        report.records_replayed += 1
-        kind = record["kind"]
-        if kind == "commit":
-            max_time = max(max_time, record["time"])
-            for op in record["ops"]:
-                _apply_op(db, op)
-                report.ops_applied += 1
-            for task_record in record["tasks_new"]:
-                pending[task_record["task_id"]] = record_to_task(db, task_record)
-                report.tasks_from_wal += 1
-            for absorb in record["absorbs"]:
-                task = pending.get(absorb["task_id"])
-                if task is not None:
-                    _apply_absorb(task, absorb["bound"])
-            finished = record.get("finished_task")
-            if finished is not None:
-                if pending.pop(finished, None) is not None:
-                    report.tasks_retired += 1
-                running.discard(finished)
-        elif kind == "task_started":
-            if record["task_id"] in pending:
-                running.add(record["task_id"])
-        elif kind == "task_finished":
-            if pending.pop(record["task_id"], None) is not None:
-                report.tasks_retired += 1
-            running.discard(record["task_id"])
-        elif kind == "task_requeued":
-            task = pending.get(record["task_id"])
-            if task is not None:
-                task.release_time = record["release_time"]
-                task.retries = record["retries"]
-            running.discard(record["task_id"])
-        elif kind == "task_compact":
-            task = pending.get(record["task_id"])
-            if task is not None:
-                _apply_compact_finalize(task)
-        else:
-            raise PersistenceError(f"replay: unknown WAL record kind {kind!r}")
-
-    db.clock.set_base(max_time)
-    report.recovered_now = max_time
-
-    for old_id in sorted(pending):
-        task = pending[old_id]
-        if old_id in running:
-            # Orphan: started but never retired — its effects were not
-            # durable, so re-run it, but through the retry budget rather
-            # than blindly (repro.fault.recovery semantics).
-            if task.retries >= max_retries:
-                task.retire_bound_tables()
-                report.orphans_dropped += 1
-                continue
-            task.retries += 1
-            task.release_time = max(
-                task.release_time,
-                max_time + backoff * multiplier ** (task.retries - 1),
-            )
-            report.orphans_retried += 1
-        db.task_manager.enqueue(task)
-        db.unique_manager.readopt(task)
-        report.tasks_resurrected += 1
-        report.resurrected.append(task)
+        applier.apply(record)
+    applier.resurrect(max_retries=max_retries, backoff=backoff, multiplier=multiplier)
     return report

@@ -39,6 +39,23 @@ MAGIC = b"STRIPWAL"
 _FRAME = struct.Struct("<II")  # payload length, crc32(payload)
 
 
+def _fsync_dir(path: str) -> None:
+    """fsync the parent directory of ``path`` so the directory entry for a
+    newly created (or rewritten) file is itself durable.  Filesystems that
+    do not support opening directories are silently tolerated."""
+    parent = os.path.dirname(os.path.abspath(path)) or "."
+    try:
+        fd = os.open(parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
 def encode_record(payload: dict) -> bytes:
     """Frame one payload: ``<len><crc32><json>``."""
     body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
@@ -73,6 +90,45 @@ def iter_frames(data: bytes) -> Iterator[tuple[dict, int]]:
         offset = end
 
 
+def read_wal_from(
+    path: Union[str, "os.PathLike[str]"], offset: int
+) -> tuple[list[tuple[dict, int]], int, int]:
+    """Tail a WAL file from an absolute byte ``offset``.
+
+    Returns ``(frames, valid_bytes, torn_bytes)`` where ``frames`` is a
+    list of ``(payload, end_offset)`` pairs — ``end_offset`` is the
+    absolute file offset just past that frame, i.e. the resume point a
+    consumer hands back next time — ``valid_bytes`` is the offset of the
+    last intact frame and ``torn_bytes`` whatever trailing garbage
+    follows it.  Pass ``offset=0`` (or ``len(MAGIC)``) to start at the
+    beginning; the magic is only validated when reading from the start,
+    since a mid-file offset is by construction past it.  This is the
+    incremental sibling of :func:`read_wal`: a poller that remembers
+    ``valid_bytes`` re-reads only appended bytes, never the whole file.
+    """
+    start = max(offset, 0)
+    try:
+        with open(path, "rb") as handle:
+            if start < len(MAGIC):
+                magic = handle.read(len(MAGIC))
+                if not magic:
+                    return [], 0, 0
+                if magic != MAGIC:
+                    raise PersistenceError(f"{path}: not a STRIP WAL (bad magic)")
+                start = len(MAGIC)
+            else:
+                handle.seek(start)
+            data = handle.read()
+    except FileNotFoundError:
+        return [], 0, 0
+    frames: list[tuple[dict, int]] = []
+    valid = start
+    for payload, end in iter_frames(data):
+        frames.append((payload, start + end))
+        valid = start + end
+    return frames, valid, len(data) - (valid - start)
+
+
 def read_wal(path: Union[str, "os.PathLike[str]"]) -> tuple[list[dict], int, int]:
     """Read every intact record from a WAL file.
 
@@ -82,21 +138,8 @@ def read_wal(path: Union[str, "os.PathLike[str]"]) -> tuple[list[dict], int, int
     file reads as empty; a file with the wrong magic is an error (it is
     not a WAL, and truncating it would destroy someone else's data).
     """
-    try:
-        with open(path, "rb") as handle:
-            data = handle.read()
-    except FileNotFoundError:
-        return [], 0, 0
-    if not data:
-        return [], 0, 0
-    if not data.startswith(MAGIC):
-        raise PersistenceError(f"{path}: not a STRIP WAL (bad magic)")
-    records: list[dict] = []
-    valid = len(MAGIC)
-    for payload, end in iter_frames(data[len(MAGIC):]):
-        records.append(payload)
-        valid = len(MAGIC) + end
-    return records, valid, len(data) - valid
+    frames, valid, torn = read_wal_from(path, 0)
+    return [payload for payload, _end in frames], valid, torn
 
 
 class WriteAheadLog:
@@ -120,8 +163,12 @@ class WriteAheadLog:
         records, valid, torn = read_wal(self.path)
         self.torn_bytes = torn
         if torn:
+            # Cutting back the torn tail rewrites durable state: without an
+            # fsync a crash right here could resurrect the garbage tail.
             with open(self.path, "r+b") as handle:
                 handle.truncate(valid)
+                if sync:
+                    os.fsync(handle.fileno())
         if records:
             self.record_count = len(records)
             self.last_lsn = max(
@@ -133,6 +180,11 @@ class WriteAheadLog:
         if fresh:
             self._file.write(MAGIC)
             self._file.flush()
+            if self.sync:
+                os.fsync(self._file.fileno())
+                # A brand-new file is only durable once its directory
+                # entry is — fsync the parent too.
+                _fsync_dir(self.path)
 
     # ------------------------------------------------------------- writes
 
@@ -169,6 +221,8 @@ class WriteAheadLog:
             handle.flush()
             if self.sync:
                 os.fsync(handle.fileno())
+        if self.sync:
+            _fsync_dir(self.path)
         self._file = open(self.path, "ab")
 
     def close(self) -> None:
@@ -182,6 +236,13 @@ class WriteAheadLog:
         self._file.flush()
         records, _valid, _torn = read_wal(self.path)
         return records
+
+    def read_from(self, offset: int) -> tuple[list[tuple[dict, int]], int, int]:
+        """Tail durable frames from an absolute byte ``offset`` (see
+        :func:`read_wal_from`).  Buffered-but-unflushed appends are *not*
+        visible — a tailer only ever sees what a crash would preserve."""
+        self._file.flush()
+        return read_wal_from(self.path, offset)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"WriteAheadLog({self.path!r}, pending={len(self._pending)})"

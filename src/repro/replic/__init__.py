@@ -1,0 +1,49 @@
+"""WAL-shipping replication: hot standbys, read scaling, failover drills.
+
+PR 4's redo WAL is a checksummed, length-prefixed, LSN-ordered,
+idempotently-replayable stream — exactly a replication log.  This
+subsystem ships it:
+
+* :mod:`repro.replic.channel` — the simulated transport (latency,
+  bandwidth, jitter, drop, reorder on the virtual clock) with the
+  ``ship.send`` / ``ship.ack`` fault seams;
+* :mod:`repro.replic.shipper` — the primary-side tailer: byte-offset WAL
+  polling, batched frames, cumulative acks, go-back-N retransmission,
+  async and semi-synchronous commit modes;
+* :mod:`repro.replic.standby` — a replica database continuously rebuilt
+  through the crash-recovery apply path, serving read-only SELECTs and
+  reporting apply lag;
+* :mod:`repro.replic.failover` — promotion of the freshest standby with
+  orphan-retry resurrection, queue drain, and the convergence oracle;
+* :mod:`repro.replic.cluster` — the cluster harness, read routing with
+  freshness bounds, and :func:`run_replicated_experiment`.
+
+See docs/REPLICATION.md for modes, lag semantics, and the drill recipe.
+"""
+
+from repro.replic.channel import NetworkConfig, SimChannel
+from repro.replic.cluster import (
+    ReplicationCluster,
+    ReplicationResult,
+    check_replica_equivalence,
+    run_replicated_experiment,
+)
+from repro.replic.failover import FailoverController, FailoverReport
+from repro.replic.shipper import ReplicaLink, ReplicationError, ShipFrame, WalShipper
+from repro.replic.standby import Standby
+
+__all__ = [
+    "FailoverController",
+    "FailoverReport",
+    "NetworkConfig",
+    "ReplicaLink",
+    "ReplicationCluster",
+    "ReplicationError",
+    "ReplicationResult",
+    "ShipFrame",
+    "SimChannel",
+    "Standby",
+    "WalShipper",
+    "check_replica_equivalence",
+    "run_replicated_experiment",
+]

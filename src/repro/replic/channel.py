@@ -1,0 +1,120 @@
+"""The simulated replication transport: one unidirectional channel.
+
+Replication traffic rides the **virtual clock** like everything else in
+the reproduction: a message handed to :meth:`SimChannel.send` at virtual
+time ``now`` is assigned a delivery time computed from the channel's
+:class:`NetworkConfig` — propagation latency, serialisation time at the
+configured bandwidth, optional jitter — or is dropped.  Nothing sleeps;
+the shipper's pump loop (:mod:`repro.replic.shipper`) delivers messages
+whose arrival time has passed.
+
+Two sources of loss/perturbation compose:
+
+* the channel's own seeded PRNG (``drop`` / ``reorder`` probabilities in
+  the config) — the background network model; and
+* the fault-injection seams ``ship.send`` and ``ship.ack``
+  (:mod:`repro.fault.plan`), consulted per message via
+  ``faults.check()`` — the *plan-driven* model, so the existing
+  ``POINT:ACTION@TRIGGER`` grammar schedules network faults
+  deterministically.  A ``drop`` fault loses the message; a ``delay``
+  fault adds its argument to the transit time.  Both are consumed by the
+  channel itself (never raised): network loss is not a process failure.
+
+Reordering is modelled as an extra random delay on a subset of messages,
+which inverts arrival order between consecutive sends — the standby's
+LSN-contiguity buffer (:mod:`repro.replic.standby`) is what straightens
+it out again.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Shape of one simulated link (all times in virtual seconds)."""
+
+    latency: float = 0.02  # one-way propagation delay
+    bandwidth: float = 10e6  # bytes per virtual second (serialisation)
+    jitter: float = 0.0  # uniform extra delay in [0, jitter]
+    drop: float = 0.0  # per-message drop probability
+    reorder: float = 0.0  # probability a message is held back
+    reorder_delay: float = 0.05  # max hold-back for reordered messages
+
+    def transit(self, nbytes: int) -> float:
+        """Deterministic portion of one message's transit time."""
+        return self.latency + nbytes / max(self.bandwidth, 1.0)
+
+
+class SimChannel:
+    """One direction of one replica's link (frames out, or acks back).
+
+    ``point`` names the fault seam this direction answers to
+    (``ship.send`` or ``ship.ack``); ``label`` is the replica name the
+    plan's ``[FILTER]`` matches against, so a plan can fault one replica
+    and spare another.
+    """
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        seed: int = 0,
+        point: str = "ship.send",
+        label: str = "",
+        faults=None,
+    ) -> None:
+        self.config = config
+        self.rng = random.Random(seed)
+        self.point = point
+        self.label = label
+        self.faults = faults  # a FaultInjector, or None
+        self.sent = 0
+        self.dropped = 0
+        self.fault_dropped = 0
+        self.reordered = 0
+        self.bytes_sent = 0
+
+    def send(self, nbytes: int, now: float) -> Optional[float]:
+        """Offer one message; returns its arrival time, or None if lost."""
+        self.sent += 1
+        extra = 0.0
+        faults = self.faults
+        if faults is not None and faults.enabled:
+            fault = faults.check(self.point, self.label)
+            if fault is not None:
+                if fault.action == "drop":
+                    self.fault_dropped += 1
+                    self.dropped += 1
+                    return None
+                if fault.action == "delay" and fault.arg:
+                    extra += fault.arg
+        config = self.config
+        if config.drop > 0.0 and self.rng.random() < config.drop:
+            self.dropped += 1
+            return None
+        delay = config.transit(nbytes)
+        if config.jitter > 0.0:
+            delay += self.rng.random() * config.jitter
+        if config.reorder > 0.0 and self.rng.random() < config.reorder:
+            delay += self.rng.random() * config.reorder_delay
+            self.reordered += 1
+        self.bytes_sent += nbytes
+        return now + delay + extra
+
+    def stats(self) -> dict:
+        return {
+            "sent": self.sent,
+            "dropped": self.dropped,
+            "fault_dropped": self.fault_dropped,
+            "reordered": self.reordered,
+            "bytes_sent": self.bytes_sent,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"SimChannel({self.point}[{self.label}], sent={self.sent}, "
+            f"dropped={self.dropped})"
+        )

@@ -188,6 +188,10 @@ class Simulator:
         self.drop_late = drop_late
         self.executed = 0
         self.dropped = 0
+        # Called with the current virtual time after every executed or
+        # dropped task — the seam the replication cluster uses to pump WAL
+        # shipping and frame delivery between tasks (repro/replic/cluster).
+        self.post_task_hooks: list = []
 
     def run(
         self,
@@ -256,6 +260,8 @@ class Simulator:
             ):
                 drop_task(db, task, start)
                 self.dropped += 1
+                for hook in self.post_task_hooks:
+                    hook(db.clock.base)
                 continue
             try:
                 record = execute_task(db, task, start, server)
@@ -271,6 +277,8 @@ class Simulator:
                 continue
             free_at[server] = record.end_time
             executed += 1
+            for hook in self.post_task_hooks:
+                hook(record.end_time)
             if db.persist.enabled:
                 # Fuzzy checkpoints run between tasks, never mid-commit, so
                 # the snapshot is transaction-consistent by construction.

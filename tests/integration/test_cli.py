@@ -206,3 +206,35 @@ class TestObservabilityOptions:
         out = capsys.readouterr().out
         assert "Fault sweep" in out
         assert out.count("OK") >= 2
+
+
+class TestReplicationCommands:
+    def test_replicate_subcommand(self, capsys):
+        code = main(["replicate", "--scale", "tiny", "--replicas", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Replicated experiment (async, 1 replicas)" in out
+        assert "Replica apply lag" in out
+        assert "replica r0: identical" in out
+
+    def test_replicate_parser_defaults(self):
+        args = build_parser().parse_args(["replicate"])
+        assert args.replicas == 2
+        assert args.repl_mode == "async"
+        assert args.net_latency == 0.02
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replicate", "--repl-mode", "sync"])
+
+    def test_experiment_replicas_rejects_incompatible_flags(self):
+        with pytest.raises(SystemExit, match="--compact"):
+            main(["experiment", "--scale", "tiny", "--replicas", "2", "--compact"])
+
+    def test_experiment_delegates_to_replication(self, capsys):
+        code = main(
+            ["experiment", "--scale", "tiny", "--replicas", "1",
+             "--repl-mode", "semisync"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Replicated experiment (semisync, 1 replicas)" in out
+        assert "semisync:" in out

@@ -1,0 +1,101 @@
+"""Unit tests for the simulated replication transport."""
+
+import pytest
+
+from repro.fault import FaultInjector
+from repro.replic.channel import NetworkConfig, SimChannel
+
+
+class TestNetworkConfig:
+    def test_transit_is_latency_plus_serialisation(self):
+        config = NetworkConfig(latency=0.01, bandwidth=1000.0)
+        assert config.transit(100) == pytest.approx(0.01 + 0.1)
+
+    def test_transit_survives_zero_bandwidth(self):
+        config = NetworkConfig(latency=0.01, bandwidth=0.0)
+        assert config.transit(5) == pytest.approx(0.01 + 5.0)
+
+
+class TestSimChannel:
+    def test_clean_channel_is_deterministic_transit(self):
+        config = NetworkConfig(latency=0.02, bandwidth=1e6)
+        channel = SimChannel(config, seed=0)
+        arrival = channel.send(1000, now=5.0)
+        assert arrival == pytest.approx(5.0 + 0.02 + 0.001)
+        assert channel.stats() == {
+            "sent": 1, "dropped": 0, "fault_dropped": 0,
+            "reordered": 0, "bytes_sent": 1000,
+        }
+
+    def test_same_seed_same_fate(self):
+        config = NetworkConfig(drop=0.3, jitter=0.01, reorder=0.4)
+        a = SimChannel(config, seed=42)
+        b = SimChannel(config, seed=42)
+        fates_a = [a.send(100, now=float(i)) for i in range(50)]
+        fates_b = [b.send(100, now=float(i)) for i in range(50)]
+        assert fates_a == fates_b
+        assert a.stats() == b.stats()
+
+    def test_drop_probability_loses_messages(self):
+        channel = SimChannel(NetworkConfig(drop=0.5), seed=7)
+        fates = [channel.send(10, now=0.0) for _ in range(200)]
+        dropped = sum(1 for fate in fates if fate is None)
+        assert channel.dropped == dropped
+        assert 60 < dropped < 140  # seeded, but sanity-band the coin
+
+    def test_jitter_bounds(self):
+        config = NetworkConfig(latency=0.01, bandwidth=1e9, jitter=0.005)
+        channel = SimChannel(config, seed=3)
+        base = config.transit(10)
+        for _ in range(100):
+            arrival = channel.send(10, now=1.0)
+            assert 1.0 + base <= arrival < 1.0 + base + 0.005
+
+    def test_reorder_adds_holdback(self):
+        config = NetworkConfig(
+            latency=0.01, bandwidth=1e9, reorder=1.0, reorder_delay=0.05
+        )
+        channel = SimChannel(config, seed=5)
+        base = config.transit(10)
+        for _ in range(50):
+            arrival = channel.send(10, now=0.0)
+            assert base <= arrival < base + 0.05
+        assert channel.reordered == 50
+
+
+class TestFaultSeams:
+    def make(self, plan, point="ship.send", label="r0", seed=0):
+        injector = FaultInjector(plan, seed=seed)
+        injector.enabled = True
+        return SimChannel(
+            NetworkConfig(latency=0.01, bandwidth=1e9, jitter=0.0),
+            seed=0, point=point, label=label, faults=injector,
+        ), injector
+
+    def test_plan_drop_loses_exactly_the_scheduled_message(self):
+        channel, injector = self.make("ship.send:drop@nth=2")
+        fates = [channel.send(10, now=0.0) for _ in range(4)]
+        assert fates[1] is None and None not in (fates[0], fates[2], fates[3])
+        assert channel.fault_dropped == 1
+        assert injector.injected_count == 1
+
+    def test_plan_delay_stretches_transit(self):
+        channel, _ = self.make("ship.send:delay=0.5@nth=1")
+        slow = channel.send(10, now=0.0)
+        fast = channel.send(10, now=0.0)
+        assert slow == pytest.approx(fast + 0.5)
+
+    def test_label_filter_spares_other_replicas(self):
+        injector = FaultInjector("ship.ack[r1]:drop@p=1.0", seed=0)
+        injector.enabled = True
+        config = NetworkConfig(latency=0.01, bandwidth=1e9)
+        spared = SimChannel(config, point="ship.ack", label="r0", faults=injector)
+        target = SimChannel(config, point="ship.ack", label="r1", faults=injector)
+        assert spared.send(10, now=0.0) is not None
+        assert target.send(10, now=0.0) is None
+
+    def test_disarmed_injector_is_inert(self):
+        channel, injector = self.make("ship.send:drop@p=1.0")
+        injector.enabled = False
+        assert channel.send(10, now=0.0) is not None
+        assert channel.fault_dropped == 0
