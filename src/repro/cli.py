@@ -139,6 +139,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             )
         return _cmd_replicate(args)
 
+    if args.cascade:
+        return _cmd_cascade_experiment(args)
+
     scale = _scale_of(args.scale)
     collector = _make_collector(args)
     try:
@@ -204,6 +207,79 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             f"({result.fault_retries} retried, {result.fault_drops} dropped) "
             f"from plan {args.faults!r} seed {args.fault_seed}"
         )
+        print(result.oracle_report.format())
+        if not result.oracle_report.ok:
+            return 1
+    return 0
+
+
+def _cmd_cascade_experiment(args: argparse.Namespace) -> int:
+    """The two-level scenario: sector indexes maintained over composite
+    indexes, rule cascades scheduled bottom-up by stratum."""
+    from repro.errors import InjectedCrashError
+    from repro.pta.workload import run_cascade_experiment
+
+    if args.view != "comps":
+        raise SystemExit("--cascade implies the comps view (sectors build on it)")
+    scale = _scale_of(args.scale)
+    collector = _make_collector(args)
+    try:
+        result = run_cascade_experiment(
+            scale,
+            variant=args.variant,
+            delay=args.delay,
+            sector_delay=args.sector_delay,
+            seed=args.seed,
+            policy=args.policy,
+            tracer=collector,
+            compact=args.compact,
+            faults=args.faults,
+            fault_seed=args.fault_seed,
+            max_retries=args.max_retries,
+            retry_backoff=args.retry_backoff,
+            wal_dir=args.wal_dir,
+            checkpoint_every=args.checkpoint_every,
+            wal_sync=args.wal_sync,
+        )
+    except InjectedCrashError as exc:
+        print(f"process crashed mid-run: {exc}", file=sys.stderr)
+        if args.wal_dir:
+            print(
+                f"recover with: python -m repro recover {args.wal_dir}",
+                file=sys.stderr,
+            )
+        return 3
+    print(format_table([result.row()], "Cascade experiment result"))
+    if result.compact:
+        print(
+            f"delta compaction: {result.compact_rows_in} rows folded to "
+            f"{result.compact_rows_out} (ratio {result.compaction_ratio:.2f})"
+        )
+    if collector is not None:
+        _freshness_sections(collector)
+        strata = collector.staleness.stratum_rows()
+        if strata:
+            print(format_table(strata, "Staleness by stratum"))
+        if args.trace_out:
+            _write_trace(collector, args.trace_out)
+        if args.stats_out:
+            _write_stats(
+                collector,
+                args.stats_out,
+                f"Trace statistics (cascade/{args.variant}, delay {args.delay}s)",
+            )
+    if args.wal_dir:
+        print(
+            f"durability: {result.wal_records} WAL records, "
+            f"{result.checkpoints} checkpoints -> {args.wal_dir}"
+        )
+    if args.faults is not None:
+        print(
+            f"faults: {result.faults_injected} injected "
+            f"({result.fault_retries} retried, {result.fault_drops} dropped) "
+            f"from plan {args.faults!r} seed {args.fault_seed}"
+        )
+    if result.oracle_report is not None:
         print(result.oracle_report.format())
         if not result.oracle_report.ok:
             return 1
@@ -601,6 +677,18 @@ def build_parser() -> argparse.ArgumentParser:
         default="unique",
     )
     experiment.add_argument("--delay", type=float, default=1.0)
+    experiment.add_argument(
+        "--cascade",
+        action="store_true",
+        help="run the two-level scenario: a sector rule (stratum 2) "
+        "maintained over the composite rule's writes",
+    )
+    experiment.add_argument(
+        "--sector-delay",
+        type=float,
+        default=1.0,
+        help="the sector rule's after window (only with --cascade)",
+    )
     experiment.add_argument("--scale", default="tiny")
     experiment.add_argument("--seed", type=int, default=0)
     experiment.add_argument("--policy", choices=["fifo", "edf", "vdf"], default="fifo")

@@ -16,6 +16,10 @@ For each triggered rule:
 Rule actions run in their own transaction via :meth:`make_action_body`;
 because conditions are side-effect-free queries, condition evaluation can
 never trigger further rules, and rule consideration order is immaterial.
+Action *transactions*, however, go through the same commit-time scan, so a
+rule whose trigger table is written by another rule's action cascades: the
+dispatch carries the upstream task as ``origin`` and the downstream task
+lands in a higher stratum (see :func:`repro.core.rules.stratify`).
 """
 
 from __future__ import annotations
@@ -160,7 +164,11 @@ class RuleEngine:
             if query.bind_as is not None:
                 bound[query.bind_as] = result.bind(query.bind_as, charge=db.charge)
         self.firing_count += 1
-        tasks = db.unique_manager.dispatch(rule, bound, txn.commit_time)
+        # A firing out of a rule-action transaction is a cascade: pass the
+        # upstream task along so the dispatched work inherits its mutation
+        # stamps (staleness) and records its provenance.
+        origin = txn.task if txn.task is not None and txn.task.function_name else None
+        tasks = db.unique_manager.dispatch(rule, bound, txn.commit_time, origin=origin)
         if db.tracer.enabled:
             db.tracer.rule_fire(rule.name, txn.txn_id, len(tasks), db.clock.now())
         return tasks

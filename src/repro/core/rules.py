@@ -8,10 +8,10 @@ the transaction's log (sections 2 and 6.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from repro.errors import RuleError
+from repro.errors import CreateRuleError, RuleError
 from repro.sql import ast
 from repro.storage.schema import Schema
 from repro.txn.log import DELETE, INSERT, UPDATE, LogEntry
@@ -39,6 +39,16 @@ class Rule:
     the strategy lives in the rule's evaluate queries and action function —
     but it is surfaced in :class:`~repro.core.task.Task` attribution so
     per-strategy cost rollups come for free.
+
+    ``writes`` declares the tables this rule's action mutates.  It is the
+    edge set of the rule dependency graph: when a declared write target is
+    itself the trigger table of other rules, this rule's action cascades
+    into those rules, and :func:`stratify` orders the program bottom-up.
+    A rule with an empty write set is a leaf (the pre-cascade behaviour).
+
+    ``stratum`` is derived state, assigned by :func:`stratify` when the
+    rule is installed: 1 for rules fed only by base-table writes, and one
+    more than the deepest rule writing this rule's trigger table otherwise.
     """
 
     name: str
@@ -53,6 +63,8 @@ class Rule:
     after: float = 0.0
     enabled: bool = True
     maintenance: str = ""
+    writes: tuple[str, ...] = ()
+    stratum: int = field(default=1, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.function:
@@ -80,6 +92,8 @@ class Rule:
         duplicates = [name for name in self.bind_names() if self.bind_names().count(name) > 1]
         if duplicates:
             raise RuleError(f"rule {self.name!r}: duplicate bound table {duplicates[0]!r}")
+        if len(set(self.writes)) != len(self.writes):
+            raise RuleError(f"rule {self.name!r}: duplicate WRITES table")
 
     @classmethod
     def from_ast(cls, stmt: ast.CreateRule) -> "Rule":
@@ -94,6 +108,7 @@ class Rule:
             unique_on=tuple(column.split(".")[-1] for column in stmt.unique_on),
             compact_on=tuple(column.split(".")[-1] for column in stmt.compact_on),
             after=stmt.after,
+            writes=stmt.writes,
         )
 
     # ------------------------------------------------------------ metadata
@@ -142,6 +157,8 @@ class Rule:
 
     def __repr__(self) -> str:
         parts = [f"Rule({self.name!r} on {self.table!r} -> {self.function!r}"]
+        if self.writes:
+            parts.append(f", writes {list(self.writes)}")
         if self.unique:
             parts.append(
                 f", unique on {list(self.unique_on)}" if self.unique_on else ", unique"
@@ -151,3 +168,56 @@ class Rule:
         if self.after:
             parts.append(f", after {self.after}s")
         return "".join(parts) + ")"
+
+
+# -------------------------------------------------------------- stratification
+
+
+def stratify(rules: Iterable[Rule]) -> dict[str, int]:
+    """Assign every rule its stratum in the rule dependency graph.
+
+    The graph has an edge ``W -> R`` whenever ``R``'s trigger table appears
+    in ``W``'s declared write set: a firing of ``W``'s action can produce
+    the events that trigger ``R``.  A rule fed only by base-table writes
+    sits in stratum 1; otherwise its stratum is one more than the deepest
+    rule writing its trigger table — a valid bottom-up evaluation order
+    for the whole program, as in stratified Datalog maintenance.
+
+    The result is deterministic (rules are visited in name order, and a
+    rule's stratum depends only on the graph, not the visit order).  A
+    cyclic program — any rule reachable from its own trigger table,
+    including a rule that writes the table it triggers on — has no
+    stratification and raises :class:`CreateRuleError` naming the cycle.
+    """
+    ordered = sorted(rules, key=lambda rule: rule.name)
+    writers: dict[str, list[Rule]] = {}
+    for rule in ordered:
+        for table in rule.writes:
+            writers.setdefault(table, []).append(rule)
+    strata: dict[str, int] = {}
+    path: list[str] = []
+    on_path: set[str] = set()
+
+    def visit(rule: Rule) -> int:
+        cached = strata.get(rule.name)
+        if cached is not None:
+            return cached
+        if rule.name in on_path:
+            at = path.index(rule.name)
+            cycle = " -> ".join(path[at:] + [rule.name])
+            raise CreateRuleError(
+                f"rule program is cyclic and cannot be stratified: {cycle}"
+            )
+        path.append(rule.name)
+        on_path.add(rule.name)
+        level = 1
+        for upstream in writers.get(rule.table, ()):
+            level = max(level, visit(upstream) + 1)
+        path.pop()
+        on_path.discard(rule.name)
+        strata[rule.name] = level
+        return level
+
+    for rule in ordered:
+        visit(rule)
+    return strata

@@ -158,7 +158,11 @@ class UniqueManager:
     # ------------------------------------------------------------ dispatch
 
     def dispatch(
-        self, rule: "Rule", bound: dict[str, TempTable], commit_time: float
+        self,
+        rule: "Rule",
+        bound: dict[str, TempTable],
+        commit_time: float,
+        origin: Optional[Task] = None,
     ) -> list[Task]:
         """Create or extend action tasks for one rule firing.
 
@@ -166,10 +170,16 @@ class UniqueManager:
         tables absorbed into a pending task (or partitioned into copies) are
         retired here.  Returns the newly created tasks (possibly empty when
         every partition was absorbed by pending work).
+
+        ``origin`` is the upstream rule task whose action transaction fired
+        this rule (None for base-table firings): the cascade provenance is
+        stamped onto the new or extended task so staleness accounting
+        inherits the originating mutation stamps instead of minting fresh
+        ones.
         """
         charge = self.db.charge
         if not rule.unique:
-            return [self._new_task(rule, bound, commit_time, unique_key=None)]
+            return [self._new_task(rule, bound, commit_time, unique_key=None, origin=origin)]
 
         if not rule.unique_on:
             # Coarse batching: one pending task per user function.
@@ -177,9 +187,9 @@ class UniqueManager:
             pending = self._pending.setdefault(rule.function, {})
             task = pending.get(())
             if task is not None and task.state in (TaskState.DELAYED, TaskState.READY):
-                self._absorb(task, bound)
+                self._absorb(task, bound, origin=origin)
                 return []
-            fresh = self._new_task(rule, bound, commit_time, unique_key=())
+            fresh = self._new_task(rule, bound, commit_time, unique_key=(), origin=origin)
             pending[()] = fresh
             return [fresh]
 
@@ -192,7 +202,7 @@ class UniqueManager:
             sum(1 for table in bound.values() if table.schema.has_column(column)) > 1
             for column in rule.unique_on
         ):
-            return self._dispatch_union(rule, bound, commit_time)
+            return self._dispatch_union(rule, bound, commit_time, origin=origin)
         column_homes = self._locate_unique_columns(rule, bound)
         u_tables = []  # (table name, offsets, global indexes)
         seen_tables = []
@@ -256,9 +266,11 @@ class UniqueManager:
                         partition[name] = _full_copy(table, charge)
                 task = pending.get(key)
                 if task is not None and task.state in (TaskState.DELAYED, TaskState.READY):
-                    self._absorb(task, partition)
+                    self._absorb(task, partition, origin=origin)
                 else:
-                    fresh = self._new_task(rule, partition, commit_time, unique_key=key)
+                    fresh = self._new_task(
+                        rule, partition, commit_time, unique_key=key, origin=origin
+                    )
                     pending[key] = fresh
                     new_tasks.append(fresh)
         except Exception:
@@ -275,7 +287,11 @@ class UniqueManager:
         return new_tasks
 
     def _dispatch_union(
-        self, rule: "Rule", bound: dict[str, TempTable], commit_time: float
+        self,
+        rule: "Rule",
+        bound: dict[str, TempTable],
+        commit_time: float,
+        origin: Optional[Task] = None,
     ) -> list[Task]:
         """Union partitioning for unique columns shared by several tables.
 
@@ -370,9 +386,11 @@ class UniqueManager:
                     partition[name] = copy
                 task = pending.get(key)
                 if task is not None and task.state in (TaskState.DELAYED, TaskState.READY):
-                    self._absorb(task, partition)
+                    self._absorb(task, partition, origin=origin)
                 else:
-                    fresh = self._new_task(rule, partition, commit_time, unique_key=key)
+                    fresh = self._new_task(
+                        rule, partition, commit_time, unique_key=key, origin=origin
+                    )
                     pending[key] = fresh
                     new_tasks.append(fresh)
         except Exception:
@@ -408,7 +426,12 @@ class UniqueManager:
             homes.append((column, owners[0][0], owners[0][1]))
         return homes
 
-    def _absorb(self, task: Task, bound: dict[str, TempTable]) -> None:
+    def _absorb(
+        self,
+        task: Task,
+        bound: dict[str, TempTable],
+        origin: Optional[Task] = None,
+    ) -> None:
         """Append a new firing's rows onto a pending task's bound tables."""
         charge = self.db.charge
         faults = self.db.faults
@@ -460,7 +483,9 @@ class UniqueManager:
             fresh.retire()
         self.batch_count += 1
         if self.db.tracer.enabled:
-            self.db.tracer.unique_append(task, appended, self.db.clock.now())
+            self.db.tracer.unique_append(
+                task, appended, self.db.clock.now(), origin=origin
+            )
 
     def _new_task(
         self,
@@ -468,6 +493,7 @@ class UniqueManager:
         bound: dict[str, TempTable],
         commit_time: float,
         unique_key: Optional[tuple],
+        origin: Optional[Task] = None,
     ) -> Task:
         charge = self.db.charge
         faults = self.db.faults
@@ -493,14 +519,17 @@ class UniqueManager:
             unique_key=unique_key,
             bound_tables=bound,
             estimated_cpu=estimated,
+            stratum=rule.stratum,
         )
+        if origin is not None:
+            task.cascade_from = origin.task_id
         self.task_count += 1
         task.compact_info = state
         persist = self.db.persist
         if persist.enabled:
             persist.note_task_new(task)
         if self.db.tracer.enabled:
-            self.db.tracer.unique_new(task, self.db.clock.now())
+            self.db.tracer.unique_new(task, self.db.clock.now(), origin=origin)
         return task
 
     # --------------------------------------------------- delta compaction

@@ -29,7 +29,7 @@ from typing import Any, Optional
 
 from repro.core.engine import RuleEngine
 from repro.core.functions import FunctionRegistry, UserFunction
-from repro.core.rules import Rule
+from repro.core.rules import Rule, stratify
 from repro.core.unique import UniqueManager
 from repro.errors import BindingError, CatalogError, ExecutionError
 from repro.fault.injector import NullFaultInjector
@@ -60,7 +60,18 @@ from repro.views.definition import ViewDefinition
 
 
 class TaskManager:
-    """The delay and ready queues plus scheduling-cost accounting."""
+    """The delay and ready queues plus scheduling-cost accounting.
+
+    With rule cascades the manager also enforces bottom-up stratum order:
+    a due task of stratum ``s > 1`` is *held* (kept out of the ready queue)
+    while any live rule task of a lower stratum has a release time at or
+    before its own — the same mutation batch must quiesce below before the
+    stratum above runs.  Lower-stratum work released later does not block
+    (a steady update stream would otherwise starve the upper strata).
+    Stratum-1 and application tasks are never held, so a held task's
+    blockers always sit in the delay or ready queue and the hold can never
+    strand the run loop.
+    """
 
     def __init__(self, db: "Database", policy: SchedulingPolicy) -> None:
         self.db = db
@@ -68,7 +79,9 @@ class TaskManager:
         self.delay = DelayQueue()
         self.delay.faults = db.faults  # the queue.delay injection point
         self.ready = ReadyQueue(policy)
+        self.held: list[Task] = []
         self.enqueued_count = 0
+        self.held_count = 0  # times a task was gated behind a lower stratum
 
     def enqueue(self, task: Task) -> None:
         """Queue ``task``, charging scheduling cost that grows linearly with
@@ -77,13 +90,19 @@ class TaskManager:
         transactions means more tasks in the system at the same time which
         increases the scheduling time", section 5.1)."""
         db = self.db
-        queued = len(self.delay) + len(self.ready)
+        queued = len(self.delay) + len(self.ready) + len(self.held)
         db.charge("sched_enqueue")
         if queued:
             db.charge("sched_per_queued", queued)
         self.enqueued_count += 1
         if task.release_time <= db.clock.now():
-            self.ready.push(task)
+            if task.stratum > 1:
+                # Already due, but possibly gated: park it with the held
+                # set and let the next release_due() apply the gate.
+                task.state = TaskState.DELAYED
+                self.held.append(task)
+            else:
+                self.ready.push(task)
         else:
             self.delay.push(task)
         if db.tracer.enabled:
@@ -93,17 +112,58 @@ class TaskManager:
 
     def release_due(self, now: float) -> int:
         due = self.delay.pop_due(now)
+        if self.held:
+            candidates = self.held + due
+            candidates.sort(key=lambda task: (task.release_time, task.seq))
+            self.held = []
+        else:
+            candidates = due
         released = 0
         tracer = self.db.tracer
-        for task in due:
+        gate: Optional[dict[int, float]] = None
+        for task in candidates:
             if task.state in (TaskState.DONE, TaskState.ABORTED):
                 continue  # executed out of band (tests / direct calls)
+            if task.stratum > 1:
+                if gate is None:
+                    gate = self._stratum_floors(candidates)
+                if self._gated(task, gate):
+                    self.held_count += 1
+                    self.held.append(task)
+                    continue
             self.db.charge("sched_enqueue")
             self.ready.push(task)
             released += 1
             if tracer.enabled:
                 tracer.task_release(task, len(self.ready), now)
         return released
+
+    def _stratum_floors(self, candidates: list[Task]) -> dict[int, float]:
+        """Earliest release time per stratum over every live rule task
+        (delayed, ready, held, or still a release candidate)."""
+        floors: dict[int, float] = {}
+
+        def note(task: Task) -> None:
+            if task.stratum < 1 or task.state in (TaskState.DONE, TaskState.ABORTED):
+                return
+            current = floors.get(task.stratum)
+            if current is None or task.release_time < current:
+                floors[task.stratum] = task.release_time
+
+        for task in candidates:
+            note(task)
+        for task in self.delay:
+            note(task)
+        for task in self.ready:
+            note(task)
+        return floors
+
+    @staticmethod
+    def _gated(task: Task, floors: dict[int, float]) -> bool:
+        return any(
+            stratum < task.stratum and floor <= task.release_time
+            for stratum, floor in floors.items()
+        )
 
     def next_release_time(self) -> Optional[float]:
         return self.delay.peek_time()
@@ -114,7 +174,7 @@ class TaskManager:
 
     @property
     def pending(self) -> int:
-        return len(self.delay) + len(self.ready)
+        return len(self.delay) + len(self.ready) + len(self.held)
 
 
 class Database:
@@ -402,7 +462,11 @@ class Database:
 
     def create_rule(self, rule: Rule) -> Rule:
         """Register ``rule``, enforcing that all rules executing the same
-        user function define their bound tables identically (section 2)."""
+        user function define their bound tables identically (section 2) and
+        that the rule program stays acyclic: the dependency graph over the
+        declared write sets is stratified up front, so a cycle raises
+        :class:`~repro.errors.CreateRuleError` and leaves the catalog
+        unchanged."""
         names = tuple(sorted(rule.bind_names()))
         existing = self.functions.bound_names.get(rule.function)
         if existing is not None and existing != names:
@@ -410,9 +474,32 @@ class Database:
                 f"rule {rule.name!r}: function {rule.function!r} is already bound "
                 f"with tables {list(existing)}, not {list(names)}"
             )
+        strata = stratify([*self.catalog.rules(), rule])  # CreateRuleError on a cycle
         self.catalog.create_rule(rule)
         self.functions.bound_names.setdefault(rule.function, names)
+        self._apply_strata(strata)
         return rule
+
+    def _apply_strata(self, strata: dict[str, int]) -> None:
+        for installed in self.catalog.rules():
+            installed.stratum = strata.get(installed.name, 1)
+
+    def stratum_for_function(self, function_name: str) -> int:
+        """The deepest stratum among rules executing ``function_name``
+        (1 when no installed rule names it — e.g. during recovery before
+        every rule of a dropped program is back)."""
+        return max(
+            (
+                rule.stratum
+                for rule in self.catalog.rules()
+                if rule.function == function_name
+            ),
+            default=1,
+        )
+
+    def max_stratum(self) -> int:
+        """The depth of the installed rule program (0 with no rules)."""
+        return max((rule.stratum for rule in self.catalog.rules()), default=0)
 
     def _drop(self, stmt: ast.Drop) -> None:
         if stmt.kind == "table":
@@ -423,6 +510,7 @@ class Database:
             self.catalog.drop_view(stmt.name)
         elif stmt.kind == "rule":
             self.catalog.drop_rule(stmt.name)
+            self._apply_strata(stratify(self.catalog.rules()))
         elif stmt.kind == "index":
             if stmt.table is not None:
                 self.catalog.table(stmt.table).drop_index(stmt.name)
@@ -526,6 +614,8 @@ class Database:
             "committed_txns": self.committed_txns,
             "aborted_txns": self.aborted_txns,
             "tasks_pending": self.task_manager.pending,
+            "tasks_held": self.task_manager.held_count,
+            "max_stratum": self.max_stratum(),
             "unique_pending": self.unique_manager.pending_count(),
             "unique_batched_firings": self.unique_manager.batch_count,
             "compact_rows_in": self.unique_manager.compact_rows_in,

@@ -62,6 +62,12 @@ class RuleError(StripError):
     """A rule definition is invalid or two rules conflict."""
 
 
+class CreateRuleError(RuleError):
+    """CREATE RULE was rejected — most notably when the declared write set
+    would make the rule dependency graph cyclic (a rule reachable from its
+    own trigger table), which stratified cascade scheduling cannot order."""
+
+
 class BindingError(RuleError):
     """Bound tables for a shared user function are not defined identically."""
 

@@ -83,31 +83,48 @@ def crash_recover_converge(
 
     ``faults`` should contain at least one ``crash`` spec; remaining
     keyword arguments pass straight to
-    :func:`repro.pta.workload.run_experiment`.
+    :func:`repro.pta.workload.run_experiment` — or, when ``view`` is
+    ``"cascade"``, to :func:`repro.pta.workload.run_cascade_experiment`
+    (the two-level scenario; recovered stratum-2 tasks must re-enqueue
+    behind same-batch stratum-1 work, which this harness exercises).
     """
     # Deferred: the workload imports this package, so the harness must not
     # import the workload at module scope.
     from repro.database import Database
     from repro.persist.recovery import recover
     from repro.pta.rules import function_registry
-    from repro.pta.workload import run_experiment
+    from repro.pta.workload import run_cascade_experiment, run_experiment
     from repro.sim.simulator import Simulator
 
     db_out: list = []
     try:
-        result = run_experiment(
-            scale,
-            view=view,
-            variant=variant,
-            delay=delay,
-            seed=seed,
-            faults=faults,
-            fault_seed=fault_seed,
-            wal_dir=wal_dir,
-            checkpoint_every=checkpoint_every,
-            db_out=db_out,
-            **experiment_kwargs,
-        )
+        if view == "cascade":
+            result = run_cascade_experiment(
+                scale,
+                variant=variant,
+                delay=delay,
+                seed=seed,
+                faults=faults,
+                fault_seed=fault_seed,
+                wal_dir=wal_dir,
+                checkpoint_every=checkpoint_every,
+                db_out=db_out,
+                **experiment_kwargs,
+            )
+        else:
+            result = run_experiment(
+                scale,
+                view=view,
+                variant=variant,
+                delay=delay,
+                seed=seed,
+                faults=faults,
+                fault_seed=fault_seed,
+                wal_dir=wal_dir,
+                checkpoint_every=checkpoint_every,
+                db_out=db_out,
+                **experiment_kwargs,
+            )
     except Exception as exc:
         if not is_injected_crash(exc):
             raise

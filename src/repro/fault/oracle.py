@@ -132,15 +132,49 @@ def _keyed_rows(
 # --------------------------------------------------------------------------
 
 
+def _view_check_order(db: "Database") -> list[str]:
+    """Materialized-view names ordered bottom-up: a view defined over
+    another materialized view's backing table is checked after it, so its
+    expected rows can be computed from the *expected* (not the maintained)
+    lower level.  Mirrors :func:`repro.core.rules.stratify`; view DDL
+    cannot create cycles (a view's sources must exist first)."""
+    plans = db.materialized_views
+    order: list[str] = []
+    placed: set[str] = set()
+
+    def visit(name: str) -> None:
+        if name in placed:
+            return
+        placed.add(name)
+        for ref in plans[name].view.select.tables:
+            if ref.name in plans and ref.name != name:
+                visit(ref.name)
+        order.append(name)
+
+    for name in sorted(plans):
+        visit(name)
+    return order
+
+
 def check_materialized_views(
     db: "Database", tolerance: float = DEFAULT_TOLERANCE
 ) -> ConvergenceReport:
-    """Diff every ``materialize``-maintained view against its defining query."""
+    """Diff every ``materialize``-maintained view against its defining query.
+
+    Multi-level views are recomputed **bottom-up**: each view's defining
+    SELECT runs with already-checked lower views replaced by their batch
+    recomputation, so one level's divergence does not masquerade as (or
+    mask) a divergence in the level above it."""
     from repro.sql import ast
+    from repro.storage.temptable import TempTable
     from repro.views.maintain import HIDDEN_COUNT
 
     report = ConvergenceReport(tolerance=tolerance)
-    for name, plan in db.materialized_views.items():
+    #: backing-table name -> TempTable of *expected* rows, fed to higher
+    #: levels' recomputations in place of the maintained table.
+    recomputed: dict[str, TempTable] = {}
+    for name in _view_check_order(db):
+        plan = db.materialized_views[name]
         select = plan.view.select
         if plan.kind == "aggregate":
             # Re-run the populate-time query: groups, aggregates, and the
@@ -160,10 +194,11 @@ def check_materialized_views(
             )
         else:
             fresh = select
-        result = db.run_select(fresh, None)
+        result = db.run_select(fresh, None, namespace=recomputed)
         names = [column.name for column in result.columns]
         key_columns = plan.key_columns or (names[0],)
-        expected = _keyed_rows(names, result.rows(), key_columns)
+        rows = result.rows()
+        expected = _keyed_rows(names, rows, key_columns)
         table = db.catalog.table(name)
         table_names = table.schema.names()
         actual = _keyed_rows(
@@ -172,6 +207,15 @@ def check_materialized_views(
             key_columns,
         )
         _diff_keyed(name, expected, actual, tolerance, report)
+        # Feed this level's *expected* rows to the levels above it.  The
+        # backing schema matches the recomputation's column list (including
+        # the hidden counter for aggregates), so names resolve identically.
+        substitute = TempTable(name, table.schema)
+        for row in rows:
+            substitute.append_values(list(row))
+        recomputed[name] = substitute
+    for substitute in recomputed.values():
+        substitute.retire()
     return report
 
 
@@ -229,6 +273,44 @@ def check_comp_prices(
     return report
 
 
+def check_sector_prices(
+    db: "Database", tolerance: float = DEFAULT_TOLERANCE
+) -> ConvergenceReport:
+    """``sector_prices`` must equal the weighted sums over *recomputed*
+    composite prices — a two-level bottom-up recomputation from ``stocks``,
+    so the check is independent of whatever state ``comp_prices`` is in."""
+    report = ConvergenceReport(tolerance=tolerance)
+    if not _has_tables(db, "sector_prices", "sectors_list", "comps_list", "stocks"):
+        return report
+    if not _maintained_by_rule(db, "compute_sectors"):
+        return report
+    comps = db.query(
+        """
+        select comp, sum(price * weight) as price
+        from comps_list, stocks
+        where comps_list.symbol = stocks.symbol
+        group by comp
+        """
+    )
+    comp_price = {row[0]: row[1] for row in comps.rows()}
+    expected_price: dict[str, float] = {}
+    for record in db.catalog.table("sectors_list").scan():
+        sector, comp, weight = record.values
+        base = comp_price.get(comp)
+        if base is None:
+            continue
+        expected_price[sector] = expected_price.get(sector, 0.0) + weight * base
+    expected = {
+        (sector,): (sector, price) for sector, price in expected_price.items()
+    }
+    actual = {
+        (record.values[0],): tuple(record.values)
+        for record in db.catalog.table("sector_prices").scan()
+    }
+    _diff_keyed("sector_prices", expected, actual, tolerance, report)
+    return report
+
+
 def check_option_prices(
     db: "Database", tolerance: float = DEFAULT_TOLERANCE
 ) -> ConvergenceReport:
@@ -275,5 +357,6 @@ def check_convergence(
     """Run every applicable check (generic views + PTA views) and merge."""
     report = check_materialized_views(db, tolerance)
     report.merge(check_comp_prices(db, tolerance))
+    report.merge(check_sector_prices(db, tolerance))
     report.merge(check_option_prices(db, tolerance))
     return report

@@ -16,6 +16,17 @@ staleness is unbounded, so they must not silently vanish from the
 percentiles.  Fault-retried tasks keep their stamps: a retry lengthens the
 lag, it does not reset it.
 
+**Cascades inherit stamps.**  A rule firing that arrives via another
+rule's action (``origin`` is the upstream task) is not a new mutation —
+it is the same base-table change propagating one stratum up.  The
+downstream task therefore *inherits* the upstream task's stamps (original
+commit times preserved, so the measured lag is end-to-end from the base
+write) and the upstream entry is marked forwarded: its completion still
+records the intermediate view's lag histogram, but the mutation counts as
+``reflected`` only when the deepest task retires it.  Stamping cascade
+arrivals fresh — the pre-cascade behaviour — would both double-count the
+mutation and underreport the top-level lag.
+
 Views are labelled through :meth:`StalenessTracker.register_view` (wired
 from ``views/maintain.materialize`` and the PTA rule installers via the
 tracer's ``view_registered`` hook); unregistered rule functions fall back
@@ -38,12 +49,16 @@ STALENESS_BOUNDS = log_bounds(1e-3, 1e3, 2.0)
 class _Outstanding:
     """Stamps carried by one pending/running task."""
 
-    __slots__ = ("view", "rule", "stamps")
+    __slots__ = ("view", "rule", "stamps", "forwarded")
 
-    def __init__(self, view: str, rule: str, stamp: float) -> None:
+    def __init__(self, view: str, rule: str, stamps: list[float]) -> None:
         self.view = view
         self.rule = rule
-        self.stamps = [stamp]
+        self.stamps = stamps
+        # True once the stamps were inherited by a downstream cascade task:
+        # this task's completion then records intermediate-view lag but the
+        # mutations stay outstanding until the deepest task retires them.
+        self.forwarded = False
 
 
 class StalenessTracker:
@@ -53,6 +68,7 @@ class StalenessTracker:
         self.bounds = tuple(bounds)
         self.by_view: dict[str, Histogram] = {}
         self.by_rule: dict[str, Histogram] = {}
+        self.by_stratum: dict[str, Histogram] = {}
         #: function name -> view label (from register_view).
         self._views: dict[str, str] = {}
         #: task_id -> the mutations awaiting that task's completion.
@@ -82,32 +98,69 @@ class StalenessTracker:
             histogram = table[label] = Histogram(label, bounds=self.bounds)
         return histogram
 
-    def on_task_new(self, task: "Task", now: float) -> None:
-        """A dispatch opened a fresh pending task for one rule firing."""
+    def _inherited(self, origin: Optional["Task"]) -> Optional[list[float]]:
+        """The upstream task's stamps, when the firing is a cascade.
+
+        Marks the upstream entry forwarded — the base mutations stay
+        outstanding (carried by the downstream task) until the deepest
+        stratum reflects them."""
+        if origin is None:
+            return None
+        upstream = self._outstanding.get(origin.task_id)
+        if upstream is None:
+            return None
+        upstream.forwarded = True
+        return list(upstream.stamps)
+
+    def on_task_new(
+        self, task: "Task", now: float, origin: Optional["Task"] = None
+    ) -> None:
+        """A dispatch opened a fresh pending task for one rule firing.
+
+        A base-table firing mints a fresh stamp (the triggering commit's
+        time); a cascade firing inherits the upstream task's stamps instead
+        — stamping it fresh would count the same base mutation twice."""
         if task.function_name is None:
             return
+        stamps = self._inherited(origin)
+        if stamps is None:
+            stamps = [task.created_time]
         self._outstanding[task.task_id] = _Outstanding(
-            self.view_of(task), task.rule_name or task.klass, task.created_time
+            self.view_of(task), task.rule_name or task.klass, stamps
         )
 
-    def on_task_append(self, task: "Task", now: float) -> None:
-        """A later firing coalesced onto the pending task: new stamp."""
+    def on_task_append(
+        self, task: "Task", now: float, origin: Optional["Task"] = None
+    ) -> None:
+        """A later firing coalesced onto the pending task: new stamp for a
+        base-table firing, inherited stamps for a cascade firing."""
         entry = self._outstanding.get(task.task_id)
-        if entry is not None:
+        if entry is None:
+            return
+        stamps = self._inherited(origin)
+        if stamps is None:
             entry.stamps.append(now)
+        else:
+            entry.stamps.extend(stamps)
 
     def on_task_done(self, task: "Task", end_time: float) -> None:
-        """The task committed: every stamped mutation is now reflected."""
+        """The task committed: every stamped mutation is now reflected —
+        unless the stamps were forwarded to a downstream cascade task, in
+        which case only the intermediate view's lag is recorded here and
+        the deepest task retires the mutations."""
         entry = self._outstanding.pop(task.task_id, None)
         if entry is None:
             return
         view_hist = self._hist(self.by_view, entry.view)
         rule_hist = self._hist(self.by_rule, entry.rule)
+        stratum_hist = self._hist(self.by_stratum, f"stratum-{task.stratum}")
         for stamp in entry.stamps:
             lag = max(end_time - stamp, 0.0)
             view_hist.record(lag)
             rule_hist.record(lag)
-        self.reflected += len(entry.stamps)
+            stratum_hist.record(lag)
+        if not entry.forwarded:
+            self.reflected += len(entry.stamps)
 
     def on_task_dropped(self, task: "Task", now: float) -> None:
         """The task was discarded: its mutations will never be reflected."""
@@ -128,22 +181,32 @@ class StalenessTracker:
             return
         view_hist = self._hist(self.by_view, entry.view)
         rule_hist = self._hist(self.by_rule, entry.rule)
+        stratum_hist = self._hist(self.by_stratum, f"stratum-{task.stratum}")
         for stamp in entry.stamps:
             lag = max(now - stamp, 0.0)
             view_hist.record(lag)
             rule_hist.record(lag)
+            stratum_hist.record(lag)
         self.reflected += len(entry.stamps)
         self.reflected_by_delete += len(entry.stamps)
 
     # ------------------------------------------------------------ queries
 
     def outstanding(self) -> int:
-        """Mutations stamped but not yet reflected."""
-        return sum(len(entry.stamps) for entry in self._outstanding.values())
+        """Mutations stamped but not yet reflected.  Forwarded entries are
+        excluded — their stamps are carried by the downstream cascade task
+        and would otherwise count twice."""
+        return sum(
+            len(entry.stamps)
+            for entry in self._outstanding.values()
+            if not entry.forwarded
+        )
 
     def oldest_stamp(self) -> Optional[float]:
         oldest: Optional[float] = None
         for entry in self._outstanding.values():
+            if entry.forwarded or not entry.stamps:
+                continue
             first = entry.stamps[0]  # stamps are appended in time order
             if oldest is None or first < oldest:
                 oldest = first
@@ -187,11 +250,19 @@ class StalenessTracker:
         """Per-rule staleness percentiles for report tables."""
         return self._rows(self.by_rule, "rule")
 
+    def stratum_rows(self) -> list[dict[str, Any]]:
+        """Per-stratum staleness percentiles — how lag accumulates as a
+        mutation climbs the cascade."""
+        return self._rows(self.by_stratum, "stratum")
+
     def snapshot(self) -> dict[str, Any]:
         """Everything as plain JSON-serialisable dicts."""
         return {
             "views": {label: h.snapshot() for label, h in sorted(self.by_view.items())},
             "rules": {label: h.snapshot() for label, h in sorted(self.by_rule.items())},
+            "strata": {
+                label: h.snapshot() for label, h in sorted(self.by_stratum.items())
+            },
             "reflected": self.reflected,
             "reflected_by_delete": self.reflected_by_delete,
             "lost": self.lost,

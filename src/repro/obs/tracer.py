@@ -113,8 +113,12 @@ class Tracer:
     ) -> None: ...
 
     # ----------------------------------------------------- unique manager
-    def unique_new(self, task: "Task", now: float) -> None: ...
-    def unique_append(self, task: "Task", rows: int, now: float) -> None: ...
+    def unique_new(
+        self, task: "Task", now: float, origin: Optional["Task"] = None
+    ) -> None: ...
+    def unique_append(
+        self, task: "Task", rows: int, now: float, origin: Optional["Task"] = None
+    ) -> None: ...
     def unique_compact(
         self, task: "Task", rows_in: int, rows_out: int, now: float
     ) -> None: ...
@@ -286,21 +290,28 @@ class TraceCollector(Tracer):
 
     # ----------------------------------------------------- unique manager
 
-    def unique_new(self, task: "Task", now: float) -> None:
+    def unique_new(
+        self, task: "Task", now: float, origin: Optional["Task"] = None
+    ) -> None:
         self.metrics.counter("unique_new_tasks").inc()
+        if origin is not None:
+            self.metrics.counter("cascade_tasks").inc()
         self._batch_firings[task.task_id] = 1
-        self.staleness.on_task_new(task, now)
+        self.staleness.on_task_new(task, now, origin=origin)
         self.attribution.on_unique_new(task, now)
         self._emit(
             now, "unique.new", task.function_name or task.klass, track="unique",
             task_id=task.task_id, key=repr(task.unique_key),
+            stratum=task.stratum, cascade_from=task.cascade_from,
         )
 
-    def unique_append(self, task: "Task", rows: int, now: float) -> None:
+    def unique_append(
+        self, task: "Task", rows: int, now: float, origin: Optional["Task"] = None
+    ) -> None:
         self.metrics.counter("unique_appends").inc()
         if task.task_id in self._batch_firings:
             self._batch_firings[task.task_id] += 1
-        self.staleness.on_task_append(task, now)
+        self.staleness.on_task_append(task, now, origin=origin)
         self.attribution.on_unique_append(task, rows, now)
         self._emit(
             now, "unique.append", task.function_name or task.klass, track="unique",

@@ -76,6 +76,7 @@ def task_to_record(task: Task) -> dict:
         "value": task.value,
         "estimated_cpu": task.estimated_cpu,
         "retries": task.retries,
+        "stratum": task.stratum,
         "compact_rows_in": state.rows_in if state is not None else None,
         "bound": bound,
     }
@@ -126,6 +127,9 @@ def record_to_task(db: "Database", record: dict) -> Task:
         unique_key=tuple(key) if key is not None else None,
         bound_tables=bound,
         estimated_cpu=record["estimated_cpu"],
+        # Older checkpoints predate cascade strata; the rules are restored
+        # before any task, so the installed program supplies the stratum.
+        stratum=record.get("stratum") or db.stratum_for_function(record["function"]),
     )
     task.retries = record["retries"]
     if compact_state is not None:
@@ -140,6 +144,11 @@ def pending_persistable_tasks(db: "Database") -> list[Task]:
     for task in db.task_manager.delay:
         if task.function_name is not None and task.state is TaskState.DELAYED:
             seen[task.task_id] = task
+    # Cascade tasks gated behind a lower stratum are due-but-held; they are
+    # as pending as anything in the delay queue and must survive a crash.
+    for task in db.task_manager.held:
+        if task.function_name is not None and task.state is TaskState.DELAYED:
+            seen.setdefault(task.task_id, task)
     for task in db.task_manager.ready:
         if task.function_name is not None and task.state is TaskState.READY:
             seen.setdefault(task.task_id, task)
@@ -161,6 +170,7 @@ def _rule_to_record(rule: Any) -> dict:
         unique_on=rule.unique_on,
         compact_on=rule.compact_on,
         after=rule.after,
+        writes=rule.writes,
     )
     return {"name": rule.name, "sql": rule_to_sql(stmt), "enabled": rule.enabled}
 

@@ -42,6 +42,18 @@ _COMP_CONDITION = """
     bind as matches
 """
 
+#: The condition query of the sector rule (multi-level scenario): fires on
+#: ``comp_prices`` — a table another rule's action writes — so its tasks
+#: are cascades in stratum 2.
+_SECTOR_CONDITION = """
+    select sector, sectors_list.comp as comp, weight,
+        old.price as old_price, new.price as new_price
+    from sectors_list, new, old
+    where sectors_list.comp = new.comp
+        and new.execute_order = old.execute_order
+    bind as matches
+"""
+
 #: The condition query shared by every option rule (paper Figure 8).
 _OPTION_CONDITION = """
     select option_symbol, stock_symbol, strike, expiration,
@@ -95,6 +107,22 @@ def compute_comps3(ctx: "FunctionContext") -> None:
         ctx.execute(
             "update comp_prices set price += :d where comp = :c",
             {"d": total, "c": comp},
+        )
+
+
+def compute_sectors(ctx: "FunctionContext") -> None:
+    """Second-level incremental maintenance: sector indexes over composite
+    indexes.  Same telescoping-delta shape as :func:`compute_comps2`, one
+    stratum up — the bound rows came from another rule's action writes."""
+    diffs: dict[str, float] = {}
+    for row in ctx.rows("matches"):
+        ctx.charge("user_group_row")
+        delta = row["weight"] * (row["new_price"] - row["old_price"])
+        diffs[row["sector"]] = diffs.get(row["sector"], 0.0) + delta
+    for sector, diff in diffs.items():
+        ctx.execute(
+            "update sector_prices set price += :d where sector = :s",
+            {"d": diff, "s": sector},
         )
 
 
@@ -210,6 +238,7 @@ def function_registry() -> dict[str, Callable]:
     for name, fn in _OPTION_FUNCTIONS.values():
         registry[name] = fn
     registry["maintain_option_listings"] = maintain_option_listings
+    registry["compute_sectors"] = compute_sectors
     return registry
 
 
@@ -270,6 +299,7 @@ def install_comp_rule(
         {clause}
         {compact_sql}
         {after}
+        writes comp_prices
         """
     )
     if db.tracer.enabled:
@@ -301,6 +331,7 @@ def install_option_rule(
         {clause}
         {compact_sql}
         {after}
+        writes option_prices
         """
     )
     if db.tracer.enabled:
@@ -308,6 +339,40 @@ def install_option_rule(
             "option_prices", function_name, (f"do_options_{variant}",), db.clock.now()
         )
     return function_name
+
+
+def install_sector_rule(
+    db: "Database", delay: float = 0.0, compact: bool = False
+) -> str:
+    """Install the second-level sector-maintenance rule (cascade scenario).
+
+    The rule triggers on ``comp_prices`` updates — writes that only ever
+    come from a composite rule's action — and declares ``writes
+    sector_prices``, so stratification places it one stratum above
+    whichever composite rule is installed.  A composite rule must already
+    be installed (its ``writes comp_prices`` declaration supplies the
+    cascade edge); installing the sector rule against a program with no
+    comp writer still works, it just sits in stratum 1."""
+    db.register_function("compute_sectors", compute_sectors, replace=True)
+    compact_sql = "compact on sector, comp" if compact else ""
+    after = f"after {delay} seconds" if delay > 0 else ""
+    db.execute(
+        f"""
+        create rule do_sectors on comp_prices
+        when updated price
+        if {_SECTOR_CONDITION}
+        then execute compute_sectors
+        unique
+        {compact_sql}
+        {after}
+        writes sector_prices
+        """
+    )
+    if db.tracer.enabled:
+        db.tracer.view_registered(
+            "sector_prices", "compute_sectors", ("do_sectors",), db.clock.now()
+        )
+    return "compute_sectors"
 
 
 # --------------------------------------------------------------------------

@@ -129,6 +129,61 @@ def create_schema(db: "Database") -> None:
     )
 
 
+def create_sector_schema(db: "Database") -> None:
+    """Create the two sector tables of the multi-level (cascade) scenario.
+
+    ``sectors_list(sector, comp, weight)`` groups the composites into
+    sector indexes exactly the way ``comps_list`` groups stocks into
+    composites; ``sector_prices(sector, price)`` is the second-level
+    materialized view, maintained by a rule that triggers on
+    ``comp_prices`` — i.e. on another rule's writes."""
+    db.execute_script(
+        """
+        create table sectors_list (sector text, comp text, weight real);
+        create index sectors_list_comp on sectors_list (comp);
+        create index sectors_list_sector on sectors_list (sector);
+        create table sector_prices (sector text, price real);
+        create index sector_prices_sector on sector_prices (sector);
+        """
+    )
+
+
+def populate_sectors(
+    db: "Database", scale: Scale, seed: int = 0, comps_per_sector: int = 4
+) -> dict[str, list[str]]:
+    """Create and fill the sector tables over the already-populated comps.
+
+    Every composite lands in exactly one sector (disjoint round-robin over
+    a shuffled composite list), weighted equally within the sector, and
+    ``sector_prices`` starts consistent with the current ``comp_prices``.
+    Returns the sector -> member-composites map."""
+    rng = random.Random(seed ^ 0x5EC707)
+    create_sector_schema(db)
+    comp_rows = {
+        record.values[0]: record.values[1]
+        for record in db.catalog.table("comp_prices").scan()
+    }
+    comps = sorted(comp_rows)
+    rng.shuffle(comps)
+    per_sector = max(2, min(comps_per_sector, len(comps)))
+    members: dict[str, list[str]] = {}
+    sectors_list = db.catalog.table("sectors_list")
+    sector_prices = db.catalog.table("sector_prices")
+    txn = db.begin()
+    for start in range(0, len(comps), per_sector):
+        chunk = comps[start : start + per_sector]
+        sector = f"X{start // per_sector:03d}"
+        members[sector] = sorted(chunk)
+        weight = 1.0 / len(chunk)
+        price = 0.0
+        for comp in chunk:
+            txn.insert_record(sectors_list, [sector, comp, weight])
+            price += weight * comp_rows[comp]
+        txn.insert_record(sector_prices, [sector, price])
+    txn.commit()
+    return members
+
+
 def _weighted_sample_without_replacement(
     rng: random.Random, population: Sequence[str], weights: Sequence[float], k: int
 ) -> list[str]:

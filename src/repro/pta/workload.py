@@ -24,8 +24,8 @@ from repro.database import Database
 from repro.fault import ConvergenceReport, FaultInjector, RetryPolicy, check_convergence
 from repro.obs.tracer import TraceCollector, Tracer
 from repro.persist.manager import PersistenceManager
-from repro.pta.rules import install_comp_rule, install_option_rule
-from repro.pta.tables import Scale, populate
+from repro.pta.rules import install_comp_rule, install_option_rule, install_sector_rule
+from repro.pta.tables import Scale, populate, populate_sectors
 from repro.pta.trace import QuoteEvent, TaqTraceGenerator
 from repro.sim.costmodel import CostModel
 from repro.sim.simulator import Simulator
@@ -364,6 +364,182 @@ def run_experiment(
         ),
         attribution=(
             tracer.attribution.profile_rows()
+            if isinstance(tracer, TraceCollector)
+            else None
+        ),
+        faults=faults or None,
+        faults_injected=db.faults.injected_count,
+        fault_retries=db.recovery.retry_count,
+        fault_drops=db.recovery.drop_count,
+        oracle_divergent=(
+            len(oracle_report.divergences) if oracle_report is not None else None
+        ),
+        oracle_rows=oracle_report.rows_checked if oracle_report is not None else 0,
+        oracle_report=oracle_report,
+        wal_dir=str(wal_dir) if wal_dir is not None else None,
+        wal_records=db.persist.records_logged,
+        checkpoints=db.persist.checkpoint_count,
+    )
+    if persist is not None:
+        persist.close()
+    if db_out is not None:
+        db_out.append(db)
+    return result
+
+
+# --------------------------------------------------------------------------
+# Multi-level (cascade) variant: sector indexes over composite indexes
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class CascadeExperimentResult:
+    """Metrics of one two-level run (:func:`run_cascade_experiment`)."""
+
+    variant: str  # the composite rule's batching unit
+    delay: float  # the composite rule's after window
+    sector_delay: float  # the sector rule's after window
+    scale: Scale
+    seed: int
+    n_updates: int
+    n_comp_recomputes: int  # stratum-1 recompute transactions
+    n_sector_recomputes: int  # stratum-2 (cascade) recompute transactions
+    rule_firings: int
+    batched_firings: int
+    tasks_held: int  # releases deferred by the stratum gate
+    max_stratum: int
+    end_time: float
+    compact: bool = False
+    compact_rows_in: int = 0  # rows that entered compacted bound tables
+    compact_rows_out: int = 0  # rows the recompute tasks actually saw
+    staleness: Optional[dict] = None
+    faults: Optional[str] = None
+    faults_injected: int = 0
+    fault_retries: int = 0
+    fault_drops: int = 0
+    oracle_divergent: Optional[int] = None
+    oracle_rows: int = 0
+    oracle_report: Optional[ConvergenceReport] = None
+    wal_dir: Optional[str] = None
+    wal_records: int = 0
+    checkpoints: int = 0
+
+    @property
+    def compaction_ratio(self) -> float:
+        if not self.compact or self.compact_rows_in == 0:
+            return 1.0
+        return self.compact_rows_in / max(self.compact_rows_out, 1)
+
+    def row(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            "variant": self.variant,
+            "delay_s": self.delay,
+            "sector_delay_s": self.sector_delay,
+            "n_updates": self.n_updates,
+            "comp_recomputes": self.n_comp_recomputes,
+            "sector_recomputes": self.n_sector_recomputes,
+            "tasks_held": self.tasks_held,
+            "max_stratum": self.max_stratum,
+            "virtual_end_s": round(self.end_time, 2),
+        }
+        if self.compact:
+            out["compaction_ratio"] = round(self.compaction_ratio, 2)
+            out["recomputed_rows"] = self.compact_rows_out
+        if self.faults is not None:
+            out["faults_injected"] = self.faults_injected
+            out["fault_retries"] = self.fault_retries
+            out["fault_drops"] = self.fault_drops
+        if self.oracle_divergent is not None:
+            out["oracle_divergent"] = self.oracle_divergent
+        if self.wal_dir is not None:
+            out["wal_records"] = self.wal_records
+            out["checkpoints"] = self.checkpoints
+        return out
+
+
+def run_cascade_experiment(
+    scale: Scale,
+    variant: str = "unique",
+    delay: float = 1.0,
+    sector_delay: float = 1.0,
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+    policy: str = "fifo",
+    tracer: Optional[Tracer] = None,
+    compact: bool = False,
+    oracle: bool = True,
+    faults: Optional[str] = None,
+    fault_seed: int = 0,
+    max_retries: int = 5,
+    retry_backoff: float = 0.25,
+    wal_dir: Optional[str] = None,
+    checkpoint_every: Optional[float] = None,
+    wal_sync: bool = False,
+    db_out: Optional[list] = None,
+) -> CascadeExperimentResult:
+    """Run the two-level PTA scenario: quotes -> composites -> sectors.
+
+    A composite rule (stratum 1) maintains ``comp_prices`` off the quote
+    stream; the sector rule (stratum 2) triggers on the composite rule's
+    own writes and maintains ``sector_prices``.  Every sector task is a
+    cascade: it inherits the originating quotes' staleness stamps and is
+    released only after same-batch stratum-1 work has quiesced.  With
+    ``oracle`` on (default), the convergence oracle recomputes both
+    levels bottom-up from ``stocks`` after the queues drain."""
+    injector = recovery = None
+    if faults:
+        injector = FaultInjector(faults, seed=fault_seed)
+        injector.enabled = False  # setup is not under test; armed before run
+        recovery = RetryPolicy(max_retries=max_retries, backoff=retry_backoff)
+    persist = None
+    if wal_dir is not None:
+        persist = PersistenceManager(
+            wal_dir, checkpoint_every=checkpoint_every, sync=wal_sync
+        )
+        persist.enabled = False  # setup goes into the initial checkpoint
+    db = Database(
+        cost_model=cost_model, policy=policy, tracer=tracer,
+        faults=injector, recovery=recovery, persist=persist,
+    )
+    db.metrics.set_keep_records(False)
+    trace, events = get_trace(scale, seed)
+    populate(db, scale, trace, events, seed)
+    comp_function = install_comp_rule(db, variant, delay, compact=compact)
+    populate_sectors(db, scale, seed=seed)
+    sector_function = install_sector_rule(db, sector_delay, compact=compact)
+    simulator = Simulator(db)
+    if persist is not None:
+        persist.enabled = True
+        persist.checkpoint()
+    if injector is not None:
+        injector.enabled = True
+    simulator.run(arrivals=_trace_tasks(db, events))
+    oracle_report = None
+    if oracle:
+        if injector is not None:
+            injector.enabled = False  # the oracle's recomputation runs clean
+        oracle_report = check_convergence(db)
+
+    metrics = db.metrics
+    result = CascadeExperimentResult(
+        variant=variant,
+        delay=delay,
+        sector_delay=sector_delay,
+        scale=scale,
+        seed=seed,
+        n_updates=len(events),
+        n_comp_recomputes=metrics.count(f"recompute:{comp_function}"),
+        n_sector_recomputes=metrics.count(f"recompute:{sector_function}"),
+        rule_firings=db.rule_engine.firing_count,
+        batched_firings=db.unique_manager.batch_count,
+        tasks_held=db.task_manager.held_count,
+        max_stratum=db.max_stratum(),
+        end_time=db.clock.base,
+        compact=compact,
+        compact_rows_in=db.unique_manager.compact_rows_in,
+        compact_rows_out=db.unique_manager.compact_rows_out,
+        staleness=(
+            tracer.staleness.snapshot()
             if isinstance(tracer, TraceCollector)
             else None
         ),

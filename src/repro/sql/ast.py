@@ -283,6 +283,7 @@ class CreateRule:
     unique_on: tuple[str, ...] = ()
     compact_on: tuple[str, ...] = ()  # delta-compaction key columns
     after: float = 0.0  # seconds
+    writes: tuple[str, ...] = ()  # tables the action mutates (cascade edges)
 
 
 Statement = Union[

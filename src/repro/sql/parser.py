@@ -11,6 +11,7 @@ The rule grammar follows the paper's Figure 2::
            [ unique [on column-commalist] ]
            [ compact on column-commalist ]
            [ after time-value ]
+           [ writes t-name-commalist ]
 
 where each query may be suffixed ``bind as bound-table-name``.  Statements
 in a script are separated by semicolons; a trailing ``end rule`` after a
@@ -29,7 +30,7 @@ _EVENT_KINDS = ("inserted", "deleted", "updated")
 #: Words that terminate a column list inside a rule definition.
 _RULE_STOPWORDS = frozenset(
     _EVENT_KINDS
-    + ("if", "then", "evaluate", "execute", "unique", "compact", "after", "end")
+    + ("if", "then", "evaluate", "execute", "unique", "compact", "after", "writes", "end")
 )
 #: Words that end a select item / table reference rather than naming an
 #: alias — SQL clause openers plus the STRIP rule-grammar keywords, since
@@ -49,6 +50,7 @@ _CLAUSE_WORDS = (
     "unique",
     "compact",
     "after",
+    "writes",
     "end",
     "when",
 )
@@ -255,6 +257,9 @@ class _Parser:
         after = 0.0
         if self.accept_word("after"):
             after = self._time_value()
+        writes: tuple[str, ...] = ()
+        if self.accept_word("writes"):
+            writes = self._rule_column_list()
         if self.accept_word("end"):
             self.accept_word("rule")
         return ast.CreateRule(
@@ -268,6 +273,7 @@ class _Parser:
             unique_on=unique_on,
             compact_on=compact_on,
             after=after,
+            writes=writes,
         )
 
     def _events(self) -> tuple[ast.Event, ...]:

@@ -210,6 +210,8 @@ def rule_to_sql(rule: ast.CreateRule) -> str:
         parts.append("compact on " + ", ".join(rule.compact_on))
     if rule.after:
         parts.append(f"after {rule.after} seconds")
+    if rule.writes:
+        parts.append("writes " + ", ".join(rule.writes))
     return " ".join(parts)
 
 

@@ -26,12 +26,13 @@ class SchedulingPolicy:
 
 
 class FifoPolicy(SchedulingPolicy):
-    """First released, first served (ties broken by creation order)."""
+    """First released, first served (ties broken by stratum, then creation
+    order, so a cascade's lower strata run first within a release tie)."""
 
     name = "fifo"
 
     def key(self, task: Task) -> tuple:
-        return (task.release_time, task.task_id)
+        return (task.release_time, task.stratum, task.task_id)
 
 
 class EarliestDeadlinePolicy(SchedulingPolicy):
@@ -41,7 +42,7 @@ class EarliestDeadlinePolicy(SchedulingPolicy):
 
     def key(self, task: Task) -> tuple:
         deadline = task.deadline if task.deadline is not None else math.inf
-        return (deadline, task.release_time, task.task_id)
+        return (deadline, task.release_time, task.stratum, task.task_id)
 
 
 class ValueDensityPolicy(SchedulingPolicy):
@@ -55,7 +56,7 @@ class ValueDensityPolicy(SchedulingPolicy):
 
     def key(self, task: Task) -> tuple:
         density = task.value / max(task.estimated_cpu, 1e-9)
-        return (-density, task.release_time, task.task_id)
+        return (-density, task.release_time, task.stratum, task.task_id)
 
 
 _POLICIES = {

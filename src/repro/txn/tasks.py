@@ -61,6 +61,8 @@ class Task:
         "estimated_cpu",
         "compact_info",
         "retries",
+        "stratum",
+        "cascade_from",
     )
 
     def __init__(
@@ -76,6 +78,7 @@ class Task:
         unique_key: Optional[tuple] = None,
         bound_tables: Optional[dict[str, "TempTable"]] = None,
         estimated_cpu: float = 1e-4,
+        stratum: int = 0,
     ) -> None:
         self.task_id = next(_task_ids)
         self.klass = klass
@@ -103,6 +106,14 @@ class Task:
         self.compact_info: Optional[Any] = None
         # Fault-recovery re-executions so far (repro.fault.recovery).
         self.retries = 0
+        # Rule-dependency stratum: 0 for application tasks, >= 1 for rule
+        # actions.  The task manager holds a stratum-s task back while
+        # lower-stratum work of the same mutation batch is still live.
+        self.stratum = stratum
+        # Task id of the upstream rule task whose action transaction fired
+        # this one (None for base-table firings); the staleness tracker uses
+        # it to inherit mutation stamps instead of minting fresh ones.
+        self.cascade_from: Optional[int] = None
 
     @property
     def bound_rows(self) -> int:

@@ -877,6 +877,7 @@ def _materialize_aggregate(
             unique_on=tuple(unique_on),
             after=delay,
             maintenance=strategy,
+            writes=(view.name,),
         )
         db.create_rule(rule)
         plan_record.rules.append(rule)
@@ -1144,6 +1145,7 @@ def _materialize_projection(
             compact_on=key_columns if compact else (),
             after=delay,
             maintenance=strategy,
+            writes=(view.name,),
         )
         db.create_rule(rule)
         plan_record.rules.append(rule)

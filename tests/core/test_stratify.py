@@ -1,0 +1,167 @@
+"""Stratification of rule programs: topological validity, determinism,
+and cycle rejection at CREATE RULE time.
+
+The property tests generate random rule programs over a small table
+universe.  Acyclic programs are built by only letting a rule write tables
+with a strictly higher index than its trigger table, which makes every
+dependency edge point "up" — any such program stratifies.  Cyclic programs
+are built by closing a random write chain back onto its origin.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rules import Rule, stratify
+from repro.database import Database
+from repro.errors import CreateRuleError
+from repro.sql import ast
+
+N_TABLES = 8
+
+
+def make_rule(name, table, writes):
+    return Rule(
+        name=name,
+        table=table,
+        events=(ast.Event("inserted", ()),),
+        function="f",
+        writes=tuple(writes),
+    )
+
+
+@st.composite
+def acyclic_programs(draw):
+    """Rules over tables t0..t7 whose writes only target higher indexes."""
+    n_rules = draw(st.integers(min_value=1, max_value=12))
+    rules = []
+    for i in range(n_rules):
+        trigger = draw(st.integers(min_value=0, max_value=N_TABLES - 2))
+        candidates = list(range(trigger + 1, N_TABLES))
+        writes = draw(
+            st.lists(st.sampled_from(candidates), unique=True, max_size=3)
+        )
+        rules.append(
+            make_rule(f"r{i}", f"t{trigger}", [f"t{w}" for w in writes])
+        )
+    return rules
+
+
+@st.composite
+def cyclic_programs(draw):
+    """A write chain t_a -> t_b -> ... -> t_a plus optional noise rules."""
+    length = draw(st.integers(min_value=1, max_value=4))
+    chain = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=N_TABLES - 1),
+            min_size=length, max_size=length, unique=True,
+        )
+    )
+    rules = []
+    for i, table in enumerate(chain):
+        target = chain[(i + 1) % len(chain)]
+        rules.append(make_rule(f"c{i}", f"t{table}", [f"t{target}"]))
+    noise = draw(acyclic_programs())
+    for i, rule in enumerate(noise):
+        rules.append(make_rule(f"n{i}", rule.table, rule.writes))
+    return rules
+
+
+class TestStratifyProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(acyclic_programs())
+    def test_strata_are_a_valid_topological_order(self, rules):
+        strata = stratify(rules)
+        assert set(strata) == {rule.name for rule in rules}
+        writers = {}
+        for rule in rules:
+            for table in rule.writes:
+                writers.setdefault(table, []).append(rule)
+        for rule in rules:
+            assert strata[rule.name] >= 1
+            # Every rule writing my trigger table sits strictly below me.
+            for upstream in writers.get(rule.table, []):
+                assert strata[upstream.name] < strata[rule.name]
+            # And the level is exactly one above the deepest such writer.
+            feeders = [strata[w.name] for w in writers.get(rule.table, [])]
+            assert strata[rule.name] == (max(feeders) + 1 if feeders else 1)
+
+    @settings(max_examples=100, deadline=None)
+    @given(acyclic_programs(), st.randoms(use_true_random=False))
+    def test_stratification_is_order_independent(self, rules, rng):
+        """The same program stratifies identically regardless of the
+        iteration order the rules arrive in (catalogs, checkpoints, and
+        recovery all replay rules in different orders)."""
+        baseline = stratify(rules)
+        shuffled = list(rules)
+        rng.shuffle(shuffled)
+        assert stratify(shuffled) == baseline
+
+    @settings(max_examples=100, deadline=None)
+    @given(cyclic_programs())
+    def test_cyclic_programs_are_rejected(self, rules):
+        with pytest.raises(CreateRuleError) as excinfo:
+            stratify(rules)
+        assert "cyclic" in str(excinfo.value)
+
+
+class TestCreateRuleCycleRejection:
+    """End-to-end: CREATE RULE is the enforcement point, and a rejected
+    statement leaves the installed program untouched."""
+
+    def _db(self):
+        db = Database()
+        db.execute("create table a (x text)")
+        db.execute("create table b (x text)")
+        db.execute("create table c (x text)")
+        db.register_function("f", lambda ctx: None)
+        return db
+
+    def test_cycle_rejected_and_catalog_unchanged(self):
+        db = self._db()
+        db.execute("create rule r1 on a when inserted then execute f writes b")
+        db.execute("create rule r2 on b when inserted then execute f writes c")
+        before = [rule.name for rule in db.catalog.rules()]
+        with pytest.raises(CreateRuleError) as excinfo:
+            db.execute(
+                "create rule r3 on c when inserted then execute f writes a"
+            )
+        assert "cyclic" in str(excinfo.value)
+        assert [rule.name for rule in db.catalog.rules()] == before
+        # The surviving program keeps its (unchanged) strata.
+        assert {r.name: r.stratum for r in db.catalog.rules()} == {
+            "r1": 1, "r2": 2,
+        }
+
+    def test_self_cycle_rejected(self):
+        db = self._db()
+        with pytest.raises(CreateRuleError):
+            db.execute(
+                "create rule loop on a when inserted then execute f writes a"
+            )
+        assert list(db.catalog.rules()) == []
+
+    def test_drop_rule_restratifies(self):
+        db = self._db()
+        db.execute("create rule r1 on a when inserted then execute f writes b")
+        db.execute("create rule r2 on b when inserted then execute f writes c")
+        db.execute("create rule r3 on c when inserted then execute f")
+        assert {r.name: r.stratum for r in db.catalog.rules()} == {
+            "r1": 1, "r2": 2, "r3": 3,
+        }
+        db.execute("drop rule r1")
+        assert {r.name: r.stratum for r in db.catalog.rules()} == {
+            "r2": 1, "r3": 2,
+        }
+
+    def test_writes_clause_round_trips(self):
+        from repro.sql.parser import parse_statement
+        from repro.sql.printer import rule_to_sql
+
+        sql = (
+            "create rule r on a when inserted "
+            "then execute f unique after 2 seconds writes b, c"
+        )
+        stmt = parse_statement(sql)
+        assert stmt.writes == ("b", "c")
+        assert parse_statement(rule_to_sql(stmt)) == stmt

@@ -116,6 +116,7 @@ class TestUnitTracker:
         assert set(snap) == {
             "views",
             "rules",
+            "strata",
             "reflected",
             "reflected_by_delete",
             "lost",
@@ -176,3 +177,106 @@ class TestEngineIntegration:
         assert "Derived-view staleness" in report
         assert "Per-rule staleness" in report
         assert "Per-rule cost attribution" in report
+
+
+class TestCascadeStampInheritance:
+    """Regression: a rule firing that arrives via another rule's action is
+    the same base mutation one stratum up — it must NOT mint a fresh stamp.
+    The pre-fix behaviour stamped cascade arrivals like new mutations,
+    double-counting every base write once per stratum it climbed."""
+
+    def make_pair(self):
+        upstream = make_task(function="f1", rule="r1", created=1.0)
+        upstream.stratum = 1
+        downstream = make_task(
+            function="f2", rule="r2", created=5.0, klass="recompute:f2"
+        )
+        downstream.stratum = 2
+        return upstream, downstream
+
+    def test_cascade_new_inherits_instead_of_stamping(self):
+        tracker = StalenessTracker()
+        upstream, downstream = self.make_pair()
+        tracker.on_task_new(upstream, 1.0)
+        tracker.on_task_append(upstream, 2.0)
+        tracker.on_task_new(downstream, 5.0, origin=upstream)
+        # Two base mutations total — not four.
+        assert tracker.outstanding() == 2
+        # The inherited stamps keep the ORIGINAL commit times, so the
+        # downstream lag is measured end-to-end from the base write.
+        tracker.on_task_done(upstream, 5.0)
+        assert tracker.reflected == 0  # forwarded: not yet reflected
+        tracker.on_task_done(downstream, 9.0)
+        assert tracker.reflected == 2
+        assert tracker.by_rule["r2"].max == pytest.approx(8.0)  # 9.0 - 1.0
+
+    def test_forwarded_upstream_still_records_intermediate_lag(self):
+        tracker = StalenessTracker()
+        upstream, downstream = self.make_pair()
+        tracker.on_task_new(upstream, 1.0)
+        tracker.on_task_new(downstream, 5.0, origin=upstream)
+        tracker.on_task_done(upstream, 5.0)
+        # The intermediate view's histogram sees the stratum-1 lag ...
+        assert tracker.by_rule["r1"].count == 1
+        assert tracker.by_rule["r1"].max == pytest.approx(4.0)
+        # ... but the mutation stays outstanding with the downstream task.
+        assert tracker.outstanding() == 1
+        assert tracker.oldest_stamp() == pytest.approx(1.0)
+
+    def test_cascade_append_extends_with_inherited_stamps(self):
+        tracker = StalenessTracker()
+        upstream, downstream = self.make_pair()
+        tracker.on_task_new(downstream, 3.0)  # already pending (own stamp)
+        tracker.on_task_new(upstream, 4.0)
+        tracker.on_task_append(downstream, 6.0, origin=upstream)
+        assert tracker.outstanding() == 2
+        tracker.on_task_done(downstream, 6.0)
+        assert tracker.reflected == 2
+
+    def test_lost_cascade_counts_each_mutation_once(self):
+        tracker = StalenessTracker()
+        upstream, downstream = self.make_pair()
+        tracker.on_task_new(upstream, 1.0)
+        tracker.on_task_new(downstream, 5.0, origin=upstream)
+        tracker.on_task_done(upstream, 5.0)
+        tracker.on_task_dropped(downstream, 8.0)
+        assert tracker.lost == 1
+        assert tracker.reflected == 0
+
+    def test_two_level_engine_run_reflects_once_per_mutation(self):
+        """End-to-end pin: N base inserts through a two-level cascade give
+        exactly N reflected mutations, one per stamp, zero double counts."""
+        collector = TraceCollector()
+        db = Database(tracer=collector)
+        db.execute("create table base (k text, v real)")
+        db.execute("create table mid (k text, v real)")
+        db.execute("create table top (k text, v real)")
+
+        def promote(ctx):
+            for row in ctx.rows("m"):
+                ctx.execute(
+                    "insert into mid values (:k, :v)",
+                    {"k": row["k"], "v": row["v"]},
+                )
+
+        db.register_function("promote", promote)
+        db.register_function("finish", lambda ctx: None)
+        db.execute(
+            "create rule r1 on base when inserted "
+            "if select k, v from inserted bind as m "
+            "then execute promote unique after 1 seconds writes mid"
+        )
+        db.execute(
+            "create rule r2 on mid when inserted "
+            "if select k, v from inserted bind as m "
+            "then execute finish unique after 1 seconds"
+        )
+        for i in range(5):
+            db.execute(f"insert into base values ('k{i}', {i})")
+        Simulator(db).run()
+        tracker = collector.staleness
+        assert tracker.reflected == 5
+        assert tracker.lost == 0
+        assert tracker.outstanding() == 0
+        assert tracker.by_stratum["stratum-1"].count == 5
+        assert tracker.by_stratum["stratum-2"].count == 5

@@ -160,14 +160,14 @@ class TestPolicyKeys:
 
     def test_fifo_key_carries_task_id(self):
         a, b = make_task(release=1.0), make_task(release=1.0)
-        assert FifoPolicy().key(a) == (1.0, a.task_id)
+        assert FifoPolicy().key(a) == (1.0, a.stratum, a.task_id)
         assert FifoPolicy().key(a) < FifoPolicy().key(b)
 
     def test_edf_key_carries_task_id(self):
         a = make_task(release=0.0, deadline=2.0)
         b = make_task(release=0.0, deadline=2.0)
         policy = EarliestDeadlinePolicy()
-        assert policy.key(a) == (2.0, 0.0, a.task_id)
+        assert policy.key(a) == (2.0, 0.0, a.stratum, a.task_id)
         assert policy.key(a) < policy.key(b)
 
     def test_vdf_key_carries_task_id(self):
