@@ -21,11 +21,12 @@ from typing import Optional, Sequence
 from repro.bench.reporting import format_series, format_table
 from repro.obs import (
     TraceCollector,
+    ensure_parent,
+    export_stats,
+    export_trace,
     sparkline,
     stats_report,
     stats_snapshot,
-    write_chrome_trace,
-    write_jsonl,
     write_series_jsonl,
 )
 from repro.pta.tables import Scale
@@ -88,31 +89,17 @@ def _freshness_sections(collector: TraceCollector) -> None:
         print(format_table(attribution_rows, "Per-rule cost attribution"))
 
 
-def _ensure_parent(path: str) -> None:
-    parent = os.path.dirname(path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-
-
 def _write_trace(collector: TraceCollector, path: str) -> None:
-    """Chrome trace_event JSON by default; JSONL when the path ends .jsonl."""
-    _ensure_parent(path)
-    if path.endswith(".jsonl"):
-        count = write_jsonl(collector, path)
-    else:
-        count = write_chrome_trace(collector, path)
+    count = export_trace(collector, path)
     print(f"trace: {count} events -> {path}")
 
 
 def _write_stats(collector: TraceCollector, path: str, title: str) -> None:
-    text = stats_report(collector, title)
-    if path == "-":
+    text = export_stats(collector, path, title)
+    if text is not None:
         print(text)
-        return
-    _ensure_parent(path)
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(text + "\n")
-    print(f"stats report -> {path}")
+    else:
+        print(f"stats report -> {path}")
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -391,6 +378,169 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
     return 0 if result.converged else 1
 
 
+def _serve_sim(args: argparse.Namespace) -> int:
+    """The simulated-channel mode: one seeded network experiment."""
+    from repro.net import AdmissionConfig, LoadConfig, run_network_experiment
+    from repro.obs import TimeSeriesSampler
+
+    collector = TraceCollector(
+        timeseries=TimeSeriesSampler(
+            interval=args.interval if args.interval > 0 else 1.0,
+            max_queue_depth=args.max_queue_depth,
+            max_staleness=args.max_staleness,
+        )
+    )
+    clients_out: list = []
+    result = run_network_experiment(
+        scale=_scale_of(args.scale),
+        variant=args.variant,
+        delay=args.delay,
+        seed=args.seed,
+        n_clients=args.clients,
+        requests_per_client=args.requests,
+        load=LoadConfig(
+            burst_size=args.burst_size,
+            burst_gap=args.burst_gap,
+            intra_gap=args.intra_gap,
+        ),
+        network=_replication_network(args),
+        admission=AdmissionConfig(
+            session_rate=args.session_rate,
+            session_burst=args.session_burst,
+            delay_at=args.delay_at,
+            shed_at=args.shed_at,
+        ),
+        ack_timeout=args.ack_timeout,
+        faults=args.faults,
+        fault_seed=args.fault_seed,
+        max_retries=args.max_retries,
+        retry_backoff=args.retry_backoff,
+        tracer=collector,
+        clients_out=clients_out,
+    )
+    print(
+        format_table(
+            [result.row()],
+            f"Network experiment ({result.n_clients} clients, "
+            f"binary protocol over simulated channels)",
+        )
+    )
+    client_rows = [
+        {"client": client.name, **client.stats.row()} for client in clients_out
+    ]
+    print(format_table(client_rows, "Per-client protocol statistics"))
+    counts = {
+        "admit": result.admit_decisions,
+        "throttle": result.throttle_decisions,
+        "shed": result.shed_decisions,
+    }
+    print(f"admission decisions: {counts}")
+    print(f"channel: {result.channel}")
+    if result.faults:
+        print(
+            f"faults: {result.faults_injected} injected from plan "
+            f"{result.faults!r} seed {args.fault_seed}"
+        )
+    if result.lost_acked:
+        print(f"LOST ACKNOWLEDGED MUTATIONS: {result.lost_acked}")
+    else:
+        print("zero lost acknowledged mutations")
+    if result.oracle_report is not None:
+        print(result.oracle_report.format())
+    if args.json_out:
+        summary = {
+            **result.row(),
+            "admit_decisions": result.admit_decisions,
+            "throttle_decisions": result.throttle_decisions,
+            "shed_decisions": result.shed_decisions,
+            "lost_acked": result.lost_acked,
+            "faults_injected": result.faults_injected,
+            "channel": result.channel,
+            "converged": result.oracle_report.ok
+            if result.oracle_report is not None
+            else None,
+            "ok": result.ok,
+        }
+        ensure_parent(args.json_out)
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+        print(f"summary -> {args.json_out}")
+    if args.trace_out:
+        _write_trace(collector, args.trace_out)
+    if args.stats_out:
+        _write_stats(
+            collector,
+            args.stats_out,
+            f"Trace statistics (serve --transport sim, {args.clients} clients)",
+        )
+    return 0 if result.ok else 1
+
+
+def _serve_asyncio(args: argparse.Namespace) -> int:
+    """The real-socket mode: listen until --duration elapses (or forever)."""
+    import asyncio
+
+    from repro.database import Database
+    from repro.net import AdmissionConfig, NetServer, ServerConfig
+    from repro.net.aio import AsyncNetServer
+    from repro.pta.rules import install_comp_rule
+    from repro.pta.tables import populate
+    from repro.pta.workload import get_trace
+
+    collector = TraceCollector()
+    db = Database(tracer=collector)
+    db.metrics.set_keep_records(False)
+    scale = _scale_of(args.scale)
+    trace, events = get_trace(scale, args.seed)
+    populate(db, scale, trace, events, args.seed)
+    install_comp_rule(db, args.variant, args.delay)
+    core = NetServer(
+        db,
+        collector=collector,
+        config=ServerConfig(
+            admission=AdmissionConfig(
+                session_rate=args.session_rate,
+                session_burst=args.session_burst,
+                delay_at=args.delay_at,
+                shed_at=args.shed_at,
+            )
+        ),
+    )
+    server = AsyncNetServer(core, host=args.host, port=args.port)
+
+    async def main() -> None:
+        await server.start()
+        print(f"listening on {args.host}:{server.port} "
+              f"({scale.n_stocks} stocks, variant {args.variant!r})")
+        sys.stdout.flush()
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                while True:
+                    await asyncio.sleep(3600)
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    stats = core.stats()
+    print(f"served {stats['received']} requests across {stats['sessions']} "
+          f"sessions ({stats['acked']} writes acknowledged)")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the network front-end in one of its two transports."""
+    if args.transport == "sim":
+        return _serve_sim(args)
+    return _serve_asyncio(args)
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     """Run one experiment under full observability and render a dashboard:
     staleness percentiles, the per-rule cost attribution table, and the
@@ -434,12 +584,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         "end_time": result.end_time,
     }
     if args.json_out:
-        _ensure_parent(args.json_out)
+        ensure_parent(args.json_out)
         with open(args.json_out, "w", encoding="utf-8") as handle:
             json.dump(stats_snapshot(collector, meta), handle, indent=2)
         print(f"stats snapshot -> {args.json_out}")
     if args.series_out:
-        _ensure_parent(args.series_out)
+        ensure_parent(args.series_out)
         count = write_series_jsonl(
             sampler.samples if sampler is not None else [], args.series_out
         )
@@ -847,6 +997,121 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replicate.add_argument("--obs", action="store_true")
     replicate.set_defaults(fn=_cmd_replicate)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the network front-end: protocol server with "
+        "backpressure-driven admission control (simulated channels, or "
+        "real asyncio sockets)",
+    )
+    serve.add_argument(
+        "--transport", choices=["sim", "asyncio"], default="sim",
+        help="sim: seeded in-process channels on the virtual clock, driven "
+        "by the built-in load generator; asyncio: listen on a real socket",
+    )
+    serve.add_argument(
+        "--variant",
+        choices=["nonunique", "unique", "on_symbol", "on_comp"],
+        default="unique",
+    )
+    serve.add_argument("--delay", type=float, default=0.5)
+    serve.add_argument("--scale", default="tiny")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--clients", type=int, default=4, metavar="N",
+        help="concurrent protocol sessions (sim transport; default 4)",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=40, metavar="N",
+        help="quote updates per client (sim transport; default 40)",
+    )
+    serve.add_argument(
+        "--burst-size", type=float, default=4.0, metavar="N",
+        help="mean burst length of the Bleach-style quote stream",
+    )
+    serve.add_argument(
+        "--burst-gap", type=float, default=0.5, metavar="SECONDS",
+        help="mean quiet period between bursts",
+    )
+    serve.add_argument(
+        "--intra-gap", type=float, default=0.005, metavar="SECONDS",
+        help="spacing of quotes inside a burst",
+    )
+    serve.add_argument(
+        "--ack-timeout", type=float, default=0.5, metavar="SECONDS",
+        help="client retransmission timeout (sim transport)",
+    )
+    serve.add_argument(
+        "--session-rate", type=float, default=50.0, metavar="TOKENS_PER_S",
+        help="per-session token bucket refill rate (default 50)",
+    )
+    serve.add_argument(
+        "--session-burst", type=float, default=10.0, metavar="TOKENS",
+        help="per-session token bucket capacity (default 10)",
+    )
+    serve.add_argument(
+        "--delay-at", type=float, default=0.5, metavar="PRESSURE",
+        help="backpressure threshold where writes start throttling",
+    )
+    serve.add_argument(
+        "--shed-at", type=float, default=0.85, metavar="PRESSURE",
+        help="backpressure threshold where writes are rejected outright",
+    )
+    serve.add_argument(
+        "--max-queue-depth", type=float, default=64.0, metavar="TASKS",
+        help="queue depth at which the backpressure signal saturates",
+    )
+    serve.add_argument(
+        "--max-staleness", type=float, default=10.0, metavar="SECONDS",
+        help="staleness watermark at which the backpressure signal saturates",
+    )
+    serve.add_argument("--net-latency", type=float, default=0.02, metavar="SECONDS")
+    serve.add_argument("--net-bandwidth", type=float, default=10e6, metavar="BYTES_PER_S")
+    serve.add_argument("--net-jitter", type=float, default=0.0, metavar="SECONDS")
+    serve.add_argument(
+        "--net-drop", type=float, default=0.0, metavar="P",
+        help="per-message drop probability (clients recover by retransmit)",
+    )
+    serve.add_argument("--net-reorder", type=float, default=0.0, metavar="P")
+    serve.add_argument(
+        "--faults", metavar="PLAN", default=None,
+        help="fault plan; may target the client network (net.accept / "
+        "net.recv / net.send) and the engine (see docs/NETWORK.md)",
+    )
+    serve.add_argument("--fault-seed", type=int, default=0)
+    serve.add_argument("--max-retries", type=int, default=5)
+    serve.add_argument("--retry-backoff", type=float, default=0.25)
+    serve.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="time-series sampling cadence in virtual seconds",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (asyncio transport)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (asyncio transport; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="asyncio transport: exit after this many wall seconds "
+        "(default: serve until interrupted)",
+    )
+    serve.add_argument(
+        "--json-out", metavar="PATH",
+        help="sim transport: write the run summary (throughput, admission "
+        "decisions, oracle verdict) as JSON",
+    )
+    serve.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write a trace of the run (includes the net and "
+        "counter.admission tracks in the Chrome export)",
+    )
+    serve.add_argument(
+        "--stats-out", metavar="PATH",
+        help="write a plain-text stats report ('-' for stdout)",
+    )
+    serve.set_defaults(fn=_cmd_serve)
 
     stats = sub.add_parser(
         "stats",

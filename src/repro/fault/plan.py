@@ -56,6 +56,13 @@ POINTS: dict[str, frozenset[str]] = {
     "ship.send": frozenset({"drop", "delay"}),  # replic/channel.py send()
     "ship.ack": frozenset({"drop", "delay"}),  # replic/channel.py (ack path)
     "apply.frame": frozenset({"drop"}),  # replic/shipper.py _deliver()
+    # Client-facing network seams (repro/net/): same consumed-not-raised
+    # contract as ship.* — the transport eats the fault, clients recover
+    # by retransmission (docs/NETWORK.md).  "drop" on net.accept refuses
+    # the connection outright.
+    "net.accept": frozenset({"drop"}),  # net/server.py open_session()
+    "net.recv": frozenset({"drop", "delay"}),  # net/sim.py request channel
+    "net.send": frozenset({"drop", "delay"}),  # net/sim.py response channel
 }
 
 _SPEC_RE = re.compile(

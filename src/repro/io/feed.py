@@ -5,6 +5,16 @@ the simulator's arrivals stream.  Each record is applied by a *handler*
 (a callable receiving the transaction and the record) inside its own
 transaction — one update transaction per feed record, exactly how the PTA
 replays the TAQ quote file (paper section 4.3).
+
+Ordering contract: records may arrive in any order — :meth:`ImportFeed.tasks`
+sorts them into **release-time order** before they reach the simulator,
+so an out-of-order feed file still applies chronologically.  Records
+sharing a timestamp keep their **original relative order** (the sort is
+stable), so two same-instant quotes for one symbol leave the later record
+in the stream as the winner.  The network front-end leans on the same
+contract: each accepted write is stamped with its server arrival time, so
+retransmitted duplicates that slip past dedup would still apply in
+arrival order, never reviving an older price.
 """
 
 from __future__ import annotations

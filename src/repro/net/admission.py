@@ -1,0 +1,153 @@
+"""Backpressure-driven admission control for the network front-end.
+
+Two layers gate every write before it becomes an engine task:
+
+1. **Per-session token bucket** — a client that outruns its provisioned
+   rate gets ``throttle`` responses with a ``retry_after`` telling it
+   when the next token lands.  This bounds any single session's demand
+   regardless of global load.
+2. **Global backpressure controller** — polls
+   :meth:`TraceCollector.backpressure` (the [0, 1] blend of scheduler
+   queue depth and the staleness watermark).  Past ``delay_at`` the
+   server *delays*: writes are throttled with a ``retry_after`` that
+   grows with pressure.  Past ``shed_at`` it *sheds*: writes are
+   rejected outright (``error`` with ``shed: true``) so queues stay
+   bounded instead of absorbing the overload.
+
+Reads are never gated — they execute against current (possibly stale)
+derived state, which is exactly the STRIP trade: bounded staleness in
+exchange for bounded update latency.
+
+Every decision is traced (``net.admit`` instants plus the
+``counter.admission`` Chrome counter track) and counted
+(``net_admit`` / ``net_throttle`` / ``net_shed``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["AdmissionConfig", "AdmissionController", "TokenBucket"]
+
+#: Admission decisions, in order of increasing distress.
+ADMIT = "admit"
+THROTTLE = "throttle"
+SHED = "shed"
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Knobs for both admission layers.
+
+    ``session_rate`` / ``session_burst`` size each session's token
+    bucket (tokens per virtual second / bucket capacity).  ``delay_at``
+    and ``shed_at`` are backpressure thresholds in [0, 1];
+    ``retry_base`` scales the throttle ``retry_after`` hint.
+    """
+
+    session_rate: float = 50.0
+    session_burst: float = 10.0
+    delay_at: float = 0.5
+    shed_at: float = 0.85
+    retry_base: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.session_rate <= 0:
+            raise ValueError("session_rate must be > 0")
+        if self.session_burst < 1:
+            raise ValueError("session_burst must be >= 1")
+        if not 0.0 < self.delay_at <= self.shed_at <= 1.0:
+            raise ValueError("need 0 < delay_at <= shed_at <= 1")
+
+
+class TokenBucket:
+    """A token bucket on the virtual clock.
+
+    Refills continuously at ``rate`` tokens per (virtual) second up to
+    ``capacity``; :meth:`take` spends one token, or reports how long the
+    caller must wait for the next one.
+    """
+
+    __slots__ = ("rate", "capacity", "tokens", "stamp")
+
+    def __init__(self, rate: float, capacity: float, now: float = 0.0) -> None:
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self.tokens = float(capacity)
+        self.stamp = float(now)
+
+    def _refill(self, now: float) -> None:
+        if now > self.stamp:
+            self.tokens = min(self.capacity, self.tokens + (now - self.stamp) * self.rate)
+        self.stamp = max(self.stamp, now)
+
+    def take(self, now: float) -> float:
+        """Spend one token; returns 0.0 on success, else the wait in
+        virtual seconds until a token will be available."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class AdmissionController:
+    """Decides ``admit`` / ``throttle`` / ``shed`` for one write.
+
+    Stateless apart from the counters it keeps for reporting; the
+    per-session state (token bucket) lives on the session and is passed
+    in, the global state is read from the trace collector each call.
+    """
+
+    def __init__(self, config: AdmissionConfig, collector=None, tracer=None) -> None:
+        self.config = config
+        self.collector = collector
+        self.tracer = tracer
+        self.admitted = 0
+        self.throttled = 0
+        self.shed = 0
+
+    def pressure(self, now: float) -> float:
+        """Current global backpressure in [0, 1] (0 with no collector)."""
+        if self.collector is None:
+            return 0.0
+        return self.collector.backpressure(now)
+
+    def decide(
+        self, session_name: str, bucket: Optional[TokenBucket], now: float
+    ) -> Tuple[str, float, float]:
+        """Gate one write: returns ``(decision, retry_after, pressure)``.
+
+        Ordering matters: the session bucket is checked first so one hot
+        client is told to back off even when the engine is healthy, then
+        the global thresholds so every client shares the pain of real
+        overload.
+        """
+        pressure = self.pressure(now)
+        decision = ADMIT
+        retry_after = 0.0
+        if bucket is not None:
+            wait = bucket.take(now)
+            if wait > 0.0:
+                decision, retry_after = THROTTLE, wait
+        if decision is ADMIT:
+            if pressure >= self.config.shed_at:
+                decision = SHED
+            elif pressure >= self.config.delay_at:
+                # Scale the hint with distress: deeper into the delay
+                # band means a longer back-off.
+                decision = THROTTLE
+                retry_after = self.config.retry_base * (1.0 + 4.0 * pressure)
+        if decision is ADMIT:
+            self.admitted += 1
+        elif decision is THROTTLE:
+            self.throttled += 1
+        else:
+            self.shed += 1
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.net_admission(session_name, decision, pressure, now)
+        return decision, retry_after, pressure
+
+    def counts(self) -> dict:
+        return {"admit": self.admitted, "throttle": self.throttled, "shed": self.shed}

@@ -1,0 +1,429 @@
+"""The simulated transport and the network experiment harness.
+
+:class:`SimNetTransport` runs N client connections against one
+:class:`~repro.net.server.NetServer` entirely on the **virtual clock**,
+reusing the replication layer's :class:`~repro.replic.channel.SimChannel`
+model for both directions of every connection: requests ride a channel
+answering to the ``net.recv`` fault seam, responses one answering to
+``net.send``.  Latency, bandwidth, jitter, probabilistic drop and
+reordering all apply per message; every message really is encoded to
+binary frames and decoded through a streaming
+:class:`~repro.net.protocol.FrameDecoder` on arrival, so the wire codec
+is exercised end to end.
+
+The co-simulation has two gears, exactly like replication:
+
+* a **post-task hook** on the simulator delivers everything due each
+  time a task finishes (including the deferred commit acks that task
+  just produced), and
+* an outer **drive loop** advances the engine clock to the next pending
+  network event whenever the simulator drains — clients keep bursting
+  even when the engine is idle.
+
+Everything is seeded: same seeds, same fault plan, same run.
+
+:func:`run_network_experiment` is the PTA-workload harness on top — the
+network sibling of :func:`repro.replic.cluster.run_replicated_experiment`
+— ending in the convergence oracle *plus* the server's zero-lost-acks
+check (:meth:`~repro.net.server.NetServer.lost_acked_mutations`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.database import Database
+from repro.fault import FaultInjector, RetryPolicy, check_convergence
+from repro.fault.oracle import ConvergenceReport
+from repro.net.admission import AdmissionConfig
+from repro.net.client import ClientStats, LoadConfig, NetClient, quote_stream
+from repro.net.protocol import FrameDecoder, encode_message
+from repro.net.server import NetServer, ServerConfig, Session
+from repro.obs.tracer import TraceCollector, Tracer
+from repro.pta.rules import install_comp_rule
+from repro.pta.tables import Scale, populate
+from repro.pta.workload import get_trace
+from repro.replic.channel import NetworkConfig, SimChannel
+from repro.sim.simulator import Simulator
+
+__all__ = ["NetworkResult", "SimNetTransport", "run_network_experiment"]
+
+
+class _Connection:
+    """One client's two channels, decoders, and wake bookkeeping."""
+
+    __slots__ = (
+        "client",
+        "session",
+        "req_channel",
+        "resp_channel",
+        "to_server",
+        "to_client",
+        "scheduled_wake",
+        "refused",
+    )
+
+    def __init__(
+        self,
+        client: NetClient,
+        session: Optional[Session],
+        req_channel: SimChannel,
+        resp_channel: SimChannel,
+    ) -> None:
+        self.client = client
+        self.session = session
+        self.req_channel = req_channel
+        self.resp_channel = resp_channel
+        self.to_server = FrameDecoder()  # reassembles frames at the server
+        self.to_client = FrameDecoder()  # reassembles frames at the client
+        self.scheduled_wake: Optional[float] = None
+        self.refused = session is None
+
+
+class SimNetTransport:
+    """Event-driven delivery of frames between clients and the server."""
+
+    def __init__(
+        self,
+        server: NetServer,
+        clients: list[NetClient],
+        network: Optional[NetworkConfig] = None,
+        seed: int = 0,
+        faults=None,
+    ) -> None:
+        self.server = server
+        self.network = network or NetworkConfig()
+        self.connections: list[_Connection] = []
+        self._events: list[tuple] = []  # (time, seq, kind, conn, bytes)
+        self._seq = 0
+        self._pending_acks: list[tuple[Session, dict]] = []
+        server.on_ack = lambda session, response, task: self._pending_acks.append(
+            (session, response)
+        )
+        self._by_session: dict[str, _Connection] = {}
+        for index, client in enumerate(clients):
+            session = server.open_session(client.name, framing="binary")
+            connection = _Connection(
+                client,
+                session,
+                SimChannel(
+                    self.network,
+                    seed=seed * 7919 + 2 * index,
+                    point="net.recv",
+                    label=client.name,
+                    faults=faults,
+                ),
+                SimChannel(
+                    self.network,
+                    seed=seed * 7919 + 2 * index + 1,
+                    point="net.send",
+                    label=client.name,
+                    faults=faults,
+                ),
+            )
+            self.connections.append(connection)
+            if session is not None:
+                self._by_session[session.name] = connection
+                self._schedule_wake(connection, client.next_wake())
+
+    # -------------------------------------------------------------- events
+
+    def _push(self, when: float, kind: str, connection: _Connection, data) -> None:
+        self._seq += 1
+        heapq.heappush(self._events, (when, self._seq, kind, connection, data))
+
+    def _schedule_wake(self, connection: _Connection, when: Optional[float]) -> None:
+        if when is None or connection.refused:
+            return
+        if connection.scheduled_wake is not None and connection.scheduled_wake <= when:
+            return
+        connection.scheduled_wake = when
+        self._push(when, "wake", connection, None)
+
+    def next_event_time(self) -> Optional[float]:
+        return self._events[0][0] if self._events else None
+
+    @property
+    def idle(self) -> bool:
+        return not self._events and not self._pending_acks
+
+    # ------------------------------------------------------------ delivery
+
+    def pump(self, now: float) -> None:
+        """Deliver everything due at ``now``.  Installed as a simulator
+        post-task hook and called by the drive loop between runs."""
+        self._flush_acks(now)
+        while self._events and self._events[0][0] <= now + 1e-12:
+            when, _, kind, connection, data = heapq.heappop(self._events)
+            if kind == "req":
+                self._deliver_request(connection, data, when)
+            elif kind == "resp":
+                self._deliver_response(connection, data, when)
+            else:  # wake
+                connection.scheduled_wake = None
+                self._run_client(connection, when)
+            self._flush_acks(now)
+
+    def _flush_acks(self, now: float) -> None:
+        while self._pending_acks:
+            session, response = self._pending_acks.pop(0)
+            connection = self._by_session.get(session.name)
+            if connection is not None:
+                self._send_response(connection, response, now)
+
+    def _deliver_request(self, connection: _Connection, data: bytes, now: float) -> None:
+        for msg in connection.to_server.feed(data):
+            response = self.server.handle(connection.session, msg, now)
+            if response is not None:
+                self._send_response(connection, response, now)
+
+    def _send_response(self, connection: _Connection, response: dict, now: float) -> None:
+        encoded = encode_message(response)
+        arrival = connection.resp_channel.send(len(encoded), now)
+        if arrival is not None:
+            self._push(arrival, "resp", connection, encoded)
+
+    def _deliver_response(self, connection: _Connection, data: bytes, now: float) -> None:
+        for msg in connection.to_client.feed(data):
+            connection.client.on_response(msg, now)
+        self._run_client(connection, now)
+
+    def _run_client(self, connection: _Connection, now: float) -> None:
+        if connection.refused:
+            return
+        for msg in connection.client.actions(now):
+            encoded = encode_message(msg)
+            arrival = connection.req_channel.send(len(encoded), now)
+            if arrival is not None:
+                self._push(arrival, "req", connection, encoded)
+        self._schedule_wake(connection, connection.client.next_wake())
+
+    # --------------------------------------------------------------- drive
+
+    def drive(
+        self,
+        simulator: Simulator,
+        until: Optional[float] = None,
+        max_steps: int = 1_000_000,
+    ) -> int:
+        """Co-simulate engine and network to quiescence; returns tasks
+        executed.  The simulator drains the task queues (the pump hook
+        delivering between tasks); when it runs dry the clock jumps to
+        the next pending network event."""
+        db = self.server.db
+        executed = 0
+        for _ in range(max_steps):
+            executed += simulator.run(until=until, arrivals=[])
+            self.pump(db.clock.now())
+            when = self.next_event_time()
+            if when is None:
+                if self.idle:
+                    break
+                continue
+            if until is not None and when > until:
+                break
+            db.clock.set_base(max(db.clock.base, when))
+            self.pump(db.clock.now())
+        return executed
+
+    def channel_stats(self) -> dict:
+        totals = {"sent": 0, "dropped": 0, "fault_dropped": 0, "reordered": 0, "bytes_sent": 0}
+        for connection in self.connections:
+            for channel in (connection.req_channel, connection.resp_channel):
+                for key, value in channel.stats().items():
+                    totals[key] += value
+        return totals
+
+
+# ------------------------------------------------------------------ harness
+
+
+@dataclass
+class NetworkResult:
+    """One network experiment, summarised for tables and BENCH JSON."""
+
+    n_clients: int
+    requests: int
+    sent: int
+    acked: int
+    throttled: int
+    shed: int
+    retransmits: int
+    gave_up: int
+    errors: int
+    refused_connections: int
+    admit_decisions: int
+    throttle_decisions: int
+    shed_decisions: int
+    end_time: float
+    throughput: float
+    p50_latency: Optional[float]
+    p95_latency: Optional[float]
+    lost_acked: list
+    faults: Optional[str]
+    faults_injected: int
+    channel: dict = field(default_factory=dict)
+    oracle_report: Optional[ConvergenceReport] = None
+
+    @property
+    def ok(self) -> bool:
+        oracle_ok = self.oracle_report.ok if self.oracle_report is not None else True
+        return oracle_ok and not self.lost_acked
+
+    def row(self) -> dict:
+        return {
+            "clients": self.n_clients,
+            "sent": self.sent,
+            "acked": self.acked,
+            "throttled": self.throttled,
+            "shed": self.shed,
+            "retransmits": self.retransmits,
+            "gave_up": self.gave_up,
+            "refused": self.refused_connections,
+            "throughput": round(self.throughput, 2),
+            "p50_ms": None if self.p50_latency is None else round(self.p50_latency * 1e3, 3),
+            "p95_ms": None if self.p95_latency is None else round(self.p95_latency * 1e3, 3),
+            "shed_rate": round(self.shed_decisions / max(self.sent, 1), 4),
+            "oracle": "ok" if self.ok else "FAIL",
+        }
+
+
+def run_network_experiment(
+    scale: Optional[Scale] = None,
+    variant: str = "unique",
+    delay: float = 0.5,
+    seed: int = 0,
+    n_clients: int = 4,
+    requests_per_client: int = 40,
+    load: Optional[LoadConfig] = None,
+    network: Optional[NetworkConfig] = None,
+    admission: Optional[AdmissionConfig] = None,
+    server_config: Optional[ServerConfig] = None,
+    ack_timeout: float = 0.5,
+    max_attempts: int = 8,
+    client_stagger: float = 0.01,
+    faults: Optional[str] = None,
+    fault_seed: int = 0,
+    max_retries: int = 5,
+    retry_backoff: float = 0.25,
+    until: Optional[float] = None,
+    tracer: Optional[Tracer] = None,
+    db_out: Optional[list] = None,
+    server_out: Optional[list] = None,
+    clients_out: Optional[list] = None,
+) -> NetworkResult:
+    """Run one PTA experiment fed entirely through the network front-end.
+
+    The same tables, rules, and virtual-time simulation as
+    :func:`repro.pta.workload.run_experiment`, but the quote stream
+    arrives from ``n_clients`` concurrent protocol sessions over lossy
+    simulated channels instead of a pre-built arrivals list.  A fault
+    plan may fault the network (``net.accept`` / ``net.recv`` /
+    ``net.send``) and the engine (e.g. ``task.exec:kill@...`` with
+    retry-based recovery) in the same run.  Ends with the convergence
+    oracle and the zero-lost-acknowledged-mutations check.
+    """
+    scale = scale or Scale.tiny()
+    load = load or LoadConfig()
+    injector = recovery = None
+    if faults:
+        injector = FaultInjector(faults, seed=fault_seed)
+        injector.enabled = False  # setup is not under test; armed before run
+        recovery = RetryPolicy(max_retries=max_retries, backoff=retry_backoff)
+    collector = tracer if isinstance(tracer, TraceCollector) else None
+    if tracer is None:
+        # Admission control needs the backpressure signal, which lives on
+        # a collector; a harness run always has one.
+        tracer = collector = TraceCollector()
+    db = Database(tracer=tracer, faults=injector, recovery=recovery)
+    db.metrics.set_keep_records(False)
+    trace, events = get_trace(scale, seed)
+    populate(db, scale, trace, events, seed)
+    install_comp_rule(db, variant, delay)
+
+    server = NetServer(
+        db,
+        collector=collector,
+        config=server_config or ServerConfig(admission=admission or AdmissionConfig()),
+    )
+    clients = []
+    for index in range(n_clients):
+        config = replace(
+            load,
+            n_requests=requests_per_client,
+            start=load.start + index * client_stagger,
+        )
+        quotes = quote_stream(
+            trace.symbols, trace.initial_prices, seed * 6151 + index, config
+        )
+        clients.append(
+            NetClient(
+                f"client-{index}",
+                quotes,
+                ack_timeout=ack_timeout,
+                max_attempts=max_attempts,
+                start=config.start,
+            )
+        )
+    transport = SimNetTransport(
+        server, clients, network=network, seed=seed, faults=injector
+    )
+    simulator = Simulator(db)
+    simulator.post_task_hooks.append(transport.pump)
+    if injector is not None:
+        injector.enabled = True
+    transport.drive(simulator, until=until)
+    if injector is not None:
+        injector.enabled = False  # oracle recomputation must run clean
+    for connection in transport.connections:
+        if connection.session is not None:
+            server.close_session(connection.session)
+
+    oracle_report = check_convergence(db)
+    lost = server.lost_acked_mutations()
+    totals = ClientStats()
+    for client in clients:
+        stats = client.stats
+        totals.sent += stats.sent
+        totals.acked += stats.acked
+        totals.throttled += stats.throttled
+        totals.retransmits += stats.retransmits
+        totals.shed += stats.shed
+        totals.errors += stats.errors
+        totals.gave_up += stats.gave_up
+        totals.latencies.extend(stats.latencies)
+    end_time = db.clock.base
+    counts = server.admission.counts()
+    result = NetworkResult(
+        n_clients=n_clients,
+        requests=n_clients * requests_per_client,
+        sent=totals.sent,
+        acked=totals.acked,
+        throttled=totals.throttled,
+        shed=totals.shed,
+        retransmits=totals.retransmits,
+        gave_up=totals.gave_up,
+        errors=totals.errors,
+        refused_connections=server.refused,
+        admit_decisions=counts["admit"],
+        throttle_decisions=counts["throttle"],
+        shed_decisions=counts["shed"],
+        end_time=end_time,
+        throughput=totals.acked / end_time if end_time > 0 else 0.0,
+        p50_latency=totals.latency_quantile(0.50),
+        p95_latency=totals.latency_quantile(0.95),
+        lost_acked=lost,
+        faults=faults or None,
+        faults_injected=db.faults.injected_count,
+        channel=transport.channel_stats(),
+        oracle_report=oracle_report,
+    )
+    if db_out is not None:
+        db_out.append(db)
+    if server_out is not None:
+        server_out.append(server)
+    if clients_out is not None:
+        clients_out.extend(clients)
+    return result

@@ -13,6 +13,9 @@ staleness (:class:`StalenessTracker`), per-rule cost attribution
 from repro.obs.attribution import ENGINE_KEY, AttributionProfiler, RuleStats
 from repro.obs.exporters import (
     chrome_trace_events,
+    ensure_parent,
+    export_stats,
+    export_trace,
     read_jsonl,
     stats_report,
     stats_snapshot,
@@ -47,6 +50,9 @@ __all__ = [
     "Tracer",
     "check",
     "chrome_trace_events",
+    "ensure_parent",
+    "export_stats",
+    "export_trace",
     "log_bounds",
     "read_jsonl",
     "read_series_jsonl",

@@ -19,6 +19,7 @@ Timestamps in Chrome output are **microseconds of virtual time**.
 from __future__ import annotations
 
 import json
+import os
 from typing import TYPE_CHECKING, Any, Iterable, Optional, Union
 
 from repro.obs.tracer import TraceCollector, TraceEvent
@@ -36,6 +37,39 @@ def _events_of(source: EventSource) -> list[TraceEvent]:
     if isinstance(source, TraceCollector):
         return source.events
     return list(source)
+
+
+# ------------------------------------------------------ file-path plumbing
+
+
+def ensure_parent(path: str) -> None:
+    """Create the parent directory of ``path`` if it is missing."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+
+
+def export_trace(collector: TraceCollector, path: str) -> int:
+    """Write a trace file, picking the format from the extension: Chrome
+    ``trace_event`` JSON by default, JSONL when ``path`` ends ``.jsonl``.
+    Returns the number of events written.  (The one trace-export policy
+    shared by every CLI subcommand.)"""
+    ensure_parent(path)
+    if path.endswith(".jsonl"):
+        return write_jsonl(collector, path)
+    return write_chrome_trace(collector, path)
+
+
+def export_stats(collector: TraceCollector, path: str, title: str) -> Optional[str]:
+    """Render the plain-text stats report; write it to ``path``, or return
+    it for the caller to print when ``path`` is ``'-'`` (stdout)."""
+    text = stats_report(collector, title)
+    if path == "-":
+        return text
+    ensure_parent(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return None
 
 
 # ------------------------------------------------------------------- JSONL

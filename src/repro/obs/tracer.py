@@ -47,6 +47,13 @@ Event taxonomy (``TraceEvent.kind``):
                             far a commit's arrival at the replica trailed
                             its commit time on the primary (one Chrome
                             counter track per replica, beside staleness)
+``net.session``             a client session opened, closed, or was refused
+                            at the ``net.accept`` fault seam
+``net.admit``               one admission decision for a client write:
+                            admit, throttle (retry later), or shed (reject)
+``counter.admission``       the admission controller's view — backpressure
+                            reading plus cumulative throttled/shed counts
+                            (a Chrome counter track)
 ========================  ====================================================
 
 The collector composes the second observability layer from three parts it
@@ -153,6 +160,15 @@ class Tracer:
     # --------------------------------------------------------- replication
     def replication_lag(
         self, replica: str, lag: float, lsn: int, now: float
+    ) -> None: ...
+
+    # ------------------------------------------------------------- network
+    def net_session(self, session: str, event: str, now: float) -> None: ...
+    def net_admission(
+        self, session: str, decision: str, pressure: float, now: float
+    ) -> None: ...
+    def net_response(
+        self, session: str, status: str, latency: Optional[float], now: float
     ) -> None: ...
 
 
@@ -487,6 +503,49 @@ class TraceCollector(Tracer):
             track=f"replication-{replica}", lag_s=lag, lsn=lsn,
         )
 
+    # ------------------------------------------------------------- network
+
+    def net_session(self, session: str, event: str, now: float) -> None:
+        """A client session opened, closed, or was refused (``event`` is
+        ``open`` / ``close`` / ``refused``)."""
+        if event == "open":
+            self.metrics.counter("net_sessions").inc()
+        elif event == "refused":
+            self.metrics.counter("net_refused_connections").inc()
+        self._emit(now, "net.session", session, track="net", event=event)
+
+    def net_admission(
+        self, session: str, decision: str, pressure: float, now: float
+    ) -> None:
+        """One admission decision (``admit`` / ``throttle`` / ``shed``) for
+        a client write, with the backpressure reading that drove it.  The
+        counters mirror onto a ``counter.admission`` Chrome track so the
+        shed/delay behaviour plots beside queue depth and staleness."""
+        metrics = self.metrics
+        metrics.counter(f"net_{decision}").inc()
+        self._emit(
+            now, "net.admit", session, track="net",
+            decision=decision, pressure=pressure,
+        )
+        self._emit(
+            now, "counter.admission", "admission", track="admission",
+            pressure=pressure,
+            throttled=metrics.counter("net_throttle").value,
+            shed=metrics.counter("net_shed").value,
+        )
+
+    def net_response(
+        self, session: str, status: str, latency: Optional[float], now: float
+    ) -> None:
+        """A response reached (or left for) a client; ``latency`` is the
+        request's round trip in virtual seconds when the transport knows
+        it (the simulated channels do; raw sockets pass None)."""
+        self.metrics.counter(f"net_responses[{status}]").inc()
+        if latency is not None:
+            self.metrics.histogram(
+                "net_latency_s", lo=1e-4, hi=1e3, factor=2.0
+            ).record(max(latency, 1e-4))
+
     # --------------------------------------------------------- time series
 
     def _maybe_sample(self, now: float) -> None:
@@ -528,15 +587,24 @@ class TraceCollector(Tracer):
     def backpressure(self, now: Optional[float] = None) -> float:
         """The live admission signal in [0, 1] (see
         :meth:`~repro.obs.timeseries.TimeSeriesSampler.backpressure`).
-        Returns 0.0 when sampling is disabled."""
+        Returns 0.0 when sampling is disabled.
+
+        With a database attached, queue depth is read live from the task
+        manager: the ``queue_depth`` gauge only refreshes at enqueue
+        events, so between tasks it would report the depth as of the last
+        enqueue — an admission controller polling a drained queue must
+        see 0, not the stale high-water value."""
         sampler = self.timeseries
         if sampler is None:
             return 0.0
         if now is None:
             now = self._db.clock.now() if self._db is not None else 0.0
-        return sampler.backpressure(
-            self.metrics.gauge("queue_depth").value, self.staleness.watermark(now)
-        )
+        if self._db is not None:
+            manager = self._db.task_manager
+            depth = len(manager.delay) + len(manager.ready) + len(manager.held)
+        else:
+            depth = self.metrics.gauge("queue_depth").value
+        return sampler.backpressure(depth, self.staleness.watermark(now))
 
     # ------------------------------------------------------------ results
 

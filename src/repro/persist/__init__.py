@@ -6,8 +6,10 @@ STRIP's signature state — the **pending unique tasks** whose bound tables
 batch changes across transaction boundaries and therefore outlive any
 single transaction's commit:
 
-* :mod:`repro.persist.wal` — length-prefixed, CRC-checked, buffered redo
-  records with torn-tail truncation on open;
+* :mod:`repro.persist.codec` — the shared length-prefix + crc32 frame
+  codec (also the network layer's binary wire framing);
+* :mod:`repro.persist.wal` — buffered redo records over that codec with
+  torn-tail truncation on open;
 * :mod:`repro.persist.checkpoint` — periodic transaction-consistent
   snapshots (catalog, rules, clock, and the full pending-task set:
   bound rows, ``unique on`` partition keys, release deadlines, retry
@@ -21,6 +23,7 @@ single transaction's commit:
 See docs/PERSISTENCE.md for the record format and the protocol.
 """
 
+from repro.persist.codec import FrameDecoder, FrameError, encode_frame
 from repro.persist.checkpoint import (
     build_snapshot,
     load_snapshot,
@@ -40,12 +43,15 @@ from repro.persist.wal import (
 )
 
 __all__ = [
+    "FrameDecoder",
+    "FrameError",
     "NullPersistence",
     "PersistenceManager",
     "RecoveryReport",
     "WalApplier",
     "WriteAheadLog",
     "build_snapshot",
+    "encode_frame",
     "encode_record",
     "iter_frames",
     "load_snapshot",

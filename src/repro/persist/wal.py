@@ -11,6 +11,11 @@ File format::
     STRIPWAL                                      8-byte magic
     <u32 length> <u32 crc32> <payload> ...        repeated frames
 
+The frame codec itself (length prefix + crc32, JSON payloads) lives in
+:mod:`repro.persist.codec`, shared with the network layer's binary wire
+protocol; this module re-exports ``encode_record``/``iter_frames`` and owns
+everything file-shaped (magic, torn-tail truncation, the log object).
+
 Each payload is a compact, key-sorted JSON object carrying a monotonically
 increasing ``lsn`` assigned by the :class:`~repro.persist.manager.
 PersistenceManager`.  JSON keeps records greppable; the binary framing
@@ -27,16 +32,17 @@ process death that loses buffered-but-unflushed records.
 
 from __future__ import annotations
 
-import json
 import os
-import struct
-import zlib
-from typing import Any, Iterator, Optional, Union
+from typing import Optional, Union
 
 from repro.errors import PersistenceError
 
+# The frame codec is shared with the binary wire protocol
+# (repro/persist/codec.py); re-exported here under the historical names.
+from repro.persist.codec import encode_frame as encode_record
+from repro.persist.codec import iter_frames
+
 MAGIC = b"STRIPWAL"
-_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
 
 
 def _fsync_dir(path: str) -> None:
@@ -54,40 +60,6 @@ def _fsync_dir(path: str) -> None:
         pass
     finally:
         os.close(fd)
-
-
-def encode_record(payload: dict) -> bytes:
-    """Frame one payload: ``<len><crc32><json>``."""
-    body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
-    return _FRAME.pack(len(body), zlib.crc32(body)) + body
-
-
-def iter_frames(data: bytes) -> Iterator[tuple[dict, int]]:
-    """Yield ``(payload, end_offset)`` for each intact frame in ``data``.
-
-    Stops silently at the first torn (truncated) or corrupt (bad CRC /
-    undecodable) frame — the torn-tail rule.  ``data`` must start at the
-    first frame, i.e. *after* the file magic.
-    """
-    offset = 0
-    total = len(data)
-    while offset + _FRAME.size <= total:
-        length, crc = _FRAME.unpack_from(data, offset)
-        start = offset + _FRAME.size
-        end = start + length
-        if end > total:
-            return  # torn tail: header present, payload cut short
-        body = data[start:end]
-        if zlib.crc32(body) != crc:
-            return
-        try:
-            payload = json.loads(body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError):
-            return
-        if not isinstance(payload, dict):
-            return
-        yield payload, end
-        offset = end
 
 
 def read_wal_from(

@@ -65,6 +65,36 @@ class TestImportFeed:
         feed.replay([FeedRecord(0.0, "x")])
         assert applied == ["x"]
 
+    def test_out_of_order_records_apply_chronologically(self, db):
+        """The ordering contract: tasks() sorts by release time, so a
+        shuffled feed file still applies oldest-first."""
+        feed = quote_feed(db)
+        records = [
+            FeedRecord(2.0, ("A", 14.0)),
+            FeedRecord(0.5, ("A", 11.0)),
+            FeedRecord(1.5, ("A", 13.0)),
+            FeedRecord(1.0, ("A", 12.0)),
+        ]
+        tasks = feed.tasks(records)
+        assert [task.release_time for task in tasks] == [0.5, 1.0, 1.5, 2.0]
+        executed = feed.replay(records)
+        assert executed == 4
+        # The t=2.0 record wins even though it arrived first in the stream.
+        assert db.query("select price from stocks where symbol = 'A'").scalar() == 14.0
+
+    def test_duplicate_timestamps_keep_stream_order(self, db):
+        """Ties on release time break by original stream position (the
+        sort is stable): the later record in the stream is the winner."""
+        feed = quote_feed(db)
+        records = [
+            FeedRecord(1.0, ("A", 50.0)),
+            FeedRecord(1.0, ("A", 60.0)),
+            FeedRecord(1.0, ("B", 70.0)),
+        ]
+        feed.replay(records)
+        assert db.query("select price from stocks where symbol = 'A'").scalar() == 60.0
+        assert db.query("select price from stocks where symbol = 'B'").scalar() == 70.0
+
     def test_failed_record_aborts_its_txn(self, db):
         def handler(txn, payload):
             txn.insert("stocks", {"symbol": "tmp", "price": 1.0})

@@ -1,0 +1,1 @@
+"""Network front-end tests: protocol, admission, transports, harness."""

@@ -1,0 +1,118 @@
+"""Admission control: token buckets, thresholds, decision ordering."""
+
+import pytest
+
+from repro.net.admission import AdmissionConfig, AdmissionController, TokenBucket
+
+
+class StubCollector:
+    """A collector whose backpressure is whatever the test says it is."""
+
+    def __init__(self, pressure=0.0):
+        self.pressure = pressure
+
+    def backpressure(self, now):
+        return self.pressure
+
+
+class TestTokenBucket:
+    def test_burst_then_dry(self):
+        bucket = TokenBucket(rate=10.0, capacity=3.0)
+        assert [bucket.take(0.0) for _ in range(3)] == [0.0, 0.0, 0.0]
+        wait = bucket.take(0.0)
+        assert wait == pytest.approx(0.1)  # one token at 10/s
+
+    def test_refills_continuously(self):
+        bucket = TokenBucket(rate=2.0, capacity=1.0)
+        assert bucket.take(0.0) == 0.0
+        assert bucket.take(0.0) > 0.0
+        assert bucket.take(0.5) == 0.0  # 0.5s * 2/s = 1 token back
+
+    def test_never_exceeds_capacity(self):
+        bucket = TokenBucket(rate=100.0, capacity=2.0)
+        bucket.take(0.0)
+        bucket._refill(1000.0)
+        assert bucket.tokens == 2.0
+
+    def test_clock_never_runs_backwards(self):
+        bucket = TokenBucket(rate=1.0, capacity=1.0)
+        bucket.take(5.0)
+        bucket._refill(1.0)  # stale timestamp must not mint tokens
+        assert bucket.stamp == 5.0
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        AdmissionConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"session_rate": 0.0},
+            {"session_burst": 0.5},
+            {"delay_at": 0.0},
+            {"delay_at": 0.9, "shed_at": 0.5},  # delay above shed
+            {"shed_at": 1.5},
+        ],
+    )
+    def test_bad_configs_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionConfig(**kwargs)
+
+    def test_equal_thresholds_allowed(self):
+        """delay_at == shed_at collapses the throttle band: anything past
+        the single threshold sheds (the most aggressive posture)."""
+        config = AdmissionConfig(delay_at=0.5, shed_at=0.5)
+        controller = AdmissionController(config, collector=StubCollector(0.5))
+        decision, _, _ = controller.decide("s", None, now=0.0)
+        assert decision == "shed"
+
+
+class TestDecisionOrdering:
+    def config(self):
+        return AdmissionConfig(
+            session_rate=10.0, session_burst=2.0, delay_at=0.5, shed_at=0.85
+        )
+
+    def test_healthy_engine_admits(self):
+        controller = AdmissionController(self.config(), collector=StubCollector(0.1))
+        decision, retry_after, pressure = controller.decide("s", None, now=0.0)
+        assert (decision, retry_after) == ("admit", 0.0)
+        assert pressure == 0.1
+
+    def test_no_collector_means_no_pressure(self):
+        controller = AdmissionController(self.config())
+        assert controller.decide("s", None, now=0.0)[0] == "admit"
+
+    def test_delay_band_throttles_with_growing_hint(self):
+        low = AdmissionController(self.config(), collector=StubCollector(0.5))
+        high = AdmissionController(self.config(), collector=StubCollector(0.8))
+        d1, hint1, _ = low.decide("s", None, now=0.0)
+        d2, hint2, _ = high.decide("s", None, now=0.0)
+        assert d1 == d2 == "throttle"
+        assert hint2 > hint1 > 0.0  # deeper distress, longer back-off
+
+    def test_past_shed_at_sheds(self):
+        controller = AdmissionController(self.config(), collector=StubCollector(0.9))
+        decision, _, pressure = controller.decide("s", None, now=0.0)
+        assert decision == "shed"
+        assert pressure == 0.9
+
+    def test_bucket_is_checked_before_global_state(self):
+        """A hot session is throttled by its own bucket even when the
+        engine is completely healthy."""
+        controller = AdmissionController(self.config(), collector=StubCollector(0.0))
+        bucket = TokenBucket(rate=10.0, capacity=2.0)
+        decisions = [controller.decide("s", bucket, now=0.0)[0] for _ in range(4)]
+        assert decisions == ["admit", "admit", "throttle", "throttle"]
+        _, retry_after, _ = controller.decide("s", bucket, now=0.0)
+        assert retry_after > 0.0  # the wait until the next token lands
+
+    def test_counters_track_every_decision(self):
+        controller = AdmissionController(self.config(), collector=StubCollector(0.0))
+        bucket = TokenBucket(rate=1.0, capacity=1.0)
+        controller.decide("s", bucket, now=0.0)  # admit
+        controller.decide("s", bucket, now=0.0)  # bucket throttle
+        controller.collector.pressure = 0.99
+        controller.decide("s", None, now=0.0)  # shed
+        assert controller.counts() == {"admit": 1, "throttle": 1, "shed": 1}
